@@ -1,0 +1,132 @@
+//! Criterion micro-benchmarks for the building blocks: the crypto engine,
+//! Reed–Solomon/Chipkill codecs, the secure controller datapath, and one
+//! FaultSim iteration. These quantify simulator throughput (they are not
+//! paper figures — the `fig*` binaries regenerate those).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use soteria::clone::CloningPolicy;
+use soteria::{DataAddr, Fidelity, SecureMemoryConfig, SecureMemoryController};
+use soteria_crypto::ctr::CounterModeCipher;
+use soteria_crypto::mac::MacEngine;
+use soteria_crypto::sha256::Sha256;
+use soteria_crypto::{EncryptionKey, MacKey};
+use soteria_ecc::chipkill::{ChipkillCodec, LineCodec};
+use soteria_faultsim::{run_campaign, CampaignConfig};
+
+fn bench_crypto(c: &mut Criterion) {
+    let cipher = CounterModeCipher::new(EncryptionKey::from_bytes([1; 16]));
+    let mac = MacEngine::new(MacKey::from_bytes([2; 32]));
+    let line = [0xabu8; 64];
+    c.bench_function("aes_ctr_encrypt_line", |b| {
+        b.iter(|| cipher.encrypt_line(black_box(&line), black_box(0x40), black_box(7)))
+    });
+    c.bench_function("sha256_64B", |b| {
+        b.iter(|| Sha256::digest(black_box(&line)))
+    });
+    c.bench_function("data_mac_64bit", |b| {
+        b.iter(|| mac.data_mac(black_box(0x40), black_box(&line), black_box(7)))
+    });
+}
+
+fn bench_gcm(c: &mut Criterion) {
+    use soteria_crypto::gcm::AesGcm;
+    let gcm = AesGcm::new([3; 16]);
+    let line = [0x42u8; 64];
+    c.bench_function("aes_gcm_line_tag", |b| {
+        b.iter(|| gcm.line_tag(black_box(0x40), black_box(&line), black_box(9)))
+    });
+    let nonce = [1u8; 12];
+    c.bench_function("aes_gcm_seal_64B", |b| {
+        b.iter(|| gcm.seal(black_box(&nonce), b"aad", black_box(&line)))
+    });
+}
+
+fn bench_chipkill(c: &mut Criterion) {
+    let codec = ChipkillCodec::table4();
+    let line = [0x5au8; 64];
+    let clean = codec.encode_line(&line);
+    let mut faulty = clean.clone();
+    for (i, b) in faulty.iter_mut().enumerate() {
+        if i % 18 == 3 {
+            *b ^= 0x77;
+        }
+    }
+    c.bench_function("chipkill_encode_line", |b| {
+        b.iter(|| codec.encode_line(black_box(&line)))
+    });
+    c.bench_function("chipkill_decode_clean", |b| {
+        b.iter(|| codec.decode_line(black_box(&clean)))
+    });
+    c.bench_function("chipkill_decode_chip_kill", |b| {
+        b.iter(|| codec.decode_line(black_box(&faulty)))
+    });
+    let mut two_dead = clean.clone();
+    for (i, b) in two_dead.iter_mut().enumerate() {
+        let chip = i % 18;
+        if chip == 3 || chip == 11 {
+            *b ^= 0x77;
+        }
+    }
+    c.bench_function("chipkill_decode_two_marked_erasures", |b| {
+        b.iter(|| codec.decode_line_marked(black_box(&two_dead), &[3, 11]))
+    });
+}
+
+fn controller(fidelity: Fidelity, policy: CloningPolicy) -> SecureMemoryController {
+    let config = SecureMemoryConfig::builder()
+        .capacity_bytes(1 << 24)
+        .metadata_cache(64 * 1024, 8)
+        .cloning(policy)
+        .fidelity(fidelity)
+        .build()
+        .expect("valid config");
+    SecureMemoryController::new(config)
+}
+
+fn bench_controller(c: &mut Criterion) {
+    for (name, fidelity) in [
+        ("functional", Fidelity::Functional),
+        ("timing", Fidelity::Timing),
+    ] {
+        let mut ctrl = controller(fidelity, CloningPolicy::Aggressive);
+        let mut i = 0u64;
+        c.bench_function(&format!("controller_write_{name}"), |b| {
+            b.iter(|| {
+                i = (i + 64) % ctrl.layout().data_lines();
+                ctrl.write(DataAddr::new(i), black_box(&[9u8; 64]))
+                    .expect("write")
+            })
+        });
+        let mut ctrl = controller(fidelity, CloningPolicy::Aggressive);
+        for j in 0..1024u64 {
+            ctrl.write(DataAddr::new(j), &[1u8; 64])
+                .expect("warm-up write");
+        }
+        let mut j = 0u64;
+        c.bench_function(&format!("controller_read_{name}"), |b| {
+            b.iter(|| {
+                j = (j + 1) % 1024;
+                ctrl.read(DataAddr::new(j)).expect("read")
+            })
+        });
+    }
+}
+
+fn bench_faultsim(c: &mut Criterion) {
+    let mut config = CampaignConfig::table4(80.0);
+    config.iterations = 200;
+    config.threads = 1;
+    config.capacity_bytes = 1 << 30;
+    c.bench_function("faultsim_200_iterations_fit80", |b| {
+        b.iter(|| run_campaign(black_box(&config), &[CloningPolicy::Relaxed]))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_crypto, bench_gcm, bench_chipkill, bench_controller, bench_faultsim
+);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Ablations for the decoupling argument (§3.1 / §6.2) and the tree
+//! choice (§2.5 / Table 1):
+//!
+//! 1. **ECC strength** — SEC-DED-class (corrects 0 whole chips), Chipkill
+//!    (1), double-Chipkill (2): Soteria with baseline ECC should beat a
+//!    stronger ECC working alone, which is the paper's §6.2 claim.
+//! 2. **ToC vs BMT** — BMT intermediate nodes can be recomputed from
+//!    children, so only counter-block losses hurt; ToC turns every
+//!    intermediate-node UE into unverifiable data. Soteria exists because
+//!    the industry ships ToC.
+//! 3. **Eager vs lazy tree update** — the Table 1 motivation: eager makes
+//!    recovery trivial but multiplies writes.
+//!
+//! ```text
+//! SOTERIA_ITERS=200000 cargo run --release -p soteria-bench --bin ablation_ecc_tree
+//! ```
+
+use soteria::analysis::TreeKind;
+use soteria::clone::CloningPolicy;
+use soteria::config::TreeUpdate;
+use soteria::{DataAddr, SecureMemoryConfig, SecureMemoryController};
+use soteria_bench::{env_u64, header};
+use soteria_faultsim::{run_campaign, CampaignConfig};
+
+fn main() {
+    let iterations = env_u64("SOTERIA_ITERS", 100_000);
+    let fit = 80.0;
+
+    header(&format!("Ablation 1 — ECC strength vs Soteria (FIT {fit})"));
+    println!(
+        "{:>16} | {:>12} | {:>12} | {:>12}",
+        "ECC", "L_error", "Baseline UDR", "SRC UDR"
+    );
+    println!("{}", "-".repeat(64));
+    for (name, chips) in [
+        ("SEC-DED-class", 0usize),
+        ("Chipkill", 1),
+        ("2x Chipkill", 2),
+    ] {
+        let mut config = CampaignConfig::table4(fit);
+        config.iterations = iterations;
+        config.correctable_chips = chips;
+        let r = run_campaign(&config, &[CloningPolicy::None, CloningPolicy::Relaxed]);
+        println!(
+            "{:>16} | {:>12.3e} | {:>12.3e} | {:>12.3e}",
+            name, r[0].mean_error_ratio, r[0].mean_udr, r[1].mean_udr
+        );
+    }
+    println!("\n§6.2: 'Soteria with baseline ECC can provide better survivability of");
+    println!("security metadata compared to a stronger ECC working alone' — compare");
+    println!("SRC-over-Chipkill with the 2x-Chipkill baseline column.");
+
+    header(&format!(
+        "Ablation 2 — ToC vs BMT integrity tree (FIT {fit}, baseline ECC)"
+    ));
+    println!("{:>6} | {:>12} | {:>12}", "tree", "Baseline UDR", "SRC UDR");
+    println!("{}", "-".repeat(40));
+    for (name, tree) in [("ToC", TreeKind::Toc), ("BMT", TreeKind::Bmt)] {
+        let mut config = CampaignConfig::table4(fit);
+        config.iterations = iterations;
+        config.tree = tree;
+        let r = run_campaign(&config, &[CloningPolicy::None, CloningPolicy::Relaxed]);
+        println!(
+            "{:>6} | {:>12.3e} | {:>12.3e}",
+            name, r[0].mean_udr, r[1].mean_udr
+        );
+    }
+    println!("\nBMT can rebuild intermediate nodes (§2.5), so only counter losses");
+    println!("count — but ToC is what industry ships, and there Soteria is essential.");
+
+    // At FIT 80, scrub-suppressible pairs (a transient that would expire
+    // before its partner arrives) are rarer than the Monte Carlo
+    // resolution; run this panel at an elevated rate where the effect is
+    // measurable, as fault-environment ablations usually do.
+    let scrub_fit = 800.0;
+    header(&format!(
+        "Ablation 3 — patrol scrubbing vs loss (FIT {scrub_fit}, baseline scheme)"
+    ));
+    println!(
+        "{:>12} | {:>12} | {:>12}",
+        "scrub", "L_error", "Baseline UDR"
+    );
+    println!("{}", "-".repeat(44));
+    for (name, interval) in [
+        ("none", None),
+        ("monthly", Some(30.0 * 24.0)),
+        ("weekly", Some(7.0 * 24.0)),
+        ("daily", Some(24.0)),
+    ] {
+        let mut config = CampaignConfig::table4(scrub_fit);
+        config.iterations = iterations;
+        config.scrub_interval_hours = interval;
+        let r = run_campaign(&config, &[CloningPolicy::None]);
+        println!(
+            "{:>12} | {:>12.3e} | {:>12.3e}",
+            name, r[0].mean_error_ratio, r[0].mean_udr
+        );
+    }
+    println!(
+        "
+Scrubbing repairs lone transient faults before a partner arrives, so"
+    );
+    println!("fewer two-fault coincidences defeat Chipkill. It cannot help against");
+    println!("permanent-fault pairs — which is where Soteria's clones still matter.");
+
+    header("Ablation 4 — eager vs lazy tree update (write amplification)");
+    let stores = 2_000u64;
+    println!(
+        "{:>6} | {:>10} | {:>14} | {:>12}",
+        "mode", "NVM writes", "writes/store", "shadow"
+    );
+    println!("{}", "-".repeat(52));
+    for (name, update) in [
+        ("lazy", TreeUpdate::Lazy),
+        ("triad1", TreeUpdate::Triad { persist_levels: 1 }),
+        ("triad2", TreeUpdate::Triad { persist_levels: 2 }),
+        ("eager", TreeUpdate::Eager),
+    ] {
+        let config = SecureMemoryConfig::builder()
+            .capacity_bytes(1 << 24)
+            .metadata_cache(64 * 1024, 8)
+            .tree_update(update)
+            .build()
+            .expect("valid config");
+        let mut c = SecureMemoryController::new(config);
+        for i in 0..stores {
+            c.write(
+                DataAddr::new((i * 64) % c.layout().data_lines()),
+                &[1u8; 64],
+            )
+            .expect("write");
+        }
+        let s = c.stats();
+        println!(
+            "{:>6} | {:>10} | {:>14.2} | {:>12}",
+            name,
+            s.nvm_writes,
+            s.nvm_writes as f64 / stores as f64,
+            s.writes.shadow
+        );
+    }
+    println!("\nLazy + Anubis shadow is Table 1's choice: eager update pays one");
+    println!("writeback per tree level per store; Triad-NVM [5] interpolates,");
+    println!("trading write amplification for less recovery work per level.");
+}

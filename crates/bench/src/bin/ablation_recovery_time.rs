@@ -1,0 +1,69 @@
+//! Ablation: recovery cost — Anubis-style shadow-guided recovery vs an
+//! Osiris-style exhaustive whole-memory scan (§2.6 / Table 1), across
+//! capacities.
+//!
+//! The paper chose Anubis for Soteria because it recovers "within
+//! seconds" while Osiris "needs to check every encryption"; this binary
+//! measures both on the real recovery implementations.
+//!
+//! ```text
+//! cargo run --release -p soteria-bench --bin ablation_recovery_time
+//! ```
+
+use soteria::clone::CloningPolicy;
+use soteria::recovery::{recover, recover_exhaustive};
+use soteria::{DataAddr, SecureMemoryConfig, SecureMemoryController};
+use soteria_bench::header;
+
+fn build(capacity: u64) -> SecureMemoryController {
+    let config = SecureMemoryConfig::builder()
+        .capacity_bytes(capacity)
+        .metadata_cache(64 * 1024, 8)
+        .cloning(CloningPolicy::Relaxed)
+        .build()
+        .expect("valid config");
+    let mut c = SecureMemoryController::new(config);
+    // Fixed dirty working set regardless of capacity, persisted cleanly
+    // except for a shallow tail (the state both schemes can recover).
+    for i in 0..512u64 {
+        c.write(
+            DataAddr::new(i * 131 % c.layout().data_lines()),
+            &[i as u8; 64],
+        )
+        .expect("write");
+    }
+    c.persist_all().expect("persist");
+    for i in 0..16u64 {
+        c.write(DataAddr::new(i), &[0xcc; 64]).expect("write");
+    }
+    c
+}
+
+fn main() {
+    header("Ablation — recovery cost: Anubis shadow vs exhaustive Osiris scan");
+    println!(
+        "{:>10} | {:>22} | {:>22} | {:>8}",
+        "capacity", "shadow (reads / ms)", "exhaustive (reads / ms)", "speedup"
+    );
+    println!("{}", "-".repeat(76));
+    for capacity in [1u64 << 20, 1 << 22, 1 << 24, 1 << 26] {
+        let shadow = recover(build(capacity).crash()).1;
+        let exhaustive = recover_exhaustive(build(capacity).crash()).1;
+        assert!(shadow.is_complete() && exhaustive.is_complete());
+        let ms = |ns: u64| ns as f64 / 1e6;
+        println!(
+            "{:>7} MiB | {:>12} / {:>6.2} | {:>12} / {:>6.2} | {:>7.1}x",
+            capacity >> 20,
+            shadow.nvm_reads,
+            ms(shadow.estimated_duration_ns()),
+            exhaustive.nvm_reads,
+            ms(exhaustive.estimated_duration_ns()),
+            exhaustive.estimated_duration_ns() as f64
+                / shadow.estimated_duration_ns().max(1) as f64,
+        );
+    }
+    println!("\nShadow-guided recovery scales with *tracked dirty state* (the cache");
+    println!("size), the exhaustive scan with *capacity* — extrapolated to the 8 TB");
+    println!("of Fig. 12, the scan costs hours while Anubis stays in seconds, which");
+    println!("is why Table 1 pairs lazy ToC with shadow tracking.");
+}

@@ -1,0 +1,78 @@
+//! Counter-organization comparison (§2.4): 64-ary split counters (the
+//! paper's/VAULT's choice) vs 128-ary morphable counters (paper reference 36), on
+//! identical write streams.
+//!
+//! Reports storage overhead, re-encryption events and re-encryption
+//! *lines* (the actual write cost) for four canonical patterns.
+//!
+//! ```text
+//! cargo run --release -p soteria-bench --bin counter_org
+//! ```
+
+use soteria::counter::{BumpOutcome, CounterBlock};
+use soteria::morphable::{MorphOutcome, MorphableBlock};
+use soteria_bench::header;
+use soteria_workloads::Splitmix;
+
+/// A stream of line indices within an 8 KiB region (128 lines).
+fn stream(pattern: &str, writes: usize) -> Vec<usize> {
+    let mut rng = Splitmix::new(0xc0de);
+    (0..writes)
+        .map(|i| match pattern {
+            "sequential" => i % 128,
+            "hot-line" => 7,
+            "hot-set" => (rng.below(8)) as usize, // 8 hot lines
+            "uniform" => rng.below(128) as usize,
+            _ => unreachable!("pattern list is closed"),
+        })
+        .collect()
+}
+
+fn main() {
+    header("Counter organizations — split-64 vs morphable-128 (§2.4)");
+    println!("storage: split-64 = 1/64 of data (1.56%), morphable-128 = 1/128 (0.78%)");
+    let writes = 100_000;
+    println!(
+        "\n{:>12} | {:>26} | {:>26}",
+        "pattern", "split-64 (reenc / lines)", "morphable (reenc / lines)"
+    );
+    println!("{}", "-".repeat(72));
+    for pattern in ["sequential", "hot-line", "hot-set", "uniform"] {
+        let lines = stream(pattern, writes);
+        // Split counters: two blocks cover the 128-line region.
+        let mut split = [CounterBlock::new(), CounterBlock::new()];
+        let mut split_reenc = 0u64;
+        for &l in &lines {
+            if matches!(
+                split[l / 64].bump(l % 64),
+                BumpOutcome::PageReencrypt { .. }
+            ) {
+                split_reenc += 1;
+            }
+        }
+        // Morphable: one block covers the region.
+        let mut morph = MorphableBlock::new();
+        let mut morph_reenc = 0u64;
+        let mut morphs = 0u64;
+        for &l in &lines {
+            match morph.bump(l) {
+                MorphOutcome::RegionReencrypt { .. } => morph_reenc += 1,
+                MorphOutcome::Morphed { .. } => morphs += 1,
+                MorphOutcome::Bumped { .. } => {}
+            }
+        }
+        println!(
+            "{:>12} | {:>15} / {:>8} | {:>10} ({} morphs) / {:>8}",
+            pattern,
+            split_reenc,
+            split_reenc * 64,
+            morph_reenc,
+            morphs,
+            morph_reenc * 128,
+        );
+    }
+    println!("\nMorphable counters halve the metadata footprint and absorb skewed");
+    println!("traffic via format morphing, but uniformly-hot regions re-encrypt");
+    println!("128 lines at a time where split counters re-encrypt 64 — the");
+    println!("trade-off that kept VAULT-style split counters in the paper's design.");
+}

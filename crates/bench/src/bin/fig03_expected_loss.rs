@@ -1,0 +1,40 @@
+//! Figure 3: expected lost/unverifiable data vs number of uncorrectable
+//! errors, secure vs non-secure, for a 4 TB memory.
+//!
+//! The paper's headline: the secure system is ~12x less resilient because
+//! every tree level contributes as much expected loss as the whole data
+//! region.
+//!
+//! ```text
+//! cargo run -p soteria-bench --bin fig03_expected_loss
+//! ```
+
+use soteria::analysis::ExpectedLossModel;
+
+fn main() {
+    soteria_bench::header("Figure 3 — expected data loss vs uncorrectable errors (4 TB)");
+    let model = ExpectedLossModel::new(4u64 << 40);
+    println!(
+        "tree levels (excl. root): {}   amplification: {:.1}x (paper: ~12x)",
+        model.levels(),
+        model.amplification()
+    );
+    println!(
+        "\n{:>8} | {:>22} | {:>22}",
+        "errors", "non-secure loss (KB)", "secure loss (KB)"
+    );
+    println!("{}", "-".repeat(60));
+    for errors in [1u64, 2, 4, 6, 8, 10, 16, 32] {
+        println!(
+            "{:>8} | {:>22.3} | {:>22.3}",
+            errors,
+            model.nonsecure_loss_bytes(errors) / 1024.0,
+            model.secure_loss_bytes(errors) / 1024.0,
+        );
+    }
+    println!(
+        "\nEach of the {} tree levels adds ~1 data-region-equivalent of",
+        model.levels()
+    );
+    println!("expected loss; MAC lines add one more (footnote 2 of the paper).");
+}

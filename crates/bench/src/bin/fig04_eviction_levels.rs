@@ -1,0 +1,51 @@
+//! Figure 4: percentage of metadata-cache evictions per Merkle-tree level
+//! under the lazy update scheme, for every workload.
+//!
+//! The shape the paper reports: the leaf (counter) level dominates,
+//! upper levels are evicted (and thus cloned) only rarely — this is the
+//! property that makes SAC's deep cloning nearly free.
+//!
+//! ```text
+//! SOTERIA_OPS=500000 cargo run --release -p soteria-bench --bin fig04_eviction_levels
+//! ```
+
+use soteria_bench::{env_u64, header, run_performance_suite};
+
+fn main() {
+    let ops = env_u64("SOTERIA_OPS", 200_000);
+    let footprint = 64u64 << 20;
+    let capacity = 64u64 << 20;
+    header(&format!(
+        "Figure 4 — evictions per tree level, lazy update ({ops} ops/workload)"
+    ));
+    let rows = run_performance_suite(ops, footprint, capacity);
+    let levels = rows
+        .iter()
+        .map(|r| r[0].evictions_by_level.len())
+        .max()
+        .unwrap_or(0);
+    print!("{:>12} |", "workload");
+    for l in 1..=levels {
+        print!(" {:>7} |", format!("L{l}"));
+    }
+    println!(" {:>10}", "evictions");
+    println!("{}", "-".repeat(14 + 10 * levels + 12));
+    let mut sums = vec![0.0f64; levels];
+    for row in &rows {
+        let base = &row[0]; // baseline run defines the eviction shape
+        let f = base.eviction_fractions();
+        print!("{:>12} |", base.workload);
+        for (l, sum) in sums.iter_mut().enumerate() {
+            let v = f.get(l).copied().unwrap_or(0.0);
+            *sum += v;
+            print!(" {:>6.2}% |", v * 100.0);
+        }
+        println!(" {:>10}", base.total_evictions());
+    }
+    print!("{:>12} |", "mean");
+    for s in &sums {
+        print!(" {:>6.2}% |", s / rows.len() as f64 * 100.0);
+    }
+    println!();
+    println!("\nPaper shape: lowest two levels >10% each, next two 1-10%, top levels <1%.");
+}

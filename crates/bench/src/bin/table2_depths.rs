@@ -1,0 +1,42 @@
+//! Table 2: Soteria metadata cloning depths for SRC and SAC across the
+//! nine-level (1 TB) tree, plus the WPQ-atomicity rationale for the cap
+//! at depth 5.
+//!
+//! ```text
+//! cargo run -p soteria-bench --bin table2_depths
+//! ```
+
+use soteria::clone::CloningPolicy;
+use soteria::layout::MAX_CLONE_DEPTH;
+use soteria::SecureMemoryConfig;
+
+fn main() {
+    soteria_bench::header("Table 2 — cloning depth per tree level (9-level / 1 TB tree)");
+    let levels = 9u8;
+    print!("{:>6} |", "scheme");
+    for l in 1..=levels {
+        print!(" {:>3}", format!("L{l}"));
+    }
+    println!();
+    println!("{}", "-".repeat(8 + 4 * levels as usize));
+    for policy in [CloningPolicy::Relaxed, CloningPolicy::Aggressive] {
+        print!("{:>6} |", policy.name());
+        for l in 1..=levels {
+            print!(" {:>3}", policy.depth(l, levels));
+        }
+        println!();
+    }
+    println!(
+        "\nMax depth {} is set by atomic WPQ commit: the minimum WPQ holds 8",
+        MAX_CLONE_DEPTH
+    );
+    println!("entries and a secure write already produces up to 3 (cipher, data MAC,");
+    println!("shadow log), so a clone group deeper than 5 could fail to commit");
+    println!("atomically across a crash (§3.2.1). The configuration layer enforces it:");
+    let err = SecureMemoryConfig::builder()
+        .cloning(CloningPolicy::Aggressive)
+        .wpq_entries(4)
+        .build()
+        .unwrap_err();
+    println!("  SAC with a 4-entry WPQ is rejected: {err}");
+}

@@ -1,0 +1,362 @@
+//! `soteria` — the command-line face of the Soteria secure-NVM simulator.
+//!
+//! ```text
+//! soteria info                          # configs (Tables 2/3/4), layout math
+//! soteria perf --workload pmemkv --ops 200000 --scheme sac --cores 4
+//! soteria campaign --fit 80 --iters 100000 [--ecc secded] [--tree bmt] [--scrub 24]
+//! soteria rare --fit 80 --samples 3000  # importance-sampled clone UDR
+//! soteria crash-demo --scheme src [--fault]
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::Args;
+use soteria::analysis::{ExpectedLossModel, TreeKind};
+use soteria::clone::CloningPolicy;
+use soteria::recovery::recover;
+use soteria::{DataAddr, SecureMemoryConfig, SecureMemoryController};
+use soteria_faultsim::{cluster_mtbf_hours, estimate_clone_udr, run_campaign, CampaignConfig};
+use soteria_simcpu::{System, SystemConfig};
+use soteria_workloads::{standard_suite, SuiteConfig, Workload};
+
+const USAGE: &str = "\
+soteria — resilient integrity-protected & encrypted NVM simulator (MICRO'21 reproduction)
+
+USAGE: soteria <command> [--option value ...]
+
+COMMANDS:
+  info                         print configurations and layout math
+  perf                         run a workload through the simulated system
+      --workload NAME          suite workload (default sps; try `soteria info`)
+      --ops N                  memory operations per core (default 100000)
+      --scheme S               baseline | src | sac (default src)
+      --cores N                co-running copies (default 1)
+  campaign                     Monte Carlo fault campaign (FaultSim-style)
+      --fit F                  FIT per chip (default 80)
+      --iters N                iterations (default 100000)
+      --ecc E                  secded | chipkill | double (default chipkill)
+      --tree T                 toc | bmt (default toc)
+      --scrub HOURS            patrol-scrub interval (default: off)
+  rare                         rare-event clone-UDR estimate
+      --fit F                  FIT per chip (default 80)
+      --samples N              samples per conditioned k (default 3000)
+  record                       capture a workload's memory trace to a file
+      --workload NAME          suite workload (default sps)
+      --ops N                  operations to record (default 100000)
+      --out PATH               output file (default workload.trace)
+  crash-demo                   write, crash, optionally break metadata, recover
+      --scheme S               baseline | src | sac (default src)
+      --fault                  inject a 2-chip fault into a counter block
+  help                         this text
+
+  perf also accepts --trace PATH to replay a recorded trace instead of a
+  suite workload.
+";
+
+fn scheme_of(name: &str) -> Result<CloningPolicy, String> {
+    match name {
+        "baseline" | "none" => Ok(CloningPolicy::None),
+        "src" | "relaxed" => Ok(CloningPolicy::Relaxed),
+        "sac" | "aggressive" => Ok(CloningPolicy::Aggressive),
+        other => Err(format!("unknown scheme '{other}' (baseline|src|sac)")),
+    }
+}
+
+fn cmd_info() {
+    println!("== Table 2: cloning depths (9-level / 1 TB tree) ==");
+    for policy in [CloningPolicy::Relaxed, CloningPolicy::Aggressive] {
+        let depths: Vec<String> = (1..=9).map(|l| policy.depth(l, 9).to_string()).collect();
+        println!("  {:>3}: L1..L9 = {}", policy.name(), depths.join(" "));
+    }
+    println!("\n== Table 3: simulated system ==");
+    println!("  4-core x86 2.67 GHz | L1 32kB/2w | L2 512kB/8w | LLC 8MB/64w");
+    println!("  PCM 150/300 ns | AES-CTR, 64-ary split counters | ToC arity 8");
+    println!("  metadata cache 512 kB 8-way");
+    println!("\n== Table 4: FaultSim DIMM ==");
+    println!("  18 chips (9/rank x 2) | 16 banks | 16384 rows | 4096 cols | Chipkill");
+    println!("\n== expected-loss amplification (Fig. 3 model) ==");
+    for cap in [16u64 << 30, 1 << 40, 4 << 40] {
+        let m = ExpectedLossModel::new(cap);
+        println!(
+            "  {:>5} GiB: {} levels, secure memory {:.1}x less resilient",
+            cap >> 30,
+            m.levels(),
+            m.amplification()
+        );
+    }
+    let suite = standard_suite(&SuiteConfig::default());
+    let names: Vec<&str> = suite.iter().map(|w| w.name()).collect();
+    println!("\n== workloads ==\n  {}", names.join(", "));
+}
+
+fn cmd_perf(args: &Args) -> Result<(), String> {
+    let name = args.get_or("workload", "sps").to_string();
+    let ops = args.get_num("ops", 100_000u64).map_err(|e| e.to_string())?;
+    let cores = args.get_num("cores", 1usize).map_err(|e| e.to_string())?;
+    let policy = scheme_of(args.get_or("scheme", "src"))?;
+    let suite_config = SuiteConfig {
+        footprint_bytes: 64 << 20,
+        seed: 0xda7a,
+    };
+    let mut instances: Vec<Box<dyn Workload>> = if let Some(trace_path) = args.get("trace") {
+        (0..cores)
+            .map(|_| {
+                soteria_workloads::trace::ReplayWorkload::open(trace_path)
+                    .map(|w| Box::new(w) as Box<dyn Workload>)
+                    .map_err(|e| format!("trace '{trace_path}': {e}"))
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        let available: Vec<String> = standard_suite(&suite_config)
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect();
+        if !available.iter().any(|n| n == &name) {
+            return Err(format!(
+                "unknown workload '{name}'; available: {available:?}"
+            ));
+        }
+        (0..cores)
+            .map(|i| {
+                let cfg = SuiteConfig {
+                    footprint_bytes: 64 << 20,
+                    seed: 0xda7a ^ i as u64,
+                };
+                standard_suite(&cfg)
+                    .into_iter()
+                    .find(|w| w.name() == name)
+                    .expect("validated above")
+            })
+            .collect()
+    };
+    let mut system = System::with_cores(SystemConfig::table3(policy, 64 << 20), cores);
+    let r = {
+        let mut refs: Vec<&mut dyn Workload> = instances
+            .iter_mut()
+            .map(|w| &mut **w as &mut dyn Workload)
+            .collect();
+        system.run_multi(&mut refs, ops)
+    };
+    println!(
+        "workload {} | scheme {} | {} cores | {} ops total",
+        r.workload, r.scheme, cores, r.ops
+    );
+    println!("cycles        : {}", r.cycles);
+    println!("NVM reads     : {}", r.nvm_reads);
+    println!("NVM writes    : {}", r.nvm_writes);
+    println!("evictions/op  : {:.3}%", r.evictions_per_op() * 100.0);
+    println!("md-cache miss : {:.2}%", r.metadata_miss_ratio * 100.0);
+    let stats = system.controller().stats();
+    println!(
+        "write breakdown: cipher {} | mac {} | shadow {} | evict {} | leaf-mac {} | clone {} | reenc {}",
+        stats.writes.cipher,
+        stats.writes.data_mac,
+        stats.writes.shadow,
+        stats.writes.eviction,
+        stats.writes.leaf_mac,
+        stats.writes.clone,
+        stats.writes.reencrypt,
+    );
+    Ok(())
+}
+
+fn cmd_campaign(args: &Args) -> Result<(), String> {
+    let fit = args.get_num("fit", 80.0f64).map_err(|e| e.to_string())?;
+    let iters = args
+        .get_num("iters", 100_000u64)
+        .map_err(|e| e.to_string())?;
+    let mut config = CampaignConfig::table4(fit);
+    config.iterations = iters;
+    config.correctable_chips = match args.get_or("ecc", "chipkill") {
+        "secded" => 0,
+        "chipkill" => 1,
+        "double" => 2,
+        other => return Err(format!("unknown ecc '{other}' (secded|chipkill|double)")),
+    };
+    config.tree = match args.get_or("tree", "toc") {
+        "toc" => TreeKind::Toc,
+        "bmt" => TreeKind::Bmt,
+        other => return Err(format!("unknown tree '{other}' (toc|bmt)")),
+    };
+    if let Some(s) = args.get("scrub") {
+        config.scrub_interval_hours =
+            Some(s.parse().map_err(|_| format!("bad scrub interval '{s}'"))?);
+    }
+    println!(
+        "FIT {fit}/chip -> 20k-node cluster MTBF {:.1} h | {iters} iterations | 5 years",
+        cluster_mtbf_hours(fit, 20_000, 4, 18)
+    );
+    let results = run_campaign(
+        &config,
+        &[
+            CloningPolicy::None,
+            CloningPolicy::Relaxed,
+            CloningPolicy::Aggressive,
+        ],
+    );
+    println!(
+        "{:>9} | {:>12} | {:>12} | {:>14}",
+        "scheme", "mean UDR", "L_error", "iters w/ UDR"
+    );
+    println!("{}", "-".repeat(58));
+    for r in &results {
+        println!(
+            "{:>9} | {:>12.3e} | {:>12.3e} | {:>14}",
+            r.policy.name(),
+            r.mean_udr,
+            r.mean_error_ratio,
+            r.iterations_with_udr
+        );
+    }
+    println!(
+        "({} of {} iterations saw faults; {} defeated the ECC somewhere)",
+        results[0].iterations_with_faults, results[0].iterations, results[0].iterations_with_ue
+    );
+    Ok(())
+}
+
+fn cmd_rare(args: &Args) -> Result<(), String> {
+    let fit = args.get_num("fit", 80.0f64).map_err(|e| e.to_string())?;
+    let samples = args
+        .get_num("samples", 3000u64)
+        .map_err(|e| e.to_string())?;
+    let config = CampaignConfig::table4(fit);
+    let results = estimate_clone_udr(
+        &config,
+        &[CloningPolicy::Relaxed, CloningPolicy::Aggressive],
+        samples,
+        5,
+    );
+    println!(
+        "conditioned on k >= 2 bank-scale faults (lambda = {:.4}), {samples} samples/k",
+        results[0].lambda_large
+    );
+    for r in &results {
+        println!("  {:>3}: UDR = {:.3e}", r.policy.name(), r.mean_udr);
+    }
+    Ok(())
+}
+
+fn cmd_crash_demo(args: &Args) -> Result<(), String> {
+    let policy = scheme_of(args.get_or("scheme", "src"))?;
+    let inject = args.has_flag("fault");
+    let config = SecureMemoryConfig::builder()
+        .capacity_bytes(1 << 20)
+        .metadata_cache(16 * 1024, 8)
+        .cloning(policy.clone())
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mut memory = SecureMemoryController::new(config);
+    println!("writing 128 lines under {} ...", policy.name());
+    for i in 0..128u64 {
+        memory
+            .write(
+                DataAddr::new(i * 64 % memory.layout().data_lines()),
+                &[i as u8; 64],
+            )
+            .map_err(|e| e.to_string())?;
+    }
+    println!("power loss!");
+    let mut image = memory.crash();
+    if inject {
+        println!("... and a two-chip uncorrectable error hits counter block L1[0] while down");
+        let layout = image.config().build_layout();
+        let target = layout.meta_addr(soteria::MetaId::new(1, 0));
+        let loc = image.device_mut().geometry().locate(target);
+        for chip in [1u32, 10] {
+            let g = *image.device_mut().geometry();
+            image
+                .device_mut()
+                .inject_fault(soteria_nvm::fault::FaultRecord::on_chip(
+                    &g,
+                    chip,
+                    soteria_nvm::fault::FaultFootprint::SingleWord {
+                        bank: loc.bank,
+                        row: loc.row,
+                        col: loc.col,
+                        beat: 0,
+                    },
+                    soteria_nvm::fault::FaultKind::Permanent,
+                ));
+        }
+    }
+    let (mut memory, report) = recover(image);
+    println!("recovery report:");
+    println!("  shadow root intact : {}", report.shadow_root_intact);
+    println!("  entries seen       : {}", report.entries_seen);
+    println!("  blocks restored    : {}", report.blocks_restored);
+    println!("  Osiris-recovered   : {}", report.counters_recovered);
+    println!("  clone repairs      : {}", report.clone_repairs);
+    println!("  stale entries      : {}", report.stale_entries);
+    println!(
+        "  unverifiable       : {} blocks / {} lines",
+        report.unverifiable.len(),
+        report.unverifiable_lines()
+    );
+    println!(
+        "  est. duration      : {:.3} ms",
+        report.estimated_duration_ns() as f64 / 1e6
+    );
+    let mut ok = 0;
+    let mut lost = 0;
+    for i in 0..128u64 {
+        match memory.read(DataAddr::new(i * 64 % memory.layout().data_lines())) {
+            Ok(line) if line == [i as u8; 64] => ok += 1,
+            _ => lost += 1,
+        }
+    }
+    println!("post-recovery readback: {ok} intact, {lost} lost");
+    if inject && policy == CloningPolicy::None {
+        println!("(the baseline loses the faulted block's coverage; rerun with --scheme src)");
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse(std::env::args().skip(1)).map_err(|e| e.to_string())?;
+    match args.command() {
+        None | Some("help") => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some("info") => {
+            cmd_info();
+            Ok(())
+        }
+        Some("perf") => cmd_perf(&args),
+        Some("record") => {
+            let name = args.get_or("workload", "sps").to_string();
+            let ops = args.get_num("ops", 100_000u64).map_err(|e| e.to_string())?;
+            let default_out = format!("{name}.trace");
+            let out = args.get_or("out", &default_out).to_string();
+            let cfg = SuiteConfig {
+                footprint_bytes: 64 << 20,
+                seed: 0xda7a,
+            };
+            let mut w = standard_suite(&cfg)
+                .into_iter()
+                .find(|w| w.name() == name)
+                .ok_or_else(|| format!("unknown workload '{name}'"))?;
+            soteria_workloads::trace::record(w.as_mut(), ops, &out)
+                .map_err(|e| e.to_string())?;
+            println!("recorded {ops} ops of {name} to {out}");
+            Ok(())
+        }
+        Some("campaign") => cmd_campaign(&args),
+        Some("rare") => cmd_rare(&args),
+        Some("crash-demo") => cmd_crash_demo(&args),
+        Some(other) => Err(format!("unknown command '{other}'; see `soteria help`")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

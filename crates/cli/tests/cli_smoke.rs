@@ -1,0 +1,99 @@
+//! End-to-end smoke tests of the `soteria` binary.
+
+use std::process::Command;
+
+fn soteria() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_soteria"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = soteria().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("crash-demo"));
+}
+
+#[test]
+fn info_lists_workloads_and_tables() {
+    let out = soteria().arg("info").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Table 2"));
+    assert!(text.contains("uBENCH16"));
+    assert!(text.contains("ycsb"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = soteria().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn perf_runs_a_small_workload() {
+    let out = soteria()
+        .args(["perf", "--workload", "queue", "--ops", "2000"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cycles"));
+    assert!(text.contains("write breakdown"));
+}
+
+#[test]
+fn perf_rejects_unknown_workload() {
+    let out = soteria()
+        .args(["perf", "--workload", "doom"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
+}
+
+#[test]
+fn crash_demo_with_fault_recovers_under_src() {
+    let out = soteria()
+        .args(["crash-demo", "--scheme", "src", "--fault"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("clone repairs      : 1"), "{text}");
+    assert!(text.contains("128 intact, 0 lost"), "{text}");
+}
+
+#[test]
+fn campaign_small_run_prints_schemes() {
+    let out = soteria()
+        .args(["campaign", "--fit", "200", "--iters", "2000"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Baseline"));
+    assert!(text.contains("SAC"));
+}
+
+#[test]
+fn record_then_replay_roundtrip() {
+    let trace = std::env::temp_dir().join(format!("cli_smoke_{}.trace", std::process::id()));
+    let out = soteria()
+        .args(["record", "--workload", "sps", "--ops", "3000", "--out"])
+        .arg(&trace)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = soteria()
+        .args(["perf", "--ops", "3000", "--trace"])
+        .arg(&trace)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("trace:"));
+    std::fs::remove_file(&trace).ok();
+}

@@ -1,0 +1,161 @@
+//! Soteria Metadata Cloning (SMC) policies — Table 2.
+//!
+//! The *depth* of a node is its total number of copies (original +
+//! clones). The paper evaluates two flavors:
+//!
+//! * **SRC** (Soteria Relaxed Cloning): depth 2 at every level.
+//! * **SAC** (Soteria Aggressive Cloning): depth grows toward the root —
+//!   2 for the two leaf-most levels (>10 % of evictions each, huge
+//!   population), 3 for the next two (1–10 % of evictions), 4 for the
+//!   rest, and 5 for the top level (the root's eight children, each
+//!   covering 12.5 % of memory). Depth is capped at 5 so a whole clone
+//!   group still commits atomically through a minimum-size (8-entry) WPQ
+//!   (§3.2.1).
+
+use crate::layout::MAX_CLONE_DEPTH;
+
+/// A metadata cloning policy.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum CloningPolicy {
+    /// No clones: the secure baseline (Anubis-style, paper reference 49).
+    #[default]
+    None,
+    /// SRC — one clone for every node.
+    Relaxed,
+    /// SAC — Table 2 depths, deeper toward the root.
+    Aggressive,
+    /// Explicit per-level depths (index 0 = L1/leaves). Levels beyond the
+    /// vector reuse its last entry. Values are clamped to
+    /// [`MAX_CLONE_DEPTH`].
+    Custom(Vec<u8>),
+}
+
+impl CloningPolicy {
+    /// Total copies (original included) for a node at `level` of a tree
+    /// with `levels` stored levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is 0 or above `levels`.
+    pub fn depth(&self, level: u8, levels: u8) -> u8 {
+        assert!(
+            level >= 1 && level <= levels,
+            "level {level} outside 1..={levels}"
+        );
+        match self {
+            CloningPolicy::None => 1,
+            CloningPolicy::Relaxed => 2,
+            CloningPolicy::Aggressive => {
+                if level == levels {
+                    // The root's immediate children: maximum redundancy.
+                    MAX_CLONE_DEPTH
+                } else {
+                    match level {
+                        1 | 2 => 2,
+                        3 | 4 => 3,
+                        _ => 4,
+                    }
+                }
+            }
+            CloningPolicy::Custom(depths) => {
+                let d = depths
+                    .get(level as usize - 1)
+                    .or(depths.last())
+                    .copied()
+                    .unwrap_or(1);
+                d.clamp(1, MAX_CLONE_DEPTH)
+            }
+        }
+    }
+
+    /// Extra clone copies at `level` (depth − 1).
+    pub fn extra_clones(&self, level: u8, levels: u8) -> u8 {
+        self.depth(level, levels) - 1
+    }
+
+    /// The deepest depth the policy ever requests for a tree of `levels`.
+    pub fn max_depth(&self, levels: u8) -> u8 {
+        (1..=levels)
+            .map(|l| self.depth(l, levels))
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Short scheme name as used in the figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CloningPolicy::None => "Baseline",
+            CloningPolicy::Relaxed => "SRC",
+            CloningPolicy::Aggressive => "SAC",
+            CloningPolicy::Custom(_) => "Custom",
+        }
+    }
+}
+
+impl std::fmt::Display for CloningPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_src_row() {
+        let p = CloningPolicy::Relaxed;
+        for level in 1..=9 {
+            assert_eq!(p.depth(level, 9), 2);
+        }
+    }
+
+    #[test]
+    fn table2_sac_row() {
+        // Table 2: L1..L9 = 2 2 3 3 4 4 4 4 5 for the 9-level (1 TB) tree.
+        let p = CloningPolicy::Aggressive;
+        let expected = [2, 2, 3, 3, 4, 4, 4, 4, 5];
+        for (level, &d) in (1..=9u8).zip(expected.iter()) {
+            assert_eq!(p.depth(level, 9), d, "level {level}");
+        }
+    }
+
+    #[test]
+    fn baseline_never_clones() {
+        let p = CloningPolicy::None;
+        for level in 1..=9 {
+            assert_eq!(p.extra_clones(level, 9), 0);
+        }
+        assert_eq!(p.max_depth(9), 1);
+    }
+
+    #[test]
+    fn sac_small_tree_top_is_five() {
+        let p = CloningPolicy::Aggressive;
+        assert_eq!(p.depth(3, 3), 5);
+        assert_eq!(p.depth(1, 3), 2);
+        assert_eq!(p.max_depth(3), 5);
+    }
+
+    #[test]
+    fn custom_clamps_and_extends() {
+        let p = CloningPolicy::Custom(vec![1, 3, 9]);
+        assert_eq!(p.depth(1, 5), 1);
+        assert_eq!(p.depth(2, 5), 3);
+        assert_eq!(p.depth(3, 5), MAX_CLONE_DEPTH); // clamped from 9
+        assert_eq!(p.depth(5, 5), MAX_CLONE_DEPTH); // extends last entry
+    }
+
+    #[test]
+    fn names_match_figures() {
+        assert_eq!(CloningPolicy::None.to_string(), "Baseline");
+        assert_eq!(CloningPolicy::Relaxed.to_string(), "SRC");
+        assert_eq!(CloningPolicy::Aggressive.to_string(), "SAC");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn level_validated() {
+        CloningPolicy::Relaxed.depth(0, 9);
+    }
+}

@@ -1,0 +1,403 @@
+//! Controller configuration (Tables 1–3 distilled into a builder).
+
+use soteria_crypto::{EncryptionKey, MacKey};
+
+use crate::clone::CloningPolicy;
+use crate::error::ConfigError;
+use crate::layout::{MemoryLayout, COUNTERS_PER_BLOCK};
+use crate::shadow::ShadowMode;
+
+/// How faithfully the controller models content.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Real AES/MAC over real stored codewords: functional + security
+    /// semantics (used by tests and the recovery path).
+    #[default]
+    Functional,
+    /// Content-free: all accesses, cache behaviour, evictions, clones and
+    /// write counts are modeled, but no cryptography is computed and the
+    /// device stores no payloads. Used by the performance simulator.
+    Timing,
+}
+
+/// When tree updates propagate to NVM (§2.5).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TreeUpdate {
+    /// Update parents only when a dirty block is evicted (the paper's
+    /// choice, Table 1) — needs Anubis shadow tracking for recovery.
+    #[default]
+    Lazy,
+    /// Propagate every counter update to the root immediately. The root
+    /// is always fresh (trivial recovery, no shadow writes) at the cost
+    /// of one writeback per tree level per store — the "extreme
+    /// slowdown" §2.5 warns about. Implemented for the ablation study.
+    Eager,
+    /// Triad-NVM [Awad et al., reference 5]: persist the tree strictly up
+    /// to `persist_levels` (1 = counters only), stay lazy above. Trades
+    /// write amplification against the amount of state recovery must
+    /// reconstruct.
+    Triad {
+        /// Levels (from the leaves) written through on every update.
+        persist_levels: u8,
+    },
+}
+
+/// Which in-memory ECC the underlying DIMM runs (§3.1 decoupling: Soteria
+/// works the same over any of these).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EccKind {
+    /// Chipkill-Correct (Table 4 default).
+    #[default]
+    Chipkill,
+    /// Double-chipkill (stronger-ECC ablation).
+    DoubleChipkill,
+    /// SEC-DED Hamming(72,64) (weaker-ECC ablation).
+    SecDed,
+}
+
+/// Full configuration of a secure memory controller.
+#[derive(Clone, Debug)]
+pub struct SecureMemoryConfig {
+    capacity_bytes: u64,
+    cache_bytes: u64,
+    cache_ways: usize,
+    wpq_entries: usize,
+    cloning: CloningPolicy,
+    shadow_mode: ShadowMode,
+    fidelity: Fidelity,
+    ecc: EccKind,
+    tree_update: TreeUpdate,
+    osiris_limit: u8,
+    encryption_key: EncryptionKey,
+    mac_key: MacKey,
+}
+
+impl SecureMemoryConfig {
+    /// Starts building a configuration.
+    pub fn builder() -> SecureMemoryConfigBuilder {
+        SecureMemoryConfigBuilder::default()
+    }
+
+    /// Protected capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Protected capacity in 64-byte lines.
+    pub fn data_lines(&self) -> u64 {
+        self.capacity_bytes / 64
+    }
+
+    /// Metadata-cache size in bytes.
+    pub fn cache_bytes(&self) -> u64 {
+        self.cache_bytes
+    }
+
+    /// Metadata-cache associativity.
+    pub fn cache_ways(&self) -> usize {
+        self.cache_ways
+    }
+
+    /// WPQ capacity in entries.
+    pub fn wpq_entries(&self) -> usize {
+        self.wpq_entries
+    }
+
+    /// The cloning policy.
+    pub fn cloning(&self) -> &CloningPolicy {
+        &self.cloning
+    }
+
+    /// Shadow-entry format.
+    pub fn shadow_mode(&self) -> ShadowMode {
+        self.shadow_mode
+    }
+
+    /// Modeling fidelity.
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
+    /// Underlying DIMM ECC.
+    pub fn ecc(&self) -> EccKind {
+        self.ecc
+    }
+
+    /// Tree update propagation scheme.
+    pub fn tree_update(&self) -> TreeUpdate {
+        self.tree_update
+    }
+
+    /// Osiris in-cache update limit per counter.
+    pub fn osiris_limit(&self) -> u8 {
+        self.osiris_limit
+    }
+
+    /// Memory-encryption key.
+    pub fn encryption_key(&self) -> EncryptionKey {
+        self.encryption_key
+    }
+
+    /// MAC key.
+    pub fn mac_key(&self) -> MacKey {
+        self.mac_key
+    }
+
+    /// Replaces both keys (used by the controller's key-rotation path so
+    /// that post-rotation crash images carry the keys the data is
+    /// actually encrypted under).
+    pub(crate) fn set_keys(&mut self, encryption: EncryptionKey, mac: MacKey) {
+        self.encryption_key = encryption;
+        self.mac_key = mac;
+    }
+
+    /// Builds the memory layout this configuration implies.
+    pub fn build_layout(&self) -> MemoryLayout {
+        let slots = self.cache_bytes / 64;
+        let levels = levels_for(self.data_lines());
+        let max_extra = self.cloning.max_depth(levels) - 1;
+        MemoryLayout::new(self.data_lines(), slots, max_extra)
+    }
+}
+
+fn levels_for(data_lines: u64) -> u8 {
+    let mut count = data_lines / COUNTERS_PER_BLOCK;
+    let mut levels = 1u8;
+    while count > crate::layout::TREE_ARITY {
+        count = count.div_ceil(crate::layout::TREE_ARITY);
+        levels += 1;
+    }
+    levels
+}
+
+/// Builder for [`SecureMemoryConfig`].
+#[derive(Clone, Debug)]
+pub struct SecureMemoryConfigBuilder {
+    capacity_bytes: u64,
+    cache_bytes: u64,
+    cache_ways: usize,
+    wpq_entries: usize,
+    cloning: CloningPolicy,
+    shadow_mode: ShadowMode,
+    fidelity: Fidelity,
+    ecc: EccKind,
+    tree_update: TreeUpdate,
+    osiris_limit: u8,
+    encryption_key: EncryptionKey,
+    mac_key: MacKey,
+}
+
+impl Default for SecureMemoryConfigBuilder {
+    fn default() -> Self {
+        Self {
+            capacity_bytes: 1 << 24, // 16 MiB: test-friendly default
+            cache_bytes: 512 * 1024, // Table 3
+            cache_ways: 8,
+            wpq_entries: 8, // conservative minimum (§3.2.1)
+            cloning: CloningPolicy::None,
+            shadow_mode: ShadowMode::Duplicated,
+            fidelity: Fidelity::Functional,
+            ecc: EccKind::Chipkill,
+            tree_update: TreeUpdate::Lazy,
+            osiris_limit: 4,
+            encryption_key: EncryptionKey::from_bytes([0x4b; 16]),
+            mac_key: MacKey::from_bytes([0x6d; 32]),
+        }
+    }
+}
+
+impl SecureMemoryConfigBuilder {
+    /// Sets the protected capacity (must be a power-of-two multiple of
+    /// 4 KiB).
+    pub fn capacity_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.capacity_bytes = bytes;
+        self
+    }
+
+    /// Sets the metadata-cache size and associativity.
+    pub fn metadata_cache(&mut self, bytes: u64, ways: usize) -> &mut Self {
+        self.cache_bytes = bytes;
+        self.cache_ways = ways;
+        self
+    }
+
+    /// Sets the WPQ capacity.
+    pub fn wpq_entries(&mut self, entries: usize) -> &mut Self {
+        self.wpq_entries = entries;
+        self
+    }
+
+    /// Sets the cloning policy (Baseline / SRC / SAC / custom).
+    pub fn cloning(&mut self, policy: CloningPolicy) -> &mut Self {
+        self.cloning = policy;
+        self
+    }
+
+    /// Sets the shadow-entry format.
+    pub fn shadow_mode(&mut self, mode: ShadowMode) -> &mut Self {
+        self.shadow_mode = mode;
+        self
+    }
+
+    /// Sets the modeling fidelity.
+    pub fn fidelity(&mut self, fidelity: Fidelity) -> &mut Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Sets the underlying ECC.
+    pub fn ecc(&mut self, ecc: EccKind) -> &mut Self {
+        self.ecc = ecc;
+        self
+    }
+
+    /// Sets the tree update propagation scheme.
+    pub fn tree_update(&mut self, update: TreeUpdate) -> &mut Self {
+        self.tree_update = update;
+        self
+    }
+
+    /// Sets the Osiris per-counter in-cache update limit.
+    pub fn osiris_limit(&mut self, limit: u8) -> &mut Self {
+        self.osiris_limit = limit.max(1);
+        self
+    }
+
+    /// Sets the encryption key.
+    pub fn encryption_key(&mut self, key: EncryptionKey) -> &mut Self {
+        self.encryption_key = key;
+        self
+    }
+
+    /// Sets the MAC key.
+    pub fn mac_key(&mut self, key: MacKey) -> &mut Self {
+        self.mac_key = key;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the capacity is not a power-of-two
+    /// multiple of 4 KiB, the cache cannot form power-of-two sets, or the
+    /// deepest clone group cannot commit atomically through the WPQ.
+    pub fn build(&self) -> Result<SecureMemoryConfig, ConfigError> {
+        let cap = self.capacity_bytes;
+        if cap == 0 || !cap.is_multiple_of(4096) || !(cap / 4096).is_power_of_two() {
+            return Err(ConfigError::InvalidCapacity {
+                capacity_bytes: cap,
+            });
+        }
+        let lines = self.cache_bytes / 64;
+        if self.cache_ways == 0
+            || lines < self.cache_ways as u64
+            || !(lines / self.cache_ways as u64).is_power_of_two()
+        {
+            return Err(ConfigError::InvalidCacheShape {
+                bytes: self.cache_bytes,
+                ways: self.cache_ways as u32,
+            });
+        }
+        let levels = levels_for(cap / 64);
+        let depth = self.cloning.max_depth(levels);
+        if depth as usize > self.wpq_entries {
+            return Err(ConfigError::CloneDepthExceedsWpq {
+                depth,
+                wpq_entries: self.wpq_entries,
+            });
+        }
+        Ok(SecureMemoryConfig {
+            capacity_bytes: self.capacity_bytes,
+            cache_bytes: self.cache_bytes,
+            cache_ways: self.cache_ways,
+            wpq_entries: self.wpq_entries,
+            cloning: self.cloning.clone(),
+            shadow_mode: self.shadow_mode,
+            fidelity: self.fidelity,
+            ecc: self.ecc,
+            tree_update: self.tree_update,
+            osiris_limit: self.osiris_limit,
+            encryption_key: self.encryption_key,
+            mac_key: self.mac_key,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_builds() {
+        let c = SecureMemoryConfig::builder().build().unwrap();
+        assert_eq!(c.capacity_bytes(), 1 << 24);
+        assert_eq!(c.wpq_entries(), 8);
+        assert_eq!(c.cloning(), &CloningPolicy::None);
+    }
+
+    #[test]
+    fn rejects_bad_capacity() {
+        for cap in [0u64, 1000, 4096 * 3] {
+            assert!(matches!(
+                SecureMemoryConfig::builder().capacity_bytes(cap).build(),
+                Err(ConfigError::InvalidCapacity { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_cache_shape() {
+        assert!(matches!(
+            SecureMemoryConfig::builder()
+                .metadata_cache(64 * 3, 1)
+                .build(),
+            Err(ConfigError::InvalidCacheShape { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_clone_depth_beyond_wpq() {
+        let err = SecureMemoryConfig::builder()
+            .capacity_bytes(1 << 24)
+            .cloning(CloningPolicy::Aggressive)
+            .wpq_entries(4)
+            .build();
+        assert!(matches!(
+            err,
+            Err(ConfigError::CloneDepthExceedsWpq { depth: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn sac_fits_minimum_wpq() {
+        // Table 2's cap at depth 5 exists exactly so the minimum 8-entry
+        // WPQ can commit a clone group atomically.
+        assert!(SecureMemoryConfig::builder()
+            .cloning(CloningPolicy::Aggressive)
+            .wpq_entries(8)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn layout_uses_policy_depth() {
+        let c = SecureMemoryConfig::builder()
+            .cloning(CloningPolicy::Aggressive)
+            .build()
+            .unwrap();
+        let layout = c.build_layout();
+        assert_eq!(layout.max_extra_clones(), 4);
+        let c = SecureMemoryConfig::builder().build().unwrap();
+        assert_eq!(c.build_layout().max_extra_clones(), 0);
+    }
+
+    #[test]
+    fn osiris_limit_floor_is_one() {
+        let c = SecureMemoryConfig::builder()
+            .osiris_limit(0)
+            .build()
+            .unwrap();
+        assert_eq!(c.osiris_limit(), 1);
+    }
+}

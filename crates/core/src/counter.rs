@@ -1,0 +1,233 @@
+//! Split-counter blocks: the leaves (L1) of the integrity tree.
+//!
+//! Following VAULT/Yan et al. (§2.4), one 64-byte block packs the
+//! encryption counters of a whole 4 KiB page: a 64-bit **major** counter
+//! plus 64 × 7-bit **minor** counters (64 + 448 = 512 bits exactly). The
+//! per-line encryption counter is `major * 128 + minor`.
+//!
+//! When a minor counter overflows, the major counter increments, all
+//! minors reset, and the controller must re-encrypt the whole page with
+//! the new major — the split-counter cost the paper discusses.
+//!
+//! # Example
+//!
+//! ```
+//! use soteria::counter::{BumpOutcome, CounterBlock};
+//!
+//! let mut block = CounterBlock::new();
+//! assert_eq!(block.bump(3), BumpOutcome::Bumped { counter: 1 });
+//! assert_eq!(block.counter(3), 1);
+//! assert_eq!(block.counter(4), 0);
+//! ```
+
+/// Minor counters per block (one per line of the page).
+pub const MINORS: usize = 64;
+/// Minor counter width in bits.
+pub const MINOR_BITS: u32 = 7;
+/// Exclusive upper bound of a minor counter.
+pub const MINOR_LIMIT: u8 = 1 << MINOR_BITS; // 128
+
+/// Result of bumping a minor counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BumpOutcome {
+    /// Minor incremented; `counter` is the new combined counter value.
+    Bumped {
+        /// New combined counter for the line.
+        counter: u64,
+    },
+    /// Minor would overflow: the block performed a major bump (major + 1,
+    /// all minors reset). The caller must re-encrypt the entire page under
+    /// the new counters. `counter` is the line's new combined counter.
+    PageReencrypt {
+        /// New combined counter for the line (after the major bump).
+        counter: u64,
+    },
+}
+
+/// A 64-ary split-counter block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterBlock {
+    major: u64,
+    minors: [u8; MINORS],
+}
+
+impl Default for CounterBlock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CounterBlock {
+    /// A fresh block: all counters zero.
+    pub fn new() -> Self {
+        Self {
+            major: 0,
+            minors: [0; MINORS],
+        }
+    }
+
+    /// The major counter.
+    pub fn major(&self) -> u64 {
+        self.major
+    }
+
+    /// The minor counter of `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 64`.
+    pub fn minor(&self, slot: usize) -> u8 {
+        self.minors[slot]
+    }
+
+    /// The combined encryption counter of `slot`.
+    ///
+    /// Wraps at 2^64 (reaching that would need 2^57 major bumps — never
+    /// in a device's lifetime; wrapping keeps the accessor total even on
+    /// corrupt deserialized blocks).
+    pub fn counter(&self, slot: usize) -> u64 {
+        self.major
+            .wrapping_mul(MINOR_LIMIT as u64)
+            .wrapping_add(self.minors[slot] as u64)
+    }
+
+    /// Increments the minor counter of `slot`.
+    ///
+    /// On overflow the block bumps its major, resets every minor and
+    /// reports [`BumpOutcome::PageReencrypt`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 64`.
+    pub fn bump(&mut self, slot: usize) -> BumpOutcome {
+        if self.minors[slot] + 1 == MINOR_LIMIT {
+            self.major += 1;
+            self.minors = [0; MINORS];
+            BumpOutcome::PageReencrypt {
+                counter: self.counter(slot),
+            }
+        } else {
+            self.minors[slot] += 1;
+            BumpOutcome::Bumped {
+                counter: self.counter(slot),
+            }
+        }
+    }
+
+    /// Serializes into a 64-byte line: major (8 B LE) then the 64 minors
+    /// packed 7 bits each (56 B).
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..8].copy_from_slice(&self.major.to_le_bytes());
+        let mut bitpos = 0usize;
+        for &m in &self.minors {
+            let byte = 8 + bitpos / 8;
+            let shift = bitpos % 8;
+            out[byte] |= m << shift;
+            if shift > 1 {
+                out[byte + 1] |= m >> (8 - shift);
+            }
+            bitpos += MINOR_BITS as usize;
+        }
+        out
+    }
+
+    /// Deserializes from a 64-byte line.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Self {
+        let major = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+        let mut minors = [0u8; MINORS];
+        let mut bitpos = 0usize;
+        for m in &mut minors {
+            let byte = 8 + bitpos / 8;
+            let shift = bitpos % 8;
+            let mut v = (bytes[byte] >> shift) as u16;
+            if shift > 1 {
+                v |= (bytes[byte + 1] as u16) << (8 - shift);
+            }
+            *m = (v & (MINOR_LIMIT as u16 - 1)) as u8;
+            bitpos += MINOR_BITS as usize;
+        }
+        Self { major, minors }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_block_is_zero() {
+        let b = CounterBlock::new();
+        for slot in 0..MINORS {
+            assert_eq!(b.counter(slot), 0);
+        }
+        assert_eq!(b.major(), 0);
+    }
+
+    #[test]
+    fn bump_increments_one_slot() {
+        let mut b = CounterBlock::new();
+        assert_eq!(b.bump(10), BumpOutcome::Bumped { counter: 1 });
+        assert_eq!(b.counter(10), 1);
+        assert_eq!(b.counter(11), 0);
+    }
+
+    #[test]
+    fn overflow_triggers_page_reencrypt() {
+        let mut b = CounterBlock::new();
+        for i in 1..=127 {
+            assert_eq!(b.bump(0), BumpOutcome::Bumped { counter: i });
+        }
+        // 128th bump overflows the 7-bit minor.
+        assert_eq!(b.bump(0), BumpOutcome::PageReencrypt { counter: 128 });
+        assert_eq!(b.major(), 1);
+        for slot in 0..MINORS {
+            assert_eq!(b.minor(slot), 0);
+        }
+    }
+
+    #[test]
+    fn counters_are_strictly_monotonic_across_overflow() {
+        let mut b = CounterBlock::new();
+        let mut last = 0;
+        for _ in 0..1000 {
+            let c = match b.bump(5) {
+                BumpOutcome::Bumped { counter } | BumpOutcome::PageReencrypt { counter } => counter,
+            };
+            assert!(c > last, "counter must never repeat ({c} after {last})");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut b = CounterBlock::new();
+        for slot in 0..MINORS {
+            for _ in 0..(slot % 7) {
+                b.bump(slot);
+            }
+        }
+        b.major = 0xdead_beef_1234;
+        let restored = CounterBlock::from_bytes(&b.to_bytes());
+        assert_eq!(restored, b);
+    }
+
+    #[test]
+    fn serialization_uses_all_64_bytes_distinctly() {
+        // Max-valued minors everywhere must round-trip (packing boundary
+        // conditions).
+        let mut b = CounterBlock::new();
+        b.minors = [MINOR_LIMIT - 1; MINORS];
+        b.major = u64::MAX;
+        assert_eq!(CounterBlock::from_bytes(&b.to_bytes()), b);
+    }
+
+    #[test]
+    fn distinct_slots_serialize_distinctly() {
+        let mut a = CounterBlock::new();
+        a.bump(0);
+        let mut b = CounterBlock::new();
+        b.bump(1);
+        assert_ne!(a.to_bytes(), b.to_bytes());
+    }
+}

@@ -1,0 +1,163 @@
+//! Error types for the secure memory controller.
+
+use crate::layout::MetaId;
+use crate::DataAddr;
+
+/// Errors produced while building a [`crate::SecureMemoryConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Capacity must be a power-of-two multiple of 4 KiB pages.
+    InvalidCapacity {
+        /// The rejected capacity.
+        capacity_bytes: u64,
+    },
+    /// The metadata cache must hold at least one set of the given ways.
+    InvalidCacheShape {
+        /// Requested cache bytes.
+        bytes: u64,
+        /// Requested associativity.
+        ways: u32,
+    },
+    /// The WPQ cannot atomically commit the deepest clone group.
+    CloneDepthExceedsWpq {
+        /// Deepest requested clone depth.
+        depth: u8,
+        /// WPQ capacity.
+        wpq_entries: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::InvalidCapacity { capacity_bytes } => {
+                write!(
+                    f,
+                    "capacity {capacity_bytes} is not a power-of-two multiple of 4096"
+                )
+            }
+            ConfigError::InvalidCacheShape { bytes, ways } => {
+                write!(
+                    f,
+                    "metadata cache of {bytes} bytes cannot form sets of {ways} ways"
+                )
+            }
+            ConfigError::CloneDepthExceedsWpq { depth, wpq_entries } => write!(
+                f,
+                "clone depth {depth} cannot commit atomically through a {wpq_entries}-entry WPQ"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Which metadata class an error touched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MetadataClass {
+    /// A split-counter block (tree leaf).
+    CounterBlock,
+    /// An intermediate ToC node.
+    TreeNode,
+    /// A data-MAC line.
+    DataMac,
+    /// An Anubis shadow-table entry.
+    ShadowEntry,
+}
+
+impl std::fmt::Display for MetadataClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MetadataClass::CounterBlock => "counter block",
+            MetadataClass::TreeNode => "tree node",
+            MetadataClass::DataMac => "data MAC",
+            MetadataClass::ShadowEntry => "shadow entry",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Runtime errors from the secure memory datapath.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemoryError {
+    /// Address beyond the protected capacity.
+    AddressOutOfRange {
+        /// The rejected address.
+        addr: DataAddr,
+        /// Number of addressable data lines.
+        lines: u64,
+    },
+    /// The data line itself had a detected uncorrectable ECC error
+    /// (contributes to `L_error` in Fig. 12).
+    DataUncorrectable {
+        /// The affected line.
+        addr: DataAddr,
+    },
+    /// A data-line MAC mismatch with healthy metadata: tampering (or
+    /// silent data corruption beyond ECC).
+    IntegrityViolation {
+        /// The affected line.
+        addr: DataAddr,
+    },
+    /// A metadata block was lost — uncorrectable in memory and, under
+    /// Soteria, every clone also failed. All data it covers becomes
+    /// unverifiable (contributes to `L_unverifiable`).
+    MetadataUnverifiable {
+        /// Which block was lost.
+        meta: MetaId,
+        /// Metadata class of the lost block.
+        class: MetadataClass,
+        /// Number of data lines rendered unverifiable.
+        covered_lines: u64,
+    },
+}
+
+impl std::fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemoryError::AddressOutOfRange { addr, lines } => {
+                write!(f, "{addr} out of range (capacity {lines} lines)")
+            }
+            MemoryError::DataUncorrectable { addr } => {
+                write!(f, "uncorrectable memory error in data {addr}")
+            }
+            MemoryError::IntegrityViolation { addr } => {
+                write!(f, "integrity verification failed for {addr}")
+            }
+            MemoryError::MetadataUnverifiable {
+                meta,
+                class,
+                covered_lines,
+            } => write!(
+                f,
+                "{class} {meta} lost; {covered_lines} data lines unverifiable"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = MemoryError::DataUncorrectable {
+            addr: DataAddr::new(5),
+        };
+        assert!(e.to_string().contains("uncorrectable"));
+        let e = ConfigError::InvalidCapacity {
+            capacity_bytes: 100,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemoryError>();
+        assert_send_sync::<ConfigError>();
+    }
+}

@@ -1,0 +1,555 @@
+//! Physical layout of data and security metadata in NVM.
+//!
+//! For a protected capacity of `N` 64-byte data lines the controller
+//! reserves, after the data region:
+//!
+//! * **data MACs** — one 64-bit MAC per data line, 8 per line (`N/8`),
+//! * **counter blocks** — 64-ary split counters, one block per 4 KiB page
+//!   (`N/64`); these are the **leaves (L1)** of the integrity tree,
+//! * **leaf MACs** — one 64-bit MAC per counter block (split-counter
+//!   blocks have no room for an embedded MAC),
+//! * **ToC levels L2..Ltop** — 8-ary Tree-of-Counters nodes, each level
+//!   1/8th the size of the one below, until a level has ≤ 8 nodes (their
+//!   parent is the on-chip root),
+//! * **shadow table** — one 64-byte Anubis entry per metadata-cache line,
+//! * **clone regions** — Soteria's mirrors: clone copy `c` of metadata
+//!   block `m` lives at `clone_base[c] + flat_index(m)`, far from the
+//!   original so no single row/column/bank fault covers both.
+//!
+//! The paper's storage accounting (§3.1): counters 1/64 ≈ 1.56 %, L2
+//! 1/512 ≈ 0.19 %, upper levels ≈ 0.02 %, ≈ 1.78 % in total for the ToC.
+
+use soteria_nvm::LineAddr;
+
+use crate::DataAddr;
+
+/// Data lines covered by one counter block (64-ary split counter).
+pub const COUNTERS_PER_BLOCK: u64 = 64;
+/// Arity of the ToC levels above the leaves.
+pub const TREE_ARITY: u64 = 8;
+/// 64-bit MACs per 64-byte line.
+pub const MACS_PER_LINE: u64 = 8;
+/// Maximum clone copies (including the original) Soteria supports; bounded
+/// by atomic WPQ commit (§3.2.1, Table 2 caps SAC at 5).
+pub const MAX_CLONE_DEPTH: u8 = 5;
+/// Line-sized column groups per DIMM row (the repo-wide geometry
+/// convention, see `soteria_nvm::geometry`).
+pub const COLS_PER_ROW: u64 = 1024;
+/// Banks per chip (geometry convention).
+pub const BANKS: u64 = 16;
+/// Lines per full row group (all banks of one row index).
+pub const ROW_GROUP: u64 = COLS_PER_ROW * BANKS;
+
+/// Identity of one metadata block in the integrity tree.
+///
+/// `level` 1 is the counter-block (leaf) level; higher levels are ToC
+/// nodes. `index` counts blocks within the level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetaId {
+    /// Tree level (1 = leaf counter blocks).
+    pub level: u8,
+    /// Block index within the level.
+    pub index: u64,
+}
+
+impl MetaId {
+    /// Creates a metadata identity.
+    pub fn new(level: u8, index: u64) -> Self {
+        Self { level, index }
+    }
+}
+
+impl std::fmt::Display for MetaId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}[{}]", self.level, self.index)
+    }
+}
+
+/// The memory map of one protected capacity.
+#[derive(Clone, Debug)]
+pub struct MemoryLayout {
+    data_lines: u64,
+    level_counts: Vec<u64>, // level_counts[0] = leaves (L1)
+    base_data_mac: u64,
+    base_leaf_mac: u64,
+    level_bases: Vec<u64>,
+    base_shadow: u64,
+    shadow_slots: u64,
+    // clone_level_bases[c][l-1] = base of extra copy c+1 of level l,
+    // placed so each copy lands in a different bank/column/row than the
+    // primary (fault independence, §3.2).
+    clone_level_bases: Vec<Vec<u64>>,
+    total_lines: u64,
+}
+
+fn align_row_group(x: u64) -> u64 {
+    x.div_ceil(ROW_GROUP) * ROW_GROUP
+}
+
+impl MemoryLayout {
+    /// Builds the layout for `data_lines` protected lines, `shadow_slots`
+    /// shadow entries (= metadata-cache lines) and up to
+    /// `max_extra_clones` mirror copies per metadata block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_lines` is not a positive multiple of 64 or
+    /// `max_extra_clones + 1 > MAX_CLONE_DEPTH`.
+    pub fn new(data_lines: u64, shadow_slots: u64, max_extra_clones: u8) -> Self {
+        assert!(
+            data_lines > 0 && data_lines.is_multiple_of(COUNTERS_PER_BLOCK),
+            "data lines must be a positive multiple of {COUNTERS_PER_BLOCK}"
+        );
+        assert!(
+            max_extra_clones < MAX_CLONE_DEPTH,
+            "clone depth limited to {MAX_CLONE_DEPTH} by WPQ atomicity"
+        );
+        let mut level_counts = vec![data_lines / COUNTERS_PER_BLOCK];
+        while *level_counts.last().expect("nonempty") > TREE_ARITY {
+            let next = level_counts.last().unwrap().div_ceil(TREE_ARITY);
+            level_counts.push(next);
+        }
+        let base_data_mac = data_lines;
+        let base_leaf_mac = base_data_mac + data_lines.div_ceil(MACS_PER_LINE);
+        let mut cursor = base_leaf_mac + level_counts[0].div_ceil(MACS_PER_LINE);
+        // Primary level bases are row-group aligned so that the clone
+        // skews below translate into *uniform* bank/column distances for
+        // every block of a level.
+        let mut level_bases = Vec::with_capacity(level_counts.len());
+        for &count in &level_counts {
+            cursor = align_row_group(cursor);
+            level_bases.push(cursor);
+            cursor += count;
+        }
+        let base_shadow = cursor;
+        cursor += shadow_slots;
+        // Clone copy c+1 of any block sits (c+1) banks away and ~67(c+1)
+        // columns away from the primary (and in a far-away row), so no
+        // single-row, single-column, single-bank or rank-shared-bank fault
+        // can cover a block together with one of its clones.
+        let mut clone_level_bases = Vec::new();
+        for c in 0..max_extra_clones as u64 {
+            let skew = (c + 1) * COLS_PER_ROW + 67 * (c + 1);
+            let mut bases = Vec::with_capacity(level_counts.len());
+            for &count in &level_counts {
+                cursor = align_row_group(cursor) + skew;
+                bases.push(cursor);
+                cursor += count;
+            }
+            clone_level_bases.push(bases);
+        }
+        Self {
+            data_lines,
+            level_counts,
+            base_data_mac,
+            base_leaf_mac,
+            level_bases,
+            base_shadow,
+            shadow_slots,
+            clone_level_bases,
+            total_lines: cursor,
+        }
+    }
+
+    /// Number of protected data lines.
+    pub fn data_lines(&self) -> u64 {
+        self.data_lines
+    }
+
+    /// Protected capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.data_lines * 64
+    }
+
+    /// Number of tree levels stored in memory (L1 = leaves included; the
+    /// root is on-chip and not counted, matching the paper's "9 levels
+    /// excluding the root").
+    pub fn levels(&self) -> u8 {
+        self.level_counts.len() as u8
+    }
+
+    /// Number of blocks in `level` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is 0 or above the top level.
+    pub fn level_count(&self, level: u8) -> u64 {
+        assert!(
+            level >= 1 && level <= self.levels(),
+            "level {level} out of range"
+        );
+        self.level_counts[level as usize - 1]
+    }
+
+    /// Total NVM lines the layout occupies (data + all metadata).
+    pub fn total_lines(&self) -> u64 {
+        self.total_lines
+    }
+
+    /// Number of shadow-table slots.
+    pub fn shadow_slots(&self) -> u64 {
+        self.shadow_slots
+    }
+
+    /// Maximum extra clone copies the layout reserves space for.
+    pub fn max_extra_clones(&self) -> u8 {
+        self.clone_level_bases.len() as u8
+    }
+
+    /// The counter block (L1 leaf) protecting a data line.
+    pub fn counter_block_of(&self, addr: DataAddr) -> MetaId {
+        MetaId::new(1, addr.index() / COUNTERS_PER_BLOCK)
+    }
+
+    /// Which of the 64 counters within its block a data line uses.
+    pub fn counter_slot_of(&self, addr: DataAddr) -> usize {
+        (addr.index() % COUNTERS_PER_BLOCK) as usize
+    }
+
+    /// The parent of a metadata block, or `None` for top-level blocks
+    /// (whose parent is the on-chip root).
+    pub fn parent_of(&self, meta: MetaId) -> Option<MetaId> {
+        if meta.level >= self.levels() {
+            None
+        } else {
+            Some(MetaId::new(meta.level + 1, meta.index / TREE_ARITY))
+        }
+    }
+
+    /// Which child slot (0..8) `meta` occupies in its parent (or in the
+    /// root for top-level blocks).
+    pub fn child_slot(&self, meta: MetaId) -> usize {
+        (meta.index % TREE_ARITY) as usize
+    }
+
+    /// NVM address of a metadata block's primary copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `meta` is outside the tree.
+    pub fn meta_addr(&self, meta: MetaId) -> LineAddr {
+        let count = self.level_count(meta.level);
+        assert!(meta.index < count, "{meta} beyond level size {count}");
+        LineAddr::new(self.level_bases[meta.level as usize - 1] + meta.index)
+    }
+
+    /// NVM address of clone copy `clone_no` (1-based) of a metadata block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clone_no` is 0 or beyond the reserved clone regions.
+    pub fn clone_addr(&self, meta: MetaId, clone_no: u8) -> LineAddr {
+        assert!(
+            clone_no >= 1 && (clone_no as usize) <= self.clone_level_bases.len(),
+            "clone {clone_no} beyond reserved regions"
+        );
+        let count = self.level_count(meta.level);
+        assert!(meta.index < count, "{meta} beyond level size {count}");
+        LineAddr::new(
+            self.clone_level_bases[clone_no as usize - 1][meta.level as usize - 1] + meta.index,
+        )
+    }
+
+    /// NVM line and byte offset holding the 64-bit MAC of a data line.
+    pub fn data_mac_slot(&self, addr: DataAddr) -> (LineAddr, usize) {
+        let line = self.base_data_mac + addr.index() / MACS_PER_LINE;
+        let offset = (addr.index() % MACS_PER_LINE) as usize * 8;
+        (LineAddr::new(line), offset)
+    }
+
+    /// NVM line and byte offset holding the 64-bit MAC of a counter block.
+    pub fn leaf_mac_slot(&self, leaf_index: u64) -> (LineAddr, usize) {
+        let line = self.base_leaf_mac + leaf_index / MACS_PER_LINE;
+        let offset = (leaf_index % MACS_PER_LINE) as usize * 8;
+        (LineAddr::new(line), offset)
+    }
+
+    /// NVM address of a data line (identity mapping: data occupies the
+    /// bottom of the device).
+    pub fn data_line_addr(&self, addr: DataAddr) -> LineAddr {
+        LineAddr::new(addr.index())
+    }
+
+    /// NVM address of shadow-table slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= shadow_slots`.
+    pub fn shadow_slot_addr(&self, slot: u64) -> LineAddr {
+        assert!(slot < self.shadow_slots, "shadow slot {slot} out of range");
+        LineAddr::new(self.base_shadow + slot)
+    }
+
+    /// Number of data lines a metadata block covers (the blast radius of
+    /// losing it — §2.7).
+    pub fn covered_data_lines(&self, meta: MetaId) -> u64 {
+        let per_block = COUNTERS_PER_BLOCK * TREE_ARITY.pow(meta.level as u32 - 1);
+        let start = meta.index * per_block;
+        if start >= self.data_lines {
+            0
+        } else {
+            per_block.min(self.data_lines - start)
+        }
+    }
+
+    /// The range of data lines a metadata block covers: `(first, count)`.
+    pub fn covered_data_range(&self, meta: MetaId) -> (DataAddr, u64) {
+        let per_block = COUNTERS_PER_BLOCK * TREE_ARITY.pow(meta.level as u32 - 1);
+        let start = meta.index * per_block;
+        (
+            DataAddr::new(start.min(self.data_lines)),
+            self.covered_data_lines(meta),
+        )
+    }
+
+    /// Iterates over every metadata block of every level, bottom-up.
+    pub fn iter_meta(&self) -> impl Iterator<Item = MetaId> + '_ {
+        (1..=self.levels()).flat_map(move |level| {
+            (0..self.level_count(level)).map(move |index| MetaId::new(level, index))
+        })
+    }
+
+    /// Classifies an NVM line address back to the region it belongs to
+    /// (useful for resilience accounting).
+    pub fn classify(&self, addr: LineAddr) -> Region {
+        let idx = addr.index();
+        if idx < self.data_lines {
+            return Region::Data(DataAddr::new(idx));
+        }
+        if idx < self.base_leaf_mac {
+            return Region::DataMac;
+        }
+        if idx < self.base_leaf_mac + self.level_counts[0].div_ceil(MACS_PER_LINE) {
+            return Region::LeafMac;
+        }
+        for level in (1..=self.levels()).rev() {
+            let base = self.level_bases[level as usize - 1];
+            if idx >= base && idx < base + self.level_count(level) {
+                return Region::Meta(MetaId::new(level, idx - base));
+            }
+        }
+        if idx >= self.base_shadow && idx < self.base_shadow + self.shadow_slots {
+            return Region::Shadow(idx - self.base_shadow);
+        }
+        for (c, bases) in self.clone_level_bases.iter().enumerate() {
+            for level in 1..=self.levels() {
+                let base = bases[level as usize - 1];
+                if idx >= base && idx < base + self.level_count(level) {
+                    return Region::Clone {
+                        meta: MetaId::new(level, idx - base),
+                        clone_no: c as u8 + 1,
+                    };
+                }
+            }
+        }
+        Region::Unmapped
+    }
+}
+
+/// What an NVM line address holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// A protected data line.
+    Data(DataAddr),
+    /// Part of the data-MAC array.
+    DataMac,
+    /// Part of the leaf-MAC array.
+    LeafMac,
+    /// A tree metadata block (counter block or ToC node).
+    Meta(MetaId),
+    /// A shadow-table slot.
+    Shadow(u64),
+    /// A clone copy of a metadata block.
+    Clone {
+        /// Which block this clones.
+        meta: MetaId,
+        /// Which copy (1-based).
+        clone_no: u8,
+    },
+    /// Reserved / outside the layout.
+    Unmapped,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> MemoryLayout {
+        // 1 MiB protected: 16384 data lines, 256 counter blocks,
+        // L2 = 32, L3 = 4 (top, parent = root).
+        MemoryLayout::new(16384, 128, 4)
+    }
+
+    #[test]
+    fn level_structure() {
+        let l = layout();
+        assert_eq!(l.levels(), 3);
+        assert_eq!(l.level_count(1), 256);
+        assert_eq!(l.level_count(2), 32);
+        assert_eq!(l.level_count(3), 4);
+    }
+
+    #[test]
+    fn sixteen_gib_has_eight_levels() {
+        let l = MemoryLayout::new((16u64 << 30) / 64, 8192, 1);
+        assert_eq!(l.levels(), 8);
+        assert_eq!(l.level_count(1), 1 << 22);
+        assert_eq!(l.level_count(8), 2);
+    }
+
+    #[test]
+    fn one_tib_level_counts_match_table2_scale() {
+        let l = MemoryLayout::new((1u64 << 40) / 64, 8192, 4);
+        // 2^28 counter blocks, then /8 per level until <= 8.
+        assert_eq!(l.level_count(1), 1 << 28);
+        assert_eq!(l.level_count(2), 1 << 25);
+        assert_eq!(*l.level_counts.last().unwrap(), 2);
+    }
+
+    #[test]
+    fn parent_child_relations() {
+        let l = layout();
+        let leaf = MetaId::new(1, 100);
+        let parent = l.parent_of(leaf).unwrap();
+        assert_eq!(parent, MetaId::new(2, 12));
+        assert_eq!(l.child_slot(leaf), 4);
+        let top = MetaId::new(3, 2);
+        assert_eq!(l.parent_of(top), None);
+        assert_eq!(l.child_slot(top), 2);
+    }
+
+    #[test]
+    fn counter_block_mapping() {
+        let l = layout();
+        let d = DataAddr::new(200);
+        assert_eq!(l.counter_block_of(d), MetaId::new(1, 3));
+        assert_eq!(l.counter_slot_of(d), 8);
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let l = layout();
+        let mut kinds = std::collections::HashMap::new();
+        for idx in 0..l.total_lines() {
+            let r = l.classify(LineAddr::new(idx));
+            // Alignment padding is allowed to be unmapped; everything that
+            // classifies must classify uniquely (checked by construction:
+            // classify returns the first matching region).
+            *kinds.entry(std::mem::discriminant(&r)).or_insert(0u64) += 1;
+        }
+        // data + mac + leaf-mac + meta + shadow + clones all present.
+        assert!(kinds.len() >= 6);
+    }
+
+    #[test]
+    fn clones_live_in_distinct_banks_and_columns() {
+        // The fault-independence guarantee of §3.2: for every block and
+        // every clone copy, bank AND column differ from the primary.
+        let l = layout();
+        let bank_of = |idx: u64| (idx / COLS_PER_ROW) % BANKS;
+        let col_of = |idx: u64| idx % COLS_PER_ROW;
+        for meta in l.iter_meta() {
+            let p = l.meta_addr(meta).index();
+            for c in 1..=l.max_extra_clones() {
+                let q = l.clone_addr(meta, c).index();
+                assert_ne!(bank_of(p), bank_of(q), "{meta} clone {c} shares a bank");
+                assert_ne!(col_of(p), col_of(q), "{meta} clone {c} shares a column");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_clone_copies_never_share_a_bank() {
+        // Different copies of the same block must also be pairwise
+        // bank-disjoint, or one bank fault could take out two copies.
+        let l = layout();
+        let bank_of = |idx: u64| (idx / COLS_PER_ROW) % BANKS;
+        for meta in [MetaId::new(1, 0), MetaId::new(2, 31), MetaId::new(3, 3)] {
+            let mut banks = vec![bank_of(l.meta_addr(meta).index())];
+            for c in 1..=l.max_extra_clones() {
+                banks.push(bank_of(l.clone_addr(meta, c).index()));
+            }
+            let set: std::collections::HashSet<_> = banks.iter().collect();
+            assert_eq!(set.len(), banks.len(), "{meta}: {banks:?}");
+        }
+    }
+
+    #[test]
+    fn meta_and_clone_addresses_roundtrip_via_classify() {
+        let l = layout();
+        for meta in [
+            MetaId::new(1, 0),
+            MetaId::new(1, 255),
+            MetaId::new(2, 31),
+            MetaId::new(3, 3),
+        ] {
+            assert_eq!(l.classify(l.meta_addr(meta)), Region::Meta(meta));
+            for c in 1..=4u8 {
+                assert_eq!(
+                    l.classify(l.clone_addr(meta, c)),
+                    Region::Clone { meta, clone_no: c }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_shrinks_down_the_tree() {
+        let l = layout();
+        assert_eq!(l.covered_data_lines(MetaId::new(1, 0)), 64);
+        assert_eq!(l.covered_data_lines(MetaId::new(2, 0)), 512);
+        assert_eq!(l.covered_data_lines(MetaId::new(3, 0)), 4096);
+    }
+
+    #[test]
+    fn coverage_clamps_at_capacity() {
+        // 3 levels for 16384 lines: top covers 4096 each, 4 nodes cover it
+        // exactly; a hypothetical partial top node would clamp.
+        let l = MemoryLayout::new(4096 + 64, 16, 0); // 65 leaves -> L2 = 9 -> L3 = 2
+        assert_eq!(l.covered_data_lines(MetaId::new(3, 0)), 4096);
+        // The second top node covers only the 64-line remainder.
+        assert_eq!(l.covered_data_lines(MetaId::new(3, 1)), 64);
+    }
+
+    #[test]
+    fn mac_slots_pack_eight_per_line() {
+        let l = layout();
+        let (line0, off0) = l.data_mac_slot(DataAddr::new(0));
+        let (line7, off7) = l.data_mac_slot(DataAddr::new(7));
+        let (line8, _) = l.data_mac_slot(DataAddr::new(8));
+        assert_eq!(line0, line7);
+        assert_eq!(off0, 0);
+        assert_eq!(off7, 56);
+        assert_eq!(line8.index(), line0.index() + 1);
+    }
+
+    #[test]
+    fn storage_overhead_matches_paper() {
+        // §3.1: counters 1/64, tree ~0.22%, total ToC ~1.78% of capacity.
+        let l = MemoryLayout::new((16u64 << 30) / 64, 8192, 0);
+        let meta_lines: u64 = (1..=l.levels()).map(|lv| l.level_count(lv)).sum();
+        let overhead = meta_lines as f64 / l.data_lines() as f64;
+        assert!((overhead - 0.0178).abs() < 0.001, "overhead {overhead}");
+    }
+
+    #[test]
+    fn iter_meta_visits_every_block_once() {
+        let l = layout();
+        let all: Vec<_> = l.iter_meta().collect();
+        assert_eq!(all.len(), 256 + 32 + 4);
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 64")]
+    fn data_lines_validated() {
+        let _ = MemoryLayout::new(100, 16, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "WPQ atomicity")]
+    fn clone_depth_validated() {
+        let _ = MemoryLayout::new(4096, 16, 5);
+    }
+}

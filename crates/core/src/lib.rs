@@ -1,0 +1,134 @@
+#![warn(missing_docs)]
+
+//! **Soteria** — a resilient, integrity-protected and encrypted NVM
+//! memory controller (reproduction of Zubair, Gurumurthi, Sridharan &
+//! Awad, MICRO 2021).
+//!
+//! Security metadata — counter-mode encryption counters and the nodes of
+//! a Tree-of-Counters (ToC) integrity tree — lives in the NVM it
+//! protects, and a single uncorrectable error in an upper tree node can
+//! render gigabytes of data unverifiable (§2.7, Fig. 3). Soteria fixes
+//! this by **lazily cloning** metadata blocks when they are evicted from
+//! the metadata cache: one clone everywhere (SRC) or progressively more
+//! clones toward the root (SAC, Table 2), committed atomically through
+//! the WPQ. The reliability of security metadata is thereby decoupled
+//! from the DIMM's own ECC.
+//!
+//! # Crate map
+//!
+//! | module | paper concept |
+//! |---|---|
+//! | [`controller`] | the secure memory controller datapath (Fig. 7) |
+//! | [`counter`] | 64-ary split-counter blocks (§2.4) |
+//! | [`morphable`] | 128-ary morphable counters, Saileshwar et al. (§2.4) |
+//! | [`toc`] | 8-ary ToC nodes with embedded MACs (Fig. 2) |
+//! | [`layout`] | metadata + clone memory map (§3.1) |
+//! | [`mdcache`] | 512 kB write-back metadata cache (Table 3) |
+//! | [`shadow`] | Anubis shadow table, duplicated entries (Fig. 8) |
+//! | [`clone`] | SRC/SAC cloning policies (Table 2) |
+//! | [`recovery`] | Anubis + Osiris crash recovery (§2.6, Table 1) |
+//! | [`analysis`] | expected loss (Fig. 3) and UDR (Figs. 11–12) |
+//! | [`stats`] | eviction/write accounting (Figs. 4, 10) |
+//!
+//! # Quick start
+//!
+//! ```
+//! use soteria::{CloningPolicy, DataAddr, SecureMemoryConfig, SecureMemoryController};
+//!
+//! let config = SecureMemoryConfig::builder()
+//!     .capacity_bytes(1 << 20)
+//!     .metadata_cache(8 * 1024, 4)
+//!     .cloning(CloningPolicy::Relaxed) // SRC
+//!     .build()?;
+//! let mut memory = SecureMemoryController::new(config);
+//! memory.write(DataAddr::new(0), &[42u8; 64])?;
+//! assert_eq!(memory.read(DataAddr::new(0))?[0], 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod analysis;
+pub mod clone;
+pub mod config;
+pub mod controller;
+pub mod counter;
+pub mod error;
+pub mod layout;
+pub mod mdcache;
+pub mod morphable;
+pub mod recovery;
+pub mod shadow;
+pub mod stats;
+pub mod toc;
+
+pub use clone::CloningPolicy;
+pub use config::{EccKind, Fidelity, SecureMemoryConfig};
+pub use controller::SecureMemoryController;
+pub use error::{ConfigError, MemoryError};
+pub use layout::{MemoryLayout, MetaId};
+pub use recovery::{recover, CrashImage, RecoveryReport};
+pub use stats::ControllerStats;
+
+/// The index of a 64-byte line within the *protected data* address space
+/// (distinct from [`soteria_nvm::LineAddr`], which addresses the physical
+/// device including metadata regions).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DataAddr(u64);
+
+impl DataAddr {
+    /// Creates a data address from a line index.
+    pub fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Creates a data address from a byte address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byte_addr` is not 64-byte aligned.
+    pub fn from_byte_addr(byte_addr: u64) -> Self {
+        assert!(
+            byte_addr.is_multiple_of(64),
+            "byte address {byte_addr:#x} is not line-aligned"
+        );
+        Self(byte_addr / 64)
+    }
+
+    /// The line index.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the line start.
+    pub fn byte_addr(self) -> u64 {
+        self.0 * 64
+    }
+}
+
+impl std::fmt::Display for DataAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "data line {:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_addr_roundtrip() {
+        let a = DataAddr::from_byte_addr(4096);
+        assert_eq!(a.index(), 64);
+        assert_eq!(a.byte_addr(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "not line-aligned")]
+    fn unaligned_rejected() {
+        let _ = DataAddr::from_byte_addr(100);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!DataAddr::new(1).to_string().is_empty());
+    }
+}

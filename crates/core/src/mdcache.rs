@@ -1,0 +1,417 @@
+//! The on-chip metadata cache (Table 3: 512 kB, 8-way, write-back).
+//!
+//! Counter blocks and ToC nodes are cached together. The cache is
+//! write-back: a block updated in the cache is **not** written to NVM
+//! until evicted — the lazy-update scheme whose eviction rate (Fig. 4 /
+//! Fig. 10c) determines Soteria's entire cost.
+//!
+//! Each (set, way) slot has a fixed index that doubles as the Anubis
+//! shadow-table slot for whatever block occupies it.
+
+use soteria_nvm::LineAddr;
+
+use crate::layout::MetaId;
+
+/// A metadata block resident in the cache.
+#[derive(Clone, Debug)]
+pub struct CachedBlock {
+    /// Which tree block this is.
+    pub meta: MetaId,
+    /// Serialized 64-byte content.
+    pub data: [u8; 64],
+    /// Modified since fetch (write-back pending).
+    pub dirty: bool,
+    /// Per-slot update counts since the last writeback (Osiris bounds
+    /// counter trials by bounding in-cache updates). Only meaningful for
+    /// leaf counter blocks.
+    pub slot_updates: [u8; 64],
+}
+
+impl CachedBlock {
+    /// Wraps freshly fetched (clean) content.
+    pub fn clean(meta: MetaId, data: [u8; 64]) -> Self {
+        Self {
+            meta,
+            data,
+            dirty: false,
+            slot_updates: [0; 64],
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    addr: LineAddr,
+    block: CachedBlock,
+    last_use: u64,
+}
+
+/// A block evicted to make room, together with its former shadow slot.
+#[derive(Clone, Debug)]
+pub struct Evicted {
+    /// NVM address of the block's primary copy.
+    pub addr: LineAddr,
+    /// The block content and state.
+    pub block: CachedBlock,
+    /// The shadow slot it occupied.
+    pub slot: u64,
+}
+
+/// Hit/miss statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Dirty evictions.
+    pub dirty_evictions: u64,
+    /// Clean evictions.
+    pub clean_evictions: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio over all lookups (0 when no lookups yet).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// Set-associative write-back metadata cache with LRU replacement.
+#[derive(Clone, Debug)]
+pub struct MetadataCache {
+    sets: Vec<Vec<Option<Entry>>>,
+    ways: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl MetadataCache {
+    /// Creates a cache of `capacity_bytes` with `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the capacity forms at least one power-of-two set.
+    pub fn new(capacity_bytes: u64, ways: usize) -> Self {
+        let lines = capacity_bytes / 64;
+        assert!(
+            ways > 0 && lines >= ways as u64,
+            "cache too small for {ways} ways"
+        );
+        let sets = (lines / ways as u64) as usize;
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
+        Self {
+            sets: vec![vec![None; ways]; sets],
+            ways,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Table 3 configuration: 512 kB, 8-way.
+    pub fn table3() -> Self {
+        Self::new(512 * 1024, 8)
+    }
+
+    /// Number of sets.
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total slots (= Anubis shadow-table size).
+    pub fn slots(&self) -> u64 {
+        (self.sets.len() * self.ways) as u64
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_of(&self, addr: LineAddr) -> usize {
+        (addr.index() % self.sets.len() as u64) as usize
+    }
+
+    /// The shadow slot a resident block occupies, if cached.
+    pub fn slot_of(&self, addr: LineAddr) -> Option<u64> {
+        let set = self.set_of(addr);
+        self.sets[set]
+            .iter()
+            .position(|e| e.as_ref().is_some_and(|e| e.addr == addr))
+            .map(|way| (set * self.ways + way) as u64)
+    }
+
+    /// Returns `true` if `addr` is resident (without touching LRU state).
+    pub fn contains(&self, addr: LineAddr) -> bool {
+        self.slot_of(addr).is_some()
+    }
+
+    /// Looks up a block, updating LRU and hit/miss statistics.
+    pub fn lookup(&mut self, addr: LineAddr) -> Option<&mut CachedBlock> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(addr);
+        let found = self.sets[set].iter_mut().flatten().find(|e| e.addr == addr);
+        match found {
+            Some(e) => {
+                e.last_use = tick;
+                self.stats.hits += 1;
+                Some(&mut e.block)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks at a block without LRU/stat side effects.
+    pub fn peek(&self, addr: LineAddr) -> Option<&CachedBlock> {
+        let set = self.set_of(addr);
+        self.sets[set]
+            .iter()
+            .flatten()
+            .find(|e| e.addr == addr)
+            .map(|e| &e.block)
+    }
+
+    /// Mutably peeks at a block without LRU/stat side effects.
+    pub fn peek_mut(&mut self, addr: LineAddr) -> Option<&mut CachedBlock> {
+        let set = self.set_of(addr);
+        self.sets[set]
+            .iter_mut()
+            .flatten()
+            .find(|e| e.addr == addr)
+            .map(|e| &mut e.block)
+    }
+
+    /// Inserts a block, evicting the LRU non-pinned entry if the set is
+    /// full. Returns the occupied shadow slot and the evicted entry (if
+    /// any).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is already resident, or if every way of the set is
+    /// pinned (cannot happen when pins are bounded by tree depth and the
+    /// associativity covers it — asserted rather than silently mishandled).
+    pub fn insert(
+        &mut self,
+        addr: LineAddr,
+        block: CachedBlock,
+        pinned: &[LineAddr],
+    ) -> (u64, Option<Evicted>) {
+        assert!(!self.contains(addr), "{addr} already cached");
+        self.tick += 1;
+        let set = self.set_of(addr);
+        // Prefer an empty way.
+        if let Some(way) = self.sets[set].iter().position(Option::is_none) {
+            self.sets[set][way] = Some(Entry {
+                addr,
+                block,
+                last_use: self.tick,
+            });
+            return ((set * self.ways + way) as u64, None);
+        }
+        // Evict the least recently used way that is not pinned.
+        let victim_way = self.sets[set]
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                let e = e.as_ref().expect("set is full");
+                !pinned.contains(&e.addr)
+            })
+            .min_by_key(|(_, e)| e.as_ref().expect("set is full").last_use)
+            .map(|(w, _)| w)
+            .expect("at least one unpinned way (pins bounded by tree depth)");
+        let old = self.sets[set][victim_way]
+            .replace(Entry {
+                addr,
+                block,
+                last_use: self.tick,
+            })
+            .expect("victim exists");
+        if old.block.dirty {
+            self.stats.dirty_evictions += 1;
+        } else {
+            self.stats.clean_evictions += 1;
+        }
+        let slot = (set * self.ways + victim_way) as u64;
+        (
+            slot,
+            Some(Evicted {
+                addr: old.addr,
+                block: old.block,
+                slot,
+            }),
+        )
+    }
+
+    /// Removes and returns a resident block (used by flush/crash paths).
+    pub fn remove(&mut self, addr: LineAddr) -> Option<CachedBlock> {
+        let set = self.set_of(addr);
+        for way in 0..self.ways {
+            if self.sets[set][way].as_ref().is_some_and(|e| e.addr == addr) {
+                return self.sets[set][way].take().map(|e| e.block);
+            }
+        }
+        None
+    }
+
+    /// Addresses of all dirty resident blocks (for orderly flush).
+    pub fn dirty_addrs(&self) -> Vec<LineAddr> {
+        self.sets
+            .iter()
+            .flatten()
+            .flatten()
+            .filter(|e| e.block.dirty)
+            .map(|e| e.addr)
+            .collect()
+    }
+
+    /// Drops every entry (models volatile loss at crash).
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                *way = None;
+            }
+        }
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.sets.iter().flatten().flatten().count()
+    }
+
+    /// Returns `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(level: u8, index: u64) -> CachedBlock {
+        CachedBlock::clean(MetaId::new(level, index), [level; 64])
+    }
+
+    fn tiny_cache() -> MetadataCache {
+        // 2 sets x 2 ways.
+        MetadataCache::new(4 * 64, 2)
+    }
+
+    #[test]
+    fn table3_shape() {
+        let c = MetadataCache::table3();
+        assert_eq!(c.slots(), 8192);
+        assert_eq!(c.set_count(), 1024);
+        assert_eq!(c.ways(), 8);
+    }
+
+    #[test]
+    fn insert_lookup_hit() {
+        let mut c = tiny_cache();
+        let a = LineAddr::new(100);
+        c.insert(a, block(1, 0), &[]);
+        assert!(c.lookup(a).is_some());
+        assert_eq!(c.stats().hits, 1);
+        assert!(c.lookup(LineAddr::new(101)).is_none());
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny_cache();
+        // Addresses 0,2,4 map to set 0 (2 sets).
+        let (a, b, d) = (LineAddr::new(0), LineAddr::new(2), LineAddr::new(4));
+        c.insert(a, block(1, 0), &[]);
+        c.insert(b, block(1, 1), &[]);
+        c.lookup(a); // b is now LRU
+        let (_, evicted) = c.insert(d, block(1, 2), &[]);
+        assert_eq!(evicted.unwrap().addr, b);
+        assert!(c.contains(a) && c.contains(d) && !c.contains(b));
+    }
+
+    #[test]
+    fn pinned_ways_survive() {
+        let mut c = tiny_cache();
+        let (a, b, d) = (LineAddr::new(0), LineAddr::new(2), LineAddr::new(4));
+        c.insert(a, block(1, 0), &[]);
+        c.insert(b, block(1, 1), &[]);
+        c.lookup(a);
+        // b would be LRU, but it is pinned: a gets evicted instead.
+        let (_, evicted) = c.insert(d, block(1, 2), &[b]);
+        assert_eq!(evicted.unwrap().addr, a);
+        assert!(c.contains(b));
+    }
+
+    #[test]
+    fn dirty_eviction_counted() {
+        let mut c = tiny_cache();
+        let mut blk = block(1, 0);
+        blk.dirty = true;
+        c.insert(LineAddr::new(0), blk, &[]);
+        c.insert(LineAddr::new(2), block(1, 1), &[]);
+        c.insert(LineAddr::new(4), block(1, 2), &[]);
+        assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn slots_are_stable_per_way() {
+        let mut c = tiny_cache();
+        let a = LineAddr::new(1); // set 1
+        let (slot, _) = c.insert(a, block(1, 0), &[]);
+        assert_eq!(c.slot_of(a), Some(slot));
+        assert_eq!(slot, 2); // set 1, way 0 => 1*2+0
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut c = tiny_cache();
+        c.insert(LineAddr::new(0), block(1, 0), &[]);
+        c.clear();
+        assert!(c.is_empty());
+        assert!(!c.contains(LineAddr::new(0)));
+    }
+
+    #[test]
+    fn dirty_addrs_lists_only_dirty() {
+        let mut c = tiny_cache();
+        let mut dirty = block(1, 0);
+        dirty.dirty = true;
+        c.insert(LineAddr::new(0), dirty, &[]);
+        c.insert(LineAddr::new(1), block(1, 1), &[]);
+        assert_eq!(c.dirty_addrs(), vec![LineAddr::new(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already cached")]
+    fn double_insert_rejected() {
+        let mut c = tiny_cache();
+        c.insert(LineAddr::new(0), block(1, 0), &[]);
+        c.insert(LineAddr::new(0), block(1, 0), &[]);
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let mut c = tiny_cache();
+        c.insert(LineAddr::new(0), block(1, 0), &[]);
+        c.lookup(LineAddr::new(0));
+        c.lookup(LineAddr::new(9));
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+    }
+}

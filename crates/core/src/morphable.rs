@@ -1,0 +1,380 @@
+//! Morphable counters [Saileshwar et al., MICRO 2018] — the third counter
+//! organization §2.4 surveys ("Morphable counter proposes packing more
+//! counters in one block").
+//!
+//! One 64-byte block covers a **128-line (8 KiB) region** by morphing
+//! between two formats as write traffic demands:
+//!
+//! * **Uniform** — a 64-bit major plus 128 × 3-bit minors (448 bits):
+//!   twice the reach of the split counter, but minors overflow after just
+//!   7 bumps, so uniformly-hot regions re-encrypt often.
+//! * **Skewed** — a 64-bit major, 16 × 7-bit *hot* minors with 16 × 7-bit
+//!   line selectors, and a 3-bit shared *cold* epoch... simplified here
+//!   to: 16 tracked hot lines get 7-bit minors; all remaining lines share
+//!   one 7-bit group counter. Bumping a cold line bumps the group counter
+//!   and would change every cold line's counter, so it instead promotes
+//!   the line to a hot slot (evicting the stalest hot entry forces a
+//!   *partial* re-encryption of just that line's... region — modeled as a
+//!   region re-encryption when no slot can be reclaimed).
+//!
+//! The module is self-contained (the controller's layout is fixed to
+//! 64-ary split counters; integrating 128-ary coverage is future work —
+//! see `DESIGN.md`), but the policy logic and costs are real and the
+//! `counter_org` ablation binary compares overflow/re-encryption rates
+//! against [`crate::counter::CounterBlock`] on identical write streams.
+
+/// Lines covered by one morphable block.
+pub const MORPH_LINES: usize = 128;
+/// Uniform-format minor width.
+pub const UNIFORM_BITS: u32 = 3;
+/// Uniform-format minor limit (exclusive).
+pub const UNIFORM_LIMIT: u8 = 1 << UNIFORM_BITS; // 8
+/// Hot slots in the skewed format.
+pub const HOT_SLOTS: usize = 16;
+/// Skewed-format hot-minor limit (exclusive).
+pub const HOT_LIMIT: u8 = 128;
+
+/// Which format the block currently uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MorphFormat {
+    /// 128 × 3-bit minors.
+    Uniform,
+    /// 16 tracked hot lines with 7-bit minors + shared cold counter.
+    Skewed,
+}
+
+/// Outcome of bumping a line's counter in a morphable block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MorphOutcome {
+    /// Counter advanced in place.
+    Bumped {
+        /// The line's new combined counter.
+        counter: u64,
+    },
+    /// The block changed format (uniform → skewed on skew detection);
+    /// counters are preserved, no re-encryption needed.
+    Morphed {
+        /// The new format.
+        format: MorphFormat,
+        /// The line's new combined counter.
+        counter: u64,
+    },
+    /// The whole 8 KiB region must be re-encrypted (major bump).
+    RegionReencrypt {
+        /// The line's new combined counter.
+        counter: u64,
+    },
+}
+
+impl MorphOutcome {
+    /// The combined counter after the bump.
+    pub fn counter(&self) -> u64 {
+        match *self {
+            MorphOutcome::Bumped { counter }
+            | MorphOutcome::Morphed { counter, .. }
+            | MorphOutcome::RegionReencrypt { counter } => counter,
+        }
+    }
+}
+
+/// A morphable counter block covering 128 lines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MorphableBlock {
+    major: u64,
+    format: MorphFormat,
+    uniform: [u8; MORPH_LINES], // 3-bit minors
+    hot_line: [u16; HOT_SLOTS], // which line each hot slot tracks
+    hot_minor: [u8; HOT_SLOTS], // 7-bit minors
+    hot_used: usize,
+    bumps_since_morph: u64,
+}
+
+impl Default for MorphableBlock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MorphableBlock {
+    /// A fresh block in uniform format, all counters zero.
+    pub fn new() -> Self {
+        Self {
+            major: 0,
+            format: MorphFormat::Uniform,
+            uniform: [0; MORPH_LINES],
+            hot_line: [0; HOT_SLOTS],
+            hot_minor: [0; HOT_SLOTS],
+            hot_used: 0,
+            bumps_since_morph: 0,
+        }
+    }
+
+    /// Current format.
+    pub fn format(&self) -> MorphFormat {
+        self.format
+    }
+
+    /// The major counter.
+    pub fn major(&self) -> u64 {
+        self.major
+    }
+
+    /// The combined counter of `line` (for the encryption IV).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= 128`.
+    pub fn counter(&self, line: usize) -> u64 {
+        assert!(line < MORPH_LINES, "line {line} out of range");
+        let minor = match self.format {
+            MorphFormat::Uniform => self.uniform[line] as u64,
+            MorphFormat::Skewed => self
+                .hot_slot_of(line)
+                .map_or(0, |s| self.hot_minor[s] as u64),
+        };
+        self.major * HOT_LIMIT as u64 + minor
+    }
+
+    fn hot_slot_of(&self, line: usize) -> Option<usize> {
+        self.hot_line[..self.hot_used]
+            .iter()
+            .position(|&l| l as usize == line)
+    }
+
+    /// Should the block morph? Uniform blocks with concentrated traffic
+    /// (a minor nearing overflow while most lines are untouched) benefit
+    /// from the skewed format.
+    fn skew_detected(&self, line: usize) -> bool {
+        let touched = self.uniform.iter().filter(|&&m| m > 0).count();
+        self.uniform[line] + 1 >= UNIFORM_LIMIT && touched <= HOT_SLOTS
+    }
+
+    fn morph_to_skewed(&mut self) {
+        // Preserve every nonzero minor in a hot slot (skew_detected
+        // guarantees they fit).
+        let mut used = 0;
+        let mut hot_line = [0u16; HOT_SLOTS];
+        let mut hot_minor = [0u8; HOT_SLOTS];
+        for (line, &m) in self.uniform.iter().enumerate() {
+            if m > 0 {
+                hot_line[used] = line as u16;
+                hot_minor[used] = m;
+                used += 1;
+            }
+        }
+        self.format = MorphFormat::Skewed;
+        self.hot_line = hot_line;
+        self.hot_minor = hot_minor;
+        self.hot_used = used;
+        self.bumps_since_morph = 0;
+    }
+
+    fn region_reencrypt(&mut self) {
+        self.major += 1;
+        self.format = MorphFormat::Uniform;
+        self.uniform = [0; MORPH_LINES];
+        self.hot_used = 0;
+        self.bumps_since_morph = 0;
+    }
+
+    /// Advances the counter of `line`, morphing or re-encrypting as the
+    /// format demands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= 128`.
+    pub fn bump(&mut self, line: usize) -> MorphOutcome {
+        assert!(line < MORPH_LINES, "line {line} out of range");
+        self.bumps_since_morph += 1;
+        match self.format {
+            MorphFormat::Uniform => {
+                if self.uniform[line] + 1 < UNIFORM_LIMIT {
+                    self.uniform[line] += 1;
+                    return MorphOutcome::Bumped {
+                        counter: self.counter(line),
+                    };
+                }
+                if self.skew_detected(line) {
+                    // Few writers: morph, then bump in the skewed format.
+                    self.morph_to_skewed();
+                    let slot = self.hot_slot_of(line).expect("preserved by morph");
+                    self.hot_minor[slot] += 1;
+                    return MorphOutcome::Morphed {
+                        format: MorphFormat::Skewed,
+                        counter: self.counter(line),
+                    };
+                }
+                // Broadly-hot region: nothing cheaper than re-encrypting.
+                self.region_reencrypt();
+                self.uniform[line] = 1;
+                MorphOutcome::RegionReencrypt {
+                    counter: self.counter(line),
+                }
+            }
+            MorphFormat::Skewed => {
+                if let Some(slot) = self.hot_slot_of(line) {
+                    if self.hot_minor[slot] + 1 < HOT_LIMIT {
+                        self.hot_minor[slot] += 1;
+                        return MorphOutcome::Bumped {
+                            counter: self.counter(line),
+                        };
+                    }
+                    self.region_reencrypt();
+                    self.uniform[line] = 1;
+                    return MorphOutcome::RegionReencrypt {
+                        counter: self.counter(line),
+                    };
+                }
+                if self.hot_used < HOT_SLOTS {
+                    // Promote the line to a hot slot (its counter was 0;
+                    // bump to 1 — unique since the pair (major, minor)
+                    // was never used for this line).
+                    let slot = self.hot_used;
+                    self.hot_used += 1;
+                    self.hot_line[slot] = line as u16;
+                    self.hot_minor[slot] = 1;
+                    return MorphOutcome::Bumped {
+                        counter: self.counter(line),
+                    };
+                }
+                // No slot left: the skewed bet failed, re-encrypt.
+                self.region_reencrypt();
+                self.uniform[line] = 1;
+                MorphOutcome::RegionReencrypt {
+                    counter: self.counter(line),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fresh_block_counters_zero() {
+        let b = MorphableBlock::new();
+        for line in 0..MORPH_LINES {
+            assert_eq!(b.counter(line), 0);
+        }
+        assert_eq!(b.format(), MorphFormat::Uniform);
+    }
+
+    #[test]
+    fn counters_never_repeat_per_line() {
+        // The one invariant counter-mode encryption lives on.
+        let mut b = MorphableBlock::new();
+        let mut seen: Vec<HashSet<u64>> = vec![HashSet::new(); MORPH_LINES];
+        for (line, set) in seen.iter_mut().enumerate() {
+            set.insert(b.counter(line));
+        }
+        let mut rng = 0x1234_5678u64;
+        for _ in 0..20_000 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let line = (rng >> 33) as usize % MORPH_LINES;
+            let c = b.bump(line).counter();
+            assert!(seen[line].insert(c), "counter {c} reused for line {line}");
+        }
+    }
+
+    #[test]
+    fn single_hot_line_morphs_instead_of_reencrypting() {
+        let mut b = MorphableBlock::new();
+        let mut morphs = 0;
+        let mut reencrypts = 0;
+        for _ in 0..100 {
+            match b.bump(5) {
+                MorphOutcome::Morphed { .. } => morphs += 1,
+                MorphOutcome::RegionReencrypt { .. } => reencrypts += 1,
+                MorphOutcome::Bumped { .. } => {}
+            }
+        }
+        assert_eq!(morphs, 1, "one morph at the 3-bit overflow");
+        assert_eq!(
+            reencrypts, 0,
+            "skewed format absorbs 100 writes to one line"
+        );
+        assert_eq!(b.format(), MorphFormat::Skewed);
+    }
+
+    #[test]
+    fn uniformly_hot_region_reencrypts() {
+        let mut b = MorphableBlock::new();
+        let mut reencrypts = 0;
+        for round in 0..UNIFORM_LIMIT as usize {
+            for line in 0..MORPH_LINES {
+                if matches!(b.bump(line), MorphOutcome::RegionReencrypt { .. }) {
+                    reencrypts += 1;
+                }
+                let _ = round;
+            }
+        }
+        assert!(
+            reencrypts >= 1,
+            "all-hot region cannot stay in 3-bit minors"
+        );
+    }
+
+    #[test]
+    fn skewed_format_tracks_up_to_16_hot_lines() {
+        let mut b = MorphableBlock::new();
+        // Make line 0 hot enough to morph.
+        for _ in 0..8 {
+            b.bump(0);
+        }
+        assert_eq!(b.format(), MorphFormat::Skewed);
+        // 15 more distinct lines fit without re-encryption.
+        for line in 1..16 {
+            assert!(
+                matches!(b.bump(line), MorphOutcome::Bumped { .. }),
+                "line {line}"
+            );
+        }
+        // The 17th distinct writer forces a region re-encryption.
+        assert!(matches!(b.bump(100), MorphOutcome::RegionReencrypt { .. }));
+    }
+
+    #[test]
+    fn morph_preserves_counters() {
+        let mut b = MorphableBlock::new();
+        b.bump(3);
+        b.bump(3);
+        b.bump(9);
+        let c3 = b.counter(3);
+        let c9 = b.counter(9);
+        // Drive line 3 past the 3-bit limit (minor 2 -> 7, then morph).
+        for _ in 0..6 {
+            b.bump(3);
+        }
+        assert_eq!(b.format(), MorphFormat::Skewed);
+        assert_eq!(
+            b.counter(9),
+            c9,
+            "untouched line keeps its counter across morph"
+        );
+        assert!(b.counter(3) > c3);
+    }
+
+    #[test]
+    fn reencrypt_resets_to_uniform_with_higher_major() {
+        let mut b = MorphableBlock::new();
+        for _ in 0..8 {
+            b.bump(0);
+        }
+        for line in 1..17 {
+            b.bump(line);
+        }
+        // Force the re-encryption.
+        b.bump(100);
+        assert_eq!(b.format(), MorphFormat::Uniform);
+        assert_eq!(b.major(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn line_bounds_checked() {
+        MorphableBlock::new().counter(128);
+    }
+}

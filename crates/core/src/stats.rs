@@ -1,0 +1,187 @@
+//! Controller statistics: the raw material for Figs. 4 and 10.
+
+/// Why an NVM write was issued.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WriteCategory {
+    /// Encrypted data line (the application's write).
+    Cipher,
+    /// Data-MAC line update.
+    DataMac,
+    /// Anubis shadow-table entry.
+    Shadow,
+    /// Dirty metadata block written back on eviction.
+    Eviction,
+    /// Leaf-MAC line update accompanying a counter-block writeback.
+    LeafMac,
+    /// Soteria clone copy.
+    Clone,
+    /// Page re-encryption traffic after a minor-counter overflow.
+    Reencrypt,
+    /// Clone-repair purification write.
+    Repair,
+}
+
+/// NVM write counts split by cause.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WriteBreakdown {
+    /// Encrypted data lines.
+    pub cipher: u64,
+    /// Data-MAC lines.
+    pub data_mac: u64,
+    /// Shadow entries.
+    pub shadow: u64,
+    /// Metadata writebacks.
+    pub eviction: u64,
+    /// Leaf-MAC lines.
+    pub leaf_mac: u64,
+    /// Clone copies.
+    pub clone: u64,
+    /// Page re-encryption.
+    pub reencrypt: u64,
+    /// Clone-repair purification.
+    pub repair: u64,
+}
+
+impl WriteBreakdown {
+    /// Records one write of the given category.
+    pub fn record(&mut self, category: WriteCategory) {
+        match category {
+            WriteCategory::Cipher => self.cipher += 1,
+            WriteCategory::DataMac => self.data_mac += 1,
+            WriteCategory::Shadow => self.shadow += 1,
+            WriteCategory::Eviction => self.eviction += 1,
+            WriteCategory::LeafMac => self.leaf_mac += 1,
+            WriteCategory::Clone => self.clone += 1,
+            WriteCategory::Reencrypt => self.reencrypt += 1,
+            WriteCategory::Repair => self.repair += 1,
+        }
+    }
+
+    /// Total writes across all categories.
+    pub fn total(&self) -> u64 {
+        self.cipher
+            + self.data_mac
+            + self.shadow
+            + self.eviction
+            + self.leaf_mac
+            + self.clone
+            + self.reencrypt
+            + self.repair
+    }
+}
+
+/// Aggregate controller statistics.
+#[derive(Clone, Debug, Default)]
+pub struct ControllerStats {
+    /// Application-level line reads served.
+    pub data_reads: u64,
+    /// Application-level line writes served.
+    pub data_writes: u64,
+    /// NVM line reads issued (data + metadata + MAC).
+    pub nvm_reads: u64,
+    /// NVM line writes issued.
+    pub nvm_writes: u64,
+    /// Write causes.
+    pub writes: WriteBreakdown,
+    /// Dirty metadata evictions per tree level; index 0 = L1 (leaves).
+    pub evictions_by_level: Vec<u64>,
+    /// Minor-counter overflows that re-encrypted a page.
+    pub page_reencryptions: u64,
+    /// Osiris early writebacks (update-limit reached in cache).
+    pub osiris_writebacks: u64,
+    /// Metadata blocks successfully purified from clones.
+    pub clone_repairs: u64,
+    /// Uncorrectable errors observed on data lines.
+    pub data_ue: u64,
+    /// Uncorrectable errors observed on metadata (pre-repair).
+    pub metadata_ue: u64,
+}
+
+impl ControllerStats {
+    /// Records a dirty eviction at `level` (1-based).
+    pub fn record_eviction(&mut self, level: u8) {
+        let idx = level as usize - 1;
+        if self.evictions_by_level.len() <= idx {
+            self.evictions_by_level.resize(idx + 1, 0);
+        }
+        self.evictions_by_level[idx] += 1;
+    }
+
+    /// Total dirty metadata evictions.
+    pub fn total_evictions(&self) -> u64 {
+        self.evictions_by_level.iter().sum()
+    }
+
+    /// Memory operations (application reads + writes).
+    pub fn memory_ops(&self) -> u64 {
+        self.data_reads + self.data_writes
+    }
+
+    /// Evictions per memory operation (Fig. 10c's metric).
+    pub fn evictions_per_op(&self) -> f64 {
+        let ops = self.memory_ops();
+        if ops == 0 {
+            0.0
+        } else {
+            self.total_evictions() as f64 / ops as f64
+        }
+    }
+
+    /// Fraction of evictions from each level (Fig. 4's metric).
+    pub fn eviction_level_fractions(&self) -> Vec<f64> {
+        let total = self.total_evictions();
+        if total == 0 {
+            return vec![0.0; self.evictions_by_level.len()];
+        }
+        self.evictions_by_level
+            .iter()
+            .map(|&e| e as f64 / total as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_records_and_totals() {
+        let mut b = WriteBreakdown::default();
+        b.record(WriteCategory::Cipher);
+        b.record(WriteCategory::Cipher);
+        b.record(WriteCategory::Clone);
+        assert_eq!(b.cipher, 2);
+        assert_eq!(b.clone, 1);
+        assert_eq!(b.total(), 3);
+    }
+
+    #[test]
+    fn eviction_levels_grow_on_demand() {
+        let mut s = ControllerStats::default();
+        s.record_eviction(3);
+        s.record_eviction(1);
+        s.record_eviction(3);
+        assert_eq!(s.evictions_by_level, vec![1, 0, 2]);
+        assert_eq!(s.total_evictions(), 3);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut s = ControllerStats::default();
+        for _ in 0..7 {
+            s.record_eviction(1);
+        }
+        for _ in 0..3 {
+            s.record_eviction(2);
+        }
+        let f = s.eviction_level_fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((f[0] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evictions_per_op_guard_against_zero() {
+        let s = ControllerStats::default();
+        assert_eq!(s.evictions_per_op(), 0.0);
+    }
+}

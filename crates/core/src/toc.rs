@@ -1,0 +1,188 @@
+//! Tree-of-Counters (ToC) nodes — the SGX-style integrity tree of Fig. 2.
+//!
+//! Each 64-byte node holds eight 56-bit counters (one per child) and a
+//! 64-bit embedded MAC (8 × 56 + 64 = 512 bits exactly). The counter for
+//! child `i` increments every time child `i` is written back to memory,
+//! and the child's MAC is computed over the child's payload **and** that
+//! parent counter — the inter-level dependency that defeats replay but
+//! also makes ToC nodes *unreconstructable* from their children (§2.5),
+//! which is why Soteria must clone them.
+//!
+//! # Example
+//!
+//! ```
+//! use soteria::toc::TocNode;
+//!
+//! let mut node = TocNode::new();
+//! node.bump(2);
+//! assert_eq!(node.counter(2), 1);
+//! let restored = TocNode::from_bytes(&node.to_bytes());
+//! assert_eq!(restored, node);
+//! ```
+
+/// Children per node.
+pub const ARITY: usize = 8;
+/// Counter width in bits.
+pub const COUNTER_BITS: u32 = 56;
+/// Mask for a 56-bit counter.
+pub const COUNTER_MASK: u64 = (1 << COUNTER_BITS) - 1;
+
+/// An 8-ary ToC node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TocNode {
+    counters: [u64; ARITY], // 56-bit each
+    mac: u64,
+}
+
+impl Default for TocNode {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TocNode {
+    /// A fresh node: all counters zero, MAC zero (set by the controller
+    /// before first writeback).
+    pub fn new() -> Self {
+        Self {
+            counters: [0; ARITY],
+            mac: 0,
+        }
+    }
+
+    /// The counter of child `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 8`.
+    pub fn counter(&self, slot: usize) -> u64 {
+        self.counters[slot]
+    }
+
+    /// All eight counters (the MAC'd payload).
+    pub fn counters(&self) -> &[u64; ARITY] {
+        &self.counters
+    }
+
+    /// The embedded MAC.
+    pub fn mac(&self) -> u64 {
+        self.mac
+    }
+
+    /// Replaces the embedded MAC (done by the controller at writeback).
+    pub fn set_mac(&mut self, mac: u64) {
+        self.mac = mac;
+    }
+
+    /// Overwrites the counter of child `slot` (used during recovery when
+    /// restoring from shadow LSBs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 8` or `value` exceeds 56 bits.
+    pub fn set_counter(&mut self, slot: usize, value: u64) {
+        assert!(value <= COUNTER_MASK, "counter exceeds 56 bits");
+        self.counters[slot] = value;
+    }
+
+    /// Increments the counter of child `slot` (wrapping at 56 bits — which
+    /// takes ~2 × 10^16 writebacks, i.e. never in practice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 8`.
+    pub fn bump(&mut self, slot: usize) -> u64 {
+        self.counters[slot] = (self.counters[slot] + 1) & COUNTER_MASK;
+        self.counters[slot]
+    }
+
+    /// Serializes into a 64-byte line: eight 7-byte LE counters then the
+    /// 8-byte MAC.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        for (i, &c) in self.counters.iter().enumerate() {
+            out[7 * i..7 * i + 7].copy_from_slice(&c.to_le_bytes()[..7]);
+        }
+        out[56..64].copy_from_slice(&self.mac.to_le_bytes());
+        out
+    }
+
+    /// Deserializes from a 64-byte line.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Self {
+        let mut counters = [0u64; ARITY];
+        for (i, c) in counters.iter_mut().enumerate() {
+            let mut buf = [0u8; 8];
+            buf[..7].copy_from_slice(&bytes[7 * i..7 * i + 7]);
+            *c = u64::from_le_bytes(buf);
+        }
+        let mac = u64::from_le_bytes(bytes[56..64].try_into().expect("8 bytes"));
+        Self { counters, mac }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_node_is_zero() {
+        let n = TocNode::new();
+        assert!(n.counters().iter().all(|&c| c == 0));
+        assert_eq!(n.mac(), 0);
+    }
+
+    #[test]
+    fn bump_is_per_slot() {
+        let mut n = TocNode::new();
+        assert_eq!(n.bump(3), 1);
+        assert_eq!(n.bump(3), 2);
+        assert_eq!(n.counter(3), 2);
+        assert_eq!(n.counter(4), 0);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut n = TocNode::new();
+        for slot in 0..ARITY {
+            n.set_counter(slot, (slot as u64 + 1) * 0x1234_5678);
+        }
+        n.set_mac(0xdead_beef_cafe_f00d);
+        assert_eq!(TocNode::from_bytes(&n.to_bytes()), n);
+    }
+
+    #[test]
+    fn max_counters_roundtrip() {
+        let mut n = TocNode::new();
+        for slot in 0..ARITY {
+            n.set_counter(slot, COUNTER_MASK);
+        }
+        n.set_mac(u64::MAX);
+        assert_eq!(TocNode::from_bytes(&n.to_bytes()), n);
+    }
+
+    #[test]
+    fn bump_wraps_at_56_bits() {
+        let mut n = TocNode::new();
+        n.set_counter(0, COUNTER_MASK);
+        assert_eq!(n.bump(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "56 bits")]
+    fn set_counter_validated() {
+        TocNode::new().set_counter(0, 1 << 56);
+    }
+
+    #[test]
+    fn layout_is_exactly_64_bytes() {
+        // 8 x 56-bit counters + 64-bit MAC fill the line with no slack:
+        // flipping any byte must change the decoded node.
+        let n = TocNode::new();
+        let bytes = n.to_bytes();
+        for i in 0..64 {
+            let mut b = bytes;
+            b[i] ^= 0xff;
+            assert_ne!(TocNode::from_bytes(&b), n, "byte {i} is dead space");
+        }
+    }
+}

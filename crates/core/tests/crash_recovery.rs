@@ -1,0 +1,320 @@
+//! End-to-end crash/recovery tests for the secure memory controller:
+//! Anubis shadow restore, Osiris counter trials, and Soteria clone repair
+//! across a modeled power loss.
+
+use soteria::clone::CloningPolicy;
+use soteria::recovery::recover;
+use soteria::{DataAddr, MemoryError, SecureMemoryConfig, SecureMemoryController};
+use soteria_nvm::fault::{FaultFootprint, FaultKind, FaultRecord};
+use soteria_nvm::LineAddr;
+
+fn controller(policy: CloningPolicy) -> SecureMemoryController {
+    let config = SecureMemoryConfig::builder()
+        .capacity_bytes(1 << 20) // 1 MiB, 3-level tree
+        .metadata_cache(8 * 1024, 4)
+        .cloning(policy)
+        .build()
+        .unwrap();
+    SecureMemoryController::new(config)
+}
+
+fn pattern(i: u64) -> [u8; 64] {
+    core::array::from_fn(|j| (i as u8).wrapping_mul(31).wrapping_add(j as u8))
+}
+
+#[test]
+fn clean_shutdown_then_recover() {
+    let mut c = controller(CloningPolicy::None);
+    for i in 0..32u64 {
+        c.write(DataAddr::new(i * 17 % 1024), &pattern(i)).unwrap();
+    }
+    c.persist_all().unwrap();
+    let (mut c, report) = recover(c.crash());
+    assert!(report.shadow_root_intact);
+    assert!(
+        report.is_complete(),
+        "unverifiable: {:?}",
+        report.unverifiable
+    );
+    for i in 0..32u64 {
+        assert_eq!(
+            c.read(DataAddr::new(i * 17 % 1024)).unwrap(),
+            pattern(i),
+            "line {i}"
+        );
+    }
+}
+
+#[test]
+fn dirty_crash_recovers_lost_counter_updates() {
+    // Crash WITHOUT persist_all: counter updates live only in the cache +
+    // shadow table. Osiris trials must find the advanced minors.
+    let mut c = controller(CloningPolicy::None);
+    for i in 0..8u64 {
+        c.write(DataAddr::new(i), &pattern(i)).unwrap();
+    }
+    // A couple of repeat writes so some minors advanced more than once.
+    c.write(DataAddr::new(0), &pattern(100)).unwrap();
+    c.write(DataAddr::new(1), &pattern(101)).unwrap();
+    let (mut c, report) = recover(c.crash());
+    assert!(
+        report.is_complete(),
+        "unverifiable: {:?}",
+        report.unverifiable
+    );
+    assert!(report.blocks_restored > 0);
+    assert!(
+        report.counters_recovered > 0,
+        "dirty minors must have needed Osiris trials: {report:?}"
+    );
+    assert_eq!(c.read(DataAddr::new(0)).unwrap(), pattern(100));
+    assert_eq!(c.read(DataAddr::new(1)).unwrap(), pattern(101));
+    for i in 2..8u64 {
+        assert_eq!(c.read(DataAddr::new(i)).unwrap(), pattern(i));
+    }
+}
+
+#[test]
+fn dirty_crash_with_deep_tree_activity() {
+    // Touch enough distinct pages to force metadata evictions (dirty tree
+    // nodes), then crash mid-flight.
+    let mut c = controller(CloningPolicy::None);
+    let lines = c.layout().data_lines();
+    for i in (0..lines).step_by(64) {
+        c.write(DataAddr::new(i), &pattern(i)).unwrap();
+    }
+    assert!(c.stats().total_evictions() > 0);
+    let (mut c, report) = recover(c.crash());
+    assert!(
+        report.is_complete(),
+        "unverifiable: {:?}",
+        report.unverifiable
+    );
+    for i in (0..lines).step_by(64) {
+        assert_eq!(c.read(DataAddr::new(i)).unwrap(), pattern(i), "line {i}");
+    }
+}
+
+#[test]
+fn fault_while_down_baseline_loses_metadata() {
+    let mut c = controller(CloningPolicy::None);
+    for i in 0..64u64 {
+        c.write(DataAddr::new(i * 64), &pattern(i)).unwrap();
+    }
+    c.persist_all().unwrap();
+    let layout = c.layout().clone();
+    let mut image = c.crash();
+    // Two-chip fault on a leaf counter block while powered down.
+    let leaf = soteria::MetaId::new(1, 0);
+    let target = layout.meta_addr(leaf);
+    let loc = image.device_mut().geometry().locate(target);
+    for chip in [2u32, 11] {
+        let g = *image.device_mut().geometry();
+        image.device_mut().inject_fault(FaultRecord::on_chip(
+            &g,
+            chip,
+            FaultFootprint::SingleWord {
+                bank: loc.bank,
+                row: loc.row,
+                col: loc.col,
+                beat: 0,
+            },
+            FaultKind::Permanent,
+        ));
+    }
+    let (mut c, report) = recover(image);
+    // The leaf was tracked in the shadow table and its memory copy is
+    // gone: baseline cannot reconstruct it.
+    assert!(!report.is_complete(), "baseline should lose the leaf");
+    // Reading data under the lost leaf fails; unrelated data survives.
+    assert!(matches!(
+        c.read(DataAddr::new(0)),
+        Err(MemoryError::MetadataUnverifiable { .. })
+    ));
+    assert_eq!(c.read(DataAddr::new(63 * 64)).unwrap(), pattern(63));
+}
+
+#[test]
+fn fault_while_down_src_repairs_from_clone() {
+    let mut c = controller(CloningPolicy::Relaxed);
+    for i in 0..64u64 {
+        c.write(DataAddr::new(i * 64), &pattern(i)).unwrap();
+    }
+    c.persist_all().unwrap();
+    let layout = c.layout().clone();
+    let mut image = c.crash();
+    let leaf = soteria::MetaId::new(1, 0);
+    let target = layout.meta_addr(leaf);
+    let loc = image.device_mut().geometry().locate(target);
+    for chip in [2u32, 11] {
+        let g = *image.device_mut().geometry();
+        image.device_mut().inject_fault(FaultRecord::on_chip(
+            &g,
+            chip,
+            FaultFootprint::SingleWord {
+                bank: loc.bank,
+                row: loc.row,
+                col: loc.col,
+                beat: 0,
+            },
+            FaultKind::Permanent,
+        ));
+    }
+    let (mut c, report) = recover(image);
+    assert!(
+        report.is_complete(),
+        "SRC must repair: {:?}",
+        report.unverifiable
+    );
+    assert!(report.clone_repairs > 0);
+    assert_eq!(c.read(DataAddr::new(0)).unwrap(), pattern(0));
+}
+
+#[test]
+fn runtime_metadata_ue_repaired_from_clone() {
+    // Fault strikes at runtime (not across a crash): the Fig. 9 path.
+    let mut c = controller(CloningPolicy::Relaxed);
+    for i in 0..64u64 {
+        c.write(DataAddr::new(i * 64), &pattern(i)).unwrap();
+    }
+    c.persist_all().unwrap();
+    // Evict everything from the metadata cache by... there is no direct
+    // flush API; persist_all leaves blocks resident but clean. Corrupt the
+    // primary copy of a leaf in NVM, then force a re-fetch by clearing the
+    // cache through capacity pressure: touch many other pages.
+    let layout = c.layout().clone();
+    let leaf = soteria::MetaId::new(1, 0);
+    let target = layout.meta_addr(leaf);
+    let loc = c.device_mut().geometry().locate(target);
+    for chip in [0u32, 9] {
+        let g = *c.device_mut().geometry();
+        c.device_mut().inject_fault(FaultRecord::on_chip(
+            &g,
+            chip,
+            FaultFootprint::SingleWord {
+                bank: loc.bank,
+                row: loc.row,
+                col: loc.col,
+                beat: 1,
+            },
+            FaultKind::Permanent,
+        ));
+    }
+    let lines = layout.data_lines();
+    for i in (0..lines).step_by(64) {
+        let _ = c.read(DataAddr::new(i));
+    }
+    // The leaf must have been re-fetched at some point and repaired.
+    assert_eq!(c.read(DataAddr::new(0)).unwrap(), pattern(0));
+    assert!(c.stats().clone_repairs > 0, "stats: {:?}", c.stats());
+}
+
+#[test]
+fn replayed_metadata_detected_without_clones() {
+    // Write, persist, snapshot a leaf, write more, persist, replay the old
+    // leaf: the bumped parent counter must invalidate the stale MAC, and
+    // with no clones the block is unverifiable (attack detected).
+    let mut c = controller(CloningPolicy::None);
+    c.write(DataAddr::new(0), &pattern(1)).unwrap();
+    c.persist_all().unwrap();
+    let layout = c.layout().clone();
+    let leaf_addr = layout.meta_addr(soteria::MetaId::new(1, 0));
+    let (old_leaf, _) = c.device_mut().read_line(leaf_addr);
+    let (old_mac_line, _) = c.device_mut().read_line(layout.leaf_mac_slot(0).0);
+    c.write(DataAddr::new(0), &pattern(2)).unwrap();
+    c.persist_all().unwrap();
+    // Replay both the leaf and its (stale) MAC.
+    c.device_mut().write_line(leaf_addr, &old_leaf);
+    c.device_mut()
+        .write_line(layout.leaf_mac_slot(0).0, &old_mac_line);
+    // Force re-fetch through cache pressure.
+    let lines = layout.data_lines();
+    for i in (64..lines).step_by(64) {
+        let _ = c.read(DataAddr::new(i));
+    }
+    let r = c.read(DataAddr::new(0));
+    assert!(
+        matches!(r, Err(MemoryError::MetadataUnverifiable { .. }))
+            || matches!(r, Err(MemoryError::IntegrityViolation { .. })),
+        "replay must be detected, got {r:?}"
+    );
+}
+
+#[test]
+fn wpq_contents_survive_crash() {
+    // A write whose cipher text was still in the WPQ at crash time must be
+    // durable (ADR domain).
+    let mut c = controller(CloningPolicy::None);
+    c.write(DataAddr::new(5), &pattern(5)).unwrap();
+    // No persist_all: WPQ may still hold the ciphertext.
+    let (mut c, report) = recover(c.crash());
+    assert!(report.is_complete());
+    assert_eq!(c.read(DataAddr::new(5)).unwrap(), pattern(5));
+}
+
+#[test]
+fn timing_mode_crash_panics() {
+    let config = SecureMemoryConfig::builder()
+        .capacity_bytes(1 << 20)
+        .metadata_cache(8 * 1024, 4)
+        .fidelity(soteria::Fidelity::Timing)
+        .build()
+        .unwrap();
+    let mut c = SecureMemoryController::new(config);
+    c.write(DataAddr::new(0), &[0u8; 64]).unwrap();
+    let image = c.crash();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| recover(image)));
+    assert!(result.is_err(), "Timing-mode recovery must be rejected");
+}
+
+#[test]
+fn tampered_shadow_region_flagged() {
+    let mut c = controller(CloningPolicy::None);
+    c.write(DataAddr::new(0), &pattern(0)).unwrap();
+    let layout = c.layout().clone();
+    let slot0 = layout.shadow_slot_addr(0);
+    let mut image = c.crash();
+    // Flip one byte of a shadow line behind recovery's back.
+    let (mut bytes, _) = image.device_mut().read_line(slot0);
+    bytes[40] ^= 0xff;
+    image.device_mut().write_line(slot0, &bytes);
+    let (_, report) = recover(image);
+    assert!(
+        !report.shadow_root_intact,
+        "shadow tamper must be visible in the root"
+    );
+}
+
+#[test]
+fn repeated_crash_recover_cycles_converge() {
+    let mut c = controller(CloningPolicy::Relaxed);
+    for round in 0..3u64 {
+        for i in 0..16u64 {
+            c.write(DataAddr::new(i * 64 + round), &pattern(round * 100 + i))
+                .unwrap();
+        }
+        let (nc, report) = recover(c.crash());
+        assert!(
+            report.is_complete(),
+            "round {round}: {:?}",
+            report.unverifiable
+        );
+        c = nc;
+        for i in 0..16u64 {
+            assert_eq!(
+                c.read(DataAddr::new(i * 64 + round)).unwrap(),
+                pattern(round * 100 + i),
+                "round {round} line {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn leaf_addr_helper_is_consistent() {
+    // Guard for the tests above: leaf 0 covers data lines 0..64.
+    let c = controller(CloningPolicy::None);
+    let leaf = c.layout().counter_block_of(DataAddr::new(0));
+    assert_eq!(leaf, soteria::MetaId::new(1, 0));
+    let _ = LineAddr::new(0);
+}

@@ -1,0 +1,100 @@
+//! Tests for the eager tree-update ablation (§2.5 / Table 1): every store
+//! propagates to the root, the root is always fresh, recovery is trivial,
+//! and the write amplification is why nobody ships it.
+
+use soteria::clone::CloningPolicy;
+use soteria::config::TreeUpdate;
+use soteria::recovery::recover;
+use soteria::{DataAddr, SecureMemoryConfig, SecureMemoryController};
+
+fn controller(update: TreeUpdate, policy: CloningPolicy) -> SecureMemoryController {
+    let config = SecureMemoryConfig::builder()
+        .capacity_bytes(1 << 20)
+        .metadata_cache(8 * 1024, 4)
+        .cloning(policy)
+        .tree_update(update)
+        .build()
+        .unwrap();
+    SecureMemoryController::new(config)
+}
+
+#[test]
+fn eager_roundtrip() {
+    let mut c = controller(TreeUpdate::Eager, CloningPolicy::None);
+    for i in 0..64u64 {
+        c.write(DataAddr::new(i * 17 % 1024), &[i as u8; 64])
+            .unwrap();
+    }
+    for i in 0..64u64 {
+        assert_eq!(c.read(DataAddr::new(i * 17 % 1024)).unwrap(), [i as u8; 64]);
+    }
+}
+
+#[test]
+fn eager_writes_far_more_than_lazy() {
+    let run = |update| {
+        let mut c = controller(update, CloningPolicy::None);
+        for i in 0..500u64 {
+            c.write(DataAddr::new((i * 64) % 1024), &[1u8; 64]).unwrap();
+        }
+        c.stats().nvm_writes
+    };
+    let lazy = run(TreeUpdate::Lazy);
+    let eager = run(TreeUpdate::Eager);
+    assert!(
+        eager as f64 > 1.5 * lazy as f64,
+        "eager {eager} vs lazy {lazy}: the 'extreme slowdown' of §2.5"
+    );
+}
+
+#[test]
+fn eager_skips_shadow_writes() {
+    let mut c = controller(TreeUpdate::Eager, CloningPolicy::None);
+    for i in 0..100u64 {
+        c.write(DataAddr::new(i), &[2u8; 64]).unwrap();
+    }
+    assert_eq!(
+        c.stats().writes.shadow,
+        0,
+        "eager mode needs no Anubis tracking"
+    );
+    let mut c = controller(TreeUpdate::Lazy, CloningPolicy::None);
+    for i in 0..100u64 {
+        c.write(DataAddr::new(i), &[2u8; 64]).unwrap();
+    }
+    assert!(c.stats().writes.shadow >= 100);
+}
+
+#[test]
+fn eager_crash_needs_no_reconstruction() {
+    let mut c = controller(TreeUpdate::Eager, CloningPolicy::None);
+    for i in 0..32u64 {
+        c.write(DataAddr::new(i * 64), &[i as u8; 64]).unwrap();
+    }
+    // No persist_all: with eager update the NVM copy is already coherent.
+    let (mut c, report) = recover(c.crash());
+    assert!(report.is_complete());
+    assert_eq!(
+        report.counters_recovered, 0,
+        "no Osiris trials should be needed: {report:?}"
+    );
+    for i in 0..32u64 {
+        assert_eq!(
+            c.read(DataAddr::new(i * 64)).unwrap(),
+            [i as u8; 64],
+            "line {i}"
+        );
+    }
+}
+
+#[test]
+fn eager_clones_still_written() {
+    let mut c = controller(TreeUpdate::Eager, CloningPolicy::Relaxed);
+    for i in 0..50u64 {
+        c.write(DataAddr::new(i * 64), &[3u8; 64]).unwrap();
+    }
+    assert!(
+        c.stats().writes.clone > 0,
+        "every writeback clones under SRC"
+    );
+}

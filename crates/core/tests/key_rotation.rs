@@ -1,0 +1,112 @@
+//! Key-rotation tests (§2.7): after a counter-region reinitialization the
+//! only safe option is re-encrypting the whole memory under a new key —
+//! data must survive, old-key material must become useless, and the cost
+//! must scale with capacity (the "can take hours" claim).
+
+use soteria::clone::CloningPolicy;
+use soteria::recovery::recover;
+use soteria::{DataAddr, SecureMemoryConfig, SecureMemoryController};
+use soteria_crypto::{EncryptionKey, MacKey};
+use soteria_nvm::LineAddr;
+
+fn controller(capacity: u64) -> SecureMemoryController {
+    let config = SecureMemoryConfig::builder()
+        .capacity_bytes(capacity)
+        .metadata_cache(8 * 1024, 4)
+        .cloning(CloningPolicy::Relaxed)
+        .build()
+        .unwrap();
+    SecureMemoryController::new(config)
+}
+
+fn new_keys() -> (EncryptionKey, MacKey) {
+    (
+        EncryptionKey::from_bytes([0xaa; 16]),
+        MacKey::from_bytes([0xbb; 32]),
+    )
+}
+
+#[test]
+fn data_survives_rotation() {
+    let mut c = controller(1 << 20);
+    for i in 0..64u64 {
+        c.write(DataAddr::new(i * 97 % 1024), &[i as u8; 64])
+            .unwrap();
+    }
+    let (enc, mac) = new_keys();
+    let report = c.rotate_keys(enc, mac).unwrap();
+    assert!(report.lines_reencrypted >= 60, "{report:?}"); // modulo collisions
+    for i in 0..64u64 {
+        assert_eq!(
+            c.read(DataAddr::new(i * 97 % 1024)).unwrap(),
+            [i as u8; 64],
+            "line {i}"
+        );
+    }
+    // Writes after rotation work under the new keys.
+    c.write(DataAddr::new(5), &[0xfe; 64]).unwrap();
+    assert_eq!(c.read(DataAddr::new(5)).unwrap(), [0xfe; 64]);
+}
+
+#[test]
+fn ciphertext_changes_under_new_key() {
+    let mut c = controller(1 << 20);
+    c.write(DataAddr::new(0), &[0x42; 64]).unwrap();
+    c.persist_all().unwrap();
+    let (before, _) = c.device_mut().read_line(LineAddr::new(0));
+    let (enc, mac) = new_keys();
+    c.rotate_keys(enc, mac).unwrap();
+    let (after, _) = c.device_mut().read_line(LineAddr::new(0));
+    assert_ne!(before, after, "rotation must change the at-rest ciphertext");
+    assert_ne!(after, [0x42; 64], "still no plaintext at rest");
+}
+
+#[test]
+fn rotation_survives_crash_afterwards() {
+    // The crash image after rotation must carry the new keys.
+    let mut c = controller(1 << 20);
+    c.write(DataAddr::new(7), &[7u8; 64]).unwrap();
+    let (enc, mac) = new_keys();
+    c.rotate_keys(enc, mac).unwrap();
+    c.write(DataAddr::new(9), &[9u8; 64]).unwrap();
+    let (mut c, report) = recover(c.crash());
+    assert!(report.is_complete(), "{:?}", report.unverifiable);
+    assert_eq!(c.read(DataAddr::new(7)).unwrap(), [7u8; 64]);
+    assert_eq!(c.read(DataAddr::new(9)).unwrap(), [9u8; 64]);
+}
+
+#[test]
+fn rotation_cost_scales_with_metadata_population() {
+    // Even with the same written data, a larger memory pays for walking
+    // and reinitializing its whole metadata region — the "hours" scaling.
+    let cost = |capacity: u64| {
+        let mut c = controller(capacity);
+        for i in 0..16u64 {
+            c.write(DataAddr::new(i), &[1u8; 64]).unwrap();
+        }
+        let (enc, mac) = new_keys();
+        c.rotate_keys(enc, mac).unwrap().estimated_duration_ns()
+    };
+    let small = cost(1 << 20);
+    let large = cost(1 << 23);
+    assert!(large > 4 * small, "{small} -> {large}");
+}
+
+#[test]
+fn rotation_resets_counters() {
+    // Heavy pre-rotation traffic advances counters; rotation resets them,
+    // and post-rotation traffic must still never reuse a pad.
+    let mut c = controller(1 << 20);
+    for _ in 0..50 {
+        c.write(DataAddr::new(3), &[1u8; 64]).unwrap();
+    }
+    let (enc, mac) = new_keys();
+    c.rotate_keys(enc, mac).unwrap();
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..30u8 {
+        c.write(DataAddr::new(3), &[i; 64]).unwrap();
+        c.persist_all().unwrap();
+        let (ct, _) = c.device_mut().read_line(LineAddr::new(3));
+        assert!(seen.insert(ct.to_vec()), "pad reuse after rotation");
+    }
+}

@@ -1,0 +1,95 @@
+//! Triad-NVM tests (reference [5] / Table 1's "persistence scheme" axis):
+//! strictly persist the tree up to N levels, stay lazy above.
+
+use soteria::clone::CloningPolicy;
+use soteria::config::TreeUpdate;
+use soteria::recovery::recover;
+use soteria::{DataAddr, SecureMemoryConfig, SecureMemoryController};
+
+fn controller(update: TreeUpdate) -> SecureMemoryController {
+    let config = SecureMemoryConfig::builder()
+        .capacity_bytes(1 << 20)
+        .metadata_cache(8 * 1024, 4)
+        .cloning(CloningPolicy::Relaxed)
+        .tree_update(update)
+        .build()
+        .unwrap();
+    SecureMemoryController::new(config)
+}
+
+fn exercise(c: &mut SecureMemoryController) {
+    for round in 0..3u64 {
+        for i in (0..c.layout().data_lines()).step_by(256) {
+            c.write(DataAddr::new(i), &[round as u8; 64]).unwrap();
+        }
+    }
+}
+
+#[test]
+fn triad_roundtrip_and_recovery() {
+    for n in 1..=3u8 {
+        let mut c = controller(TreeUpdate::Triad { persist_levels: n });
+        exercise(&mut c);
+        let (mut c, report) = recover(c.crash());
+        assert!(
+            report.is_complete(),
+            "triad({n}): {:?}",
+            report.unverifiable
+        );
+        for i in (0..c.layout().data_lines()).step_by(256) {
+            assert_eq!(
+                c.read(DataAddr::new(i)).unwrap(),
+                [2u8; 64],
+                "triad({n}) line {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn write_cost_orders_lazy_triad_eager() {
+    // A cache-friendly hot set isolates the per-store persistence cost
+    // (under thrashing, lazy degenerates to write-through and the
+    // ordering blurs).
+    let cost = |update| {
+        let mut c = controller(update);
+        for i in 0..600u64 {
+            c.write(DataAddr::new(i % 3), &[i as u8; 64]).unwrap();
+        }
+        c.stats().nvm_writes
+    };
+    let lazy = cost(TreeUpdate::Lazy);
+    let triad1 = cost(TreeUpdate::Triad { persist_levels: 1 });
+    let triad2 = cost(TreeUpdate::Triad { persist_levels: 2 });
+    let eager = cost(TreeUpdate::Eager);
+    assert!(lazy < triad1, "lazy {lazy} < triad1 {triad1}");
+    assert!(triad1 < triad2, "triad1 {triad1} < triad2 {triad2}");
+    assert!(triad2 <= eager, "triad2 {triad2} <= eager {eager}");
+}
+
+#[test]
+fn triad_shrinks_shadow_traffic() {
+    // Strictly-persisted levels need no Anubis tracking.
+    let shadow = |update| {
+        let mut c = controller(update);
+        exercise(&mut c);
+        c.stats().writes.shadow
+    };
+    let lazy = shadow(TreeUpdate::Lazy);
+    let triad = shadow(TreeUpdate::Triad { persist_levels: 1 });
+    assert!(triad < lazy, "triad {triad} < lazy {lazy}");
+    assert!(triad > 0, "upper levels still tracked");
+}
+
+#[test]
+fn triad_recovery_needs_no_leaf_trials() {
+    // Leaves are written through: their memory copies are never stale.
+    let mut c = controller(TreeUpdate::Triad { persist_levels: 1 });
+    exercise(&mut c);
+    let (_, report) = recover(c.crash());
+    assert!(report.is_complete());
+    assert_eq!(
+        report.counters_recovered, 0,
+        "no Osiris trials needed: {report:?}"
+    );
+}

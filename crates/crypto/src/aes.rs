@@ -1,0 +1,334 @@
+//! AES-128 block cipher (FIPS-197), implemented from scratch.
+//!
+//! This is a straightforward table-free byte-oriented implementation: S-box
+//! lookups plus explicit `xtime` multiplication in GF(2^8). It is not meant
+//! to be side-channel hardened (it models a hardware engine inside a
+//! simulator), but it is bit-exact against the FIPS-197 vectors.
+//!
+//! # Example
+//!
+//! ```
+//! use soteria_crypto::aes::Aes128;
+//!
+//! let cipher = Aes128::new([0u8; 16]);
+//! let block = [0x42u8; 16];
+//! let ct = cipher.encrypt_block(&block);
+//! assert_eq!(cipher.decrypt_block(&ct), block);
+//! ```
+
+const NB: usize = 4; // columns in the state
+const NR: usize = 10; // rounds for AES-128
+
+/// The AES S-box.
+static SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// The inverse AES S-box.
+static INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
+
+/// Round constants for key expansion.
+static RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+#[inline]
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (((x >> 7) & 1).wrapping_mul(0x1b))
+}
+
+/// Multiply two bytes in GF(2^8) with the AES polynomial.
+#[inline]
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// An AES-128 cipher with a pre-expanded key schedule.
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; NR + 1],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Aes128(..)")
+    }
+}
+
+impl Aes128 {
+    /// Expands `key` into the full round-key schedule.
+    pub fn new(key: [u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; NB * (NR + 1)];
+        for (i, word) in w.iter_mut().take(NB).enumerate() {
+            word.copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        for i in NB..NB * (NR + 1) {
+            let mut temp = w[i - 1];
+            if i % NB == 0 {
+                temp.rotate_left(1);
+                for byte in &mut temp {
+                    *byte = SBOX[*byte as usize];
+                }
+                temp[0] ^= RCON[i / NB - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - NB][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; NR + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..NB {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[r * NB + c]);
+            }
+        }
+        Self { round_keys }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..NR {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[NR]);
+        state
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        add_round_key(&mut state, &self.round_keys[NR]);
+        for round in (1..NR).rev() {
+            inv_shift_rows(&mut state);
+            inv_sub_bytes(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+            inv_mix_columns(&mut state);
+        }
+        inv_shift_rows(&mut state);
+        inv_sub_bytes(&mut state);
+        add_round_key(&mut state, &self.round_keys[0]);
+        state
+    }
+}
+
+// State layout: state[4*c + r] = byte at row r, column c (column-major as in
+// FIPS-197's linear input ordering).
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk.iter()) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+        state[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] =
+            gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+        state[4 * c + 1] =
+            gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
+        state[4 * c + 2] =
+            gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
+        state[4 * c + 3] =
+            gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex16(s: &str) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for i in 0..16 {
+            out[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn fips197_appendix_b() {
+        // FIPS-197 Appendix B worked example.
+        let cipher = Aes128::new(hex16("2b7e151628aed2a6abf7158809cf4f3c"));
+        let pt = hex16("3243f6a8885a308d313198a2e0370734");
+        let ct = cipher.encrypt_block(&pt);
+        assert_eq!(ct, hex16("3925841d02dc09fbdc118597196a0b32"));
+        assert_eq!(cipher.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn fips197_appendix_c1() {
+        // FIPS-197 Appendix C.1 AES-128 example vector.
+        let cipher = Aes128::new(hex16("000102030405060708090a0b0c0d0e0f"));
+        let pt = hex16("00112233445566778899aabbccddeeff");
+        let ct = cipher.encrypt_block(&pt);
+        assert_eq!(ct, hex16("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        assert_eq!(cipher.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn nist_sp800_38a_ecb_vectors() {
+        // SP 800-38A F.1.1 ECB-AES128.Encrypt, all four blocks.
+        let cipher = Aes128::new(hex16("2b7e151628aed2a6abf7158809cf4f3c"));
+        let cases = [
+            (
+                "6bc1bee22e409f96e93d7e117393172a",
+                "3ad77bb40d7a3660a89ecaf32466ef97",
+            ),
+            (
+                "ae2d8a571e03ac9c9eb76fac45af8e51",
+                "f5d3d58503b9699de785895a96fdbaaf",
+            ),
+            (
+                "30c81c46a35ce411e5fbc1191a0a52ef",
+                "43b1cd7f598ece23881b00e3ed030688",
+            ),
+            (
+                "f69f2445df4f9b17ad2b417be66c3710",
+                "7b0c785e27e8ad3f8223207104725dd4",
+            ),
+        ];
+        for (pt, ct) in cases {
+            assert_eq!(cipher.encrypt_block(&hex16(pt)), hex16(ct));
+        }
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt_many() {
+        let cipher = Aes128::new([0x37; 16]);
+        let mut block = [0u8; 16];
+        for i in 0..200u32 {
+            block[0..4].copy_from_slice(&i.to_le_bytes());
+            let ct = cipher.encrypt_block(&block);
+            assert_eq!(cipher.decrypt_block(&ct), block);
+            block = ct;
+        }
+    }
+
+    #[test]
+    fn distinct_keys_distinct_ciphertexts() {
+        let a = Aes128::new([1; 16]);
+        let b = Aes128::new([2; 16]);
+        let pt = [0u8; 16];
+        assert_ne!(a.encrypt_block(&pt), b.encrypt_block(&pt));
+    }
+
+    #[test]
+    fn gmul_matches_known_values() {
+        assert_eq!(gmul(0x57, 0x83), 0xc1); // FIPS-197 §4.2 example
+        assert_eq!(gmul(0x57, 0x13), 0xfe);
+        assert_eq!(gmul(1, 0xab), 0xab);
+        assert_eq!(gmul(0, 0xff), 0);
+    }
+
+    #[test]
+    fn inv_sbox_is_inverse() {
+        for i in 0..=255u8 {
+            assert_eq!(INV_SBOX[SBOX[i as usize] as usize], i);
+        }
+    }
+
+    #[test]
+    fn shift_rows_round_trip() {
+        let mut s: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let orig = s;
+        shift_rows(&mut s);
+        assert_ne!(s, orig);
+        inv_shift_rows(&mut s);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn mix_columns_round_trip() {
+        let mut s: [u8; 16] = core::array::from_fn(|i| (i * 17) as u8);
+        let orig = s;
+        mix_columns(&mut s);
+        inv_mix_columns(&mut s);
+        assert_eq!(s, orig);
+    }
+}

@@ -1,0 +1,250 @@
+//! AES-GCM authenticated encryption (NIST SP 800-38D) — the engine the
+//! paper's footnote 1 names for secure-memory MACs ("Authenticated
+//! Encryption engines such as AES-GCM is typically used to ensure fast
+//! encryption, decryption, and MAC calculation").
+//!
+//! GHASH multiplies in GF(2^128) with the polynomial
+//! `x^128 + x^7 + x^2 + x + 1`; the tag binds ciphertext and additional
+//! authenticated data (for secure memory: the line address and the
+//! freshness counter travel in the IV/AAD). [`crate::mac::MacEngine`]
+//! remains the default engine (HMAC-based); this module provides the
+//! GCM-faithful alternative plus the standard test vectors.
+//!
+//! # Example
+//!
+//! ```
+//! use soteria_crypto::gcm::AesGcm;
+//!
+//! let gcm = AesGcm::new([0u8; 16]);
+//! let nonce = [1u8; 12];
+//! let (ct, tag) = gcm.seal(&nonce, b"address|counter", b"secret line");
+//! let pt = gcm.open(&nonce, b"address|counter", &ct, &tag).expect("authentic");
+//! assert_eq!(pt, b"secret line");
+//! ```
+
+use crate::aes::Aes128;
+
+/// Multiplies two 128-bit blocks in GHASH's GF(2^128).
+fn gf128_mul(x: u128, y: u128) -> u128 {
+    // Bit-reflected convention of SP 800-38D: bit 0 is the x^0
+    // coefficient when blocks are read MSB-first; R = 0xe1 || 0^120.
+    const R: u128 = 0xe100_0000_0000_0000_0000_0000_0000_0000;
+    let mut z: u128 = 0;
+    let mut v = y;
+    for i in (0..128).rev() {
+        if (x >> i) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+fn block_to_u128(b: &[u8]) -> u128 {
+    let mut buf = [0u8; 16];
+    buf[..b.len()].copy_from_slice(b);
+    u128::from_be_bytes(buf)
+}
+
+/// AES-128-GCM.
+#[derive(Clone, Debug)]
+pub struct AesGcm {
+    aes: Aes128,
+    h: u128, // hash subkey E_K(0)
+}
+
+impl AesGcm {
+    /// Creates a GCM instance from a 128-bit key.
+    pub fn new(key: [u8; 16]) -> Self {
+        let aes = Aes128::new(key);
+        let h = u128::from_be_bytes(aes.encrypt_block(&[0u8; 16]));
+        Self { aes, h }
+    }
+
+    fn ghash(&self, aad: &[u8], ct: &[u8]) -> u128 {
+        let mut y: u128 = 0;
+        for chunk in aad.chunks(16) {
+            y = gf128_mul(y ^ block_to_u128(chunk), self.h);
+        }
+        for chunk in ct.chunks(16) {
+            y = gf128_mul(y ^ block_to_u128(chunk), self.h);
+        }
+        let lengths = ((aad.len() as u128 * 8) << 64) | (ct.len() as u128 * 8);
+        gf128_mul(y ^ lengths, self.h)
+    }
+
+    fn counter_block(nonce: &[u8; 12], counter: u32) -> [u8; 16] {
+        let mut block = [0u8; 16];
+        block[..12].copy_from_slice(nonce);
+        block[12..].copy_from_slice(&counter.to_be_bytes());
+        block
+    }
+
+    fn ctr_xor(&self, nonce: &[u8; 12], data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len());
+        for (i, chunk) in data.chunks(16).enumerate() {
+            let pad = self
+                .aes
+                .encrypt_block(&Self::counter_block(nonce, 2 + i as u32));
+            out.extend(chunk.iter().zip(pad.iter()).map(|(d, p)| d ^ p));
+        }
+        out
+    }
+
+    /// Encrypts `plaintext` and authenticates it together with `aad`,
+    /// returning (ciphertext, 128-bit tag).
+    pub fn seal(&self, nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> (Vec<u8>, [u8; 16]) {
+        let ciphertext = self.ctr_xor(nonce, plaintext);
+        let s = self.ghash(aad, &ciphertext);
+        let e_j0 = u128::from_be_bytes(self.aes.encrypt_block(&Self::counter_block(nonce, 1)));
+        let tag = (s ^ e_j0).to_be_bytes();
+        (ciphertext, tag)
+    }
+
+    /// Verifies and decrypts. Returns `None` on authentication failure
+    /// (tampered ciphertext, AAD, nonce or tag).
+    pub fn open(
+        &self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        ciphertext: &[u8],
+        tag: &[u8; 16],
+    ) -> Option<Vec<u8>> {
+        let s = self.ghash(aad, ciphertext);
+        let e_j0 = u128::from_be_bytes(self.aes.encrypt_block(&Self::counter_block(nonce, 1)));
+        let expected = (s ^ e_j0).to_be_bytes();
+        if &expected != tag {
+            return None;
+        }
+        Some(self.ctr_xor(nonce, ciphertext))
+    }
+
+    /// A 64-bit secure-memory tag over an encrypted 64-byte line, bound
+    /// to the line address and its encryption counter (the GCM-faithful
+    /// equivalent of [`crate::mac::MacEngine::data_mac`]; truncation to 64
+    /// bits matches the paper's tag width and collision bound, §3.2.2).
+    pub fn line_tag(&self, address: u64, ciphertext: &[u8; 64], counter: u64) -> u64 {
+        let mut nonce = [0u8; 12];
+        nonce[..8].copy_from_slice(&counter.to_le_bytes());
+        nonce[8..12].copy_from_slice(&(address as u32).to_le_bytes());
+        let aad = [address.to_le_bytes(), counter.to_le_bytes()].concat();
+        let s = self.ghash(&aad, ciphertext);
+        let e_j0 = u128::from_be_bytes(self.aes.encrypt_block(&Self::counter_block(&nonce, 1)));
+        ((s ^ e_j0) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn nist_test_case_1_empty() {
+        // SP 800-38D test case 1: zero key, zero nonce, empty everything.
+        let gcm = AesGcm::new([0u8; 16]);
+        let (ct, tag) = gcm.seal(&[0u8; 12], b"", b"");
+        assert!(ct.is_empty());
+        assert_eq!(tag.to_vec(), hex("58e2fccefa7e3061367f1d57a4e7455a"));
+    }
+
+    #[test]
+    fn nist_test_case_2_single_block() {
+        // Test case 2: zero key/nonce, one zero plaintext block.
+        let gcm = AesGcm::new([0u8; 16]);
+        let (ct, tag) = gcm.seal(&[0u8; 12], b"", &[0u8; 16]);
+        assert_eq!(ct, hex("0388dace60b6a392f328c2b971b2fe78"));
+        assert_eq!(tag.to_vec(), hex("ab6e47d42cec13bdf53a67b21257bddf"));
+    }
+
+    #[test]
+    fn nist_test_case_3_four_blocks() {
+        // Test case 3: the classic feffe992... vector.
+        let key: [u8; 16] = hex("feffe9928665731c6d6a8f9467308308").try_into().unwrap();
+        let nonce: [u8; 12] = hex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let pt = hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+        );
+        let gcm = AesGcm::new(key);
+        let (ct, tag) = gcm.seal(&nonce, b"", &pt);
+        assert_eq!(
+            ct,
+            hex(
+                "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+                 21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985"
+            )
+        );
+        assert_eq!(tag.to_vec(), hex("4d5c2af327cd64a62cf35abd2ba6fab4"));
+    }
+
+    #[test]
+    fn nist_test_case_4_with_aad() {
+        // Test case 4: truncated plaintext + AAD.
+        let key: [u8; 16] = hex("feffe9928665731c6d6a8f9467308308").try_into().unwrap();
+        let nonce: [u8; 12] = hex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let pt = hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let aad = hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let gcm = AesGcm::new(key);
+        let (ct, tag) = gcm.seal(&nonce, &aad, &pt);
+        assert_eq!(tag.to_vec(), hex("5bc94fbc3221a5db94fae95ae7121a47"));
+        let back = gcm
+            .open(&nonce, &aad, &ct, &tag.to_vec().try_into().unwrap())
+            .unwrap();
+        assert_eq!(back, pt);
+    }
+
+    #[test]
+    fn tamper_rejected() {
+        let gcm = AesGcm::new([7u8; 16]);
+        let nonce = [3u8; 12];
+        let (mut ct, tag) = gcm.seal(&nonce, b"aad", b"payload");
+        ct[0] ^= 1;
+        assert!(gcm.open(&nonce, b"aad", &ct, &tag).is_none());
+    }
+
+    #[test]
+    fn aad_is_bound() {
+        let gcm = AesGcm::new([7u8; 16]);
+        let nonce = [3u8; 12];
+        let (ct, tag) = gcm.seal(&nonce, b"addr=64", b"payload");
+        assert!(gcm.open(&nonce, b"addr=128", &ct, &tag).is_none());
+        assert!(gcm.open(&nonce, b"addr=64", &ct, &tag).is_some());
+    }
+
+    #[test]
+    fn line_tag_binds_address_and_counter() {
+        let gcm = AesGcm::new([9u8; 16]);
+        let line = [0x5au8; 64];
+        let t = gcm.line_tag(64, &line, 7);
+        assert_ne!(t, gcm.line_tag(128, &line, 7));
+        assert_ne!(t, gcm.line_tag(64, &line, 8));
+        assert_eq!(t, gcm.line_tag(64, &line, 7));
+    }
+
+    #[test]
+    fn gf128_mul_properties() {
+        let a = 0x0123_4567_89ab_cdef_0011_2233_4455_6677u128;
+        let b = 0xfedc_ba98_7654_3210_8899_aabb_ccdd_eeffu128;
+        let c = 0x0f0f_f0f0_1234_5678_9abc_def0_1357_9bdfu128;
+        // Commutative, distributive over XOR.
+        assert_eq!(gf128_mul(a, b), gf128_mul(b, a));
+        assert_eq!(gf128_mul(a, b ^ c), gf128_mul(a, b) ^ gf128_mul(a, c));
+        // Multiplication by the MSB-first "one" (x^0 coefficient set).
+        let one = 1u128 << 127;
+        assert_eq!(gf128_mul(a, one), a);
+    }
+}

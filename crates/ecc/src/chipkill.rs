@@ -1,0 +1,460 @@
+//! Chipkill-Correct: whole-chip failure tolerance via chip-striped
+//! Reed–Solomon symbols, plus a pluggable [`LineCodec`] abstraction so the
+//! NVM device model can swap ECC strength (the decoupling ablation of
+//! §3.1/§6.2).
+//!
+//! The Table 4 DIMM has 18 × 8-bit chips. Every memory *beat* transfers one
+//! byte from each chip; 16 of those bytes are data and 2 are Reed–Solomon
+//! parity, i.e. an RS(18, 16) codeword **per beat** with one symbol per
+//! chip. A 64-byte line needs 4 beats. Any single chip can fail outright
+//! and every beat still corrects its one lost symbol — that is
+//! Chipkill-Correct. Two chips failing within a rank defeats it
+//! (uncorrectable), which is precisely the event the FaultSim campaign
+//! counts.
+//!
+//! # Example
+//!
+//! ```
+//! use soteria_ecc::chipkill::{ChipkillCodec, LineCodec};
+//!
+//! let codec = ChipkillCodec::table4();
+//! let line = [0xabu8; 64];
+//! let mut stored = codec.encode_line(&line);
+//! // Kill chip 7: every byte it contributes goes bad.
+//! for (i, b) in stored.iter_mut().enumerate() {
+//!     if i % 18 == 7 { *b = 0xff; }
+//! }
+//! let (decoded, outcome) = codec.decode_line(&stored);
+//! assert_eq!(decoded, line);
+//! assert!(outcome.is_usable());
+//! ```
+
+use crate::hamming::SecDed72;
+use crate::rs::ReedSolomon;
+use crate::CorrectionOutcome;
+
+/// A codec that turns a 64-byte line into a stored codeword and back,
+/// reporting correction outcomes.
+///
+/// Stored byte `i` belongs to chip `i % total_chips()`, so fault injectors
+/// can target whole chips uniformly across codecs.
+pub trait LineCodec {
+    /// Number of chips the codeword is striped over.
+    fn total_chips(&self) -> usize;
+
+    /// Stored codeword size in bytes for one 64-byte line.
+    fn codeword_bytes(&self) -> usize;
+
+    /// Guaranteed-correctable number of *whole chips*.
+    fn correctable_chips(&self) -> usize;
+
+    /// Encodes a line into its stored codeword.
+    fn encode_line(&self, line: &[u8; 64]) -> Vec<u8>;
+
+    /// Decodes a stored codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stored.len() != self.codeword_bytes()`.
+    fn decode_line(&self, stored: &[u8]) -> ([u8; 64], CorrectionOutcome);
+
+    /// Decodes treating `marked_chips` as erasures (chip marking / chip
+    /// sparing: a chip known to be dead no longer consumes the unknown-
+    /// error budget). Codecs without erasure support fall back to plain
+    /// decoding.
+    fn decode_line_marked(
+        &self,
+        stored: &[u8],
+        marked_chips: &[usize],
+    ) -> ([u8; 64], CorrectionOutcome) {
+        let _ = marked_chips;
+        self.decode_line(stored)
+    }
+}
+
+/// Chipkill-Correct codec: RS(data_chips + check_chips, data_chips) per
+/// beat, one 8-bit symbol per chip.
+#[derive(Clone, Debug)]
+pub struct ChipkillCodec {
+    rs: ReedSolomon,
+    data_chips: usize,
+    total_chips: usize,
+    beats: usize,
+}
+
+impl ChipkillCodec {
+    /// Creates a codec for a DIMM with `data_chips` data chips and
+    /// `check_chips` redundant chips.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `data_chips` divides 64 and the RS parameters are
+    /// valid.
+    pub fn new(data_chips: usize, check_chips: usize) -> Self {
+        assert!(
+            64 % data_chips == 0,
+            "data chips must divide the 64-byte line"
+        );
+        let total = data_chips + check_chips;
+        let rs = ReedSolomon::new(total, data_chips)
+            .expect("chip counts form valid Reed-Solomon parameters");
+        Self {
+            rs,
+            data_chips,
+            total_chips: total,
+            beats: 64 / data_chips,
+        }
+    }
+
+    /// The paper's Table 4 configuration: 18 chips, 16 data + 2 check,
+    /// single-chipkill (corrects 1 chip, detects 2).
+    pub fn table4() -> Self {
+        Self::new(16, 2)
+    }
+
+    /// Double-chipkill ablation: 16 data + 4 check chips, corrects 2.
+    pub fn double_chipkill() -> Self {
+        Self::new(16, 4)
+    }
+
+    /// Number of beats (codewords) per 64-byte line.
+    pub fn beats(&self) -> usize {
+        self.beats
+    }
+}
+
+impl ChipkillCodec {
+    fn decode_impl(&self, stored: &[u8], marked: &[usize]) -> ([u8; 64], CorrectionOutcome) {
+        assert_eq!(
+            stored.len(),
+            self.codeword_bytes(),
+            "stored codeword size mismatch"
+        );
+        let mut line = [0u8; 64];
+        let mut corrected_symbols = 0usize;
+        let mut any_uncorrectable = false;
+        for beat in 0..self.beats {
+            let cw = &stored[beat * self.total_chips..(beat + 1) * self.total_chips];
+            let (data, outcome) = if marked.is_empty() {
+                self.rs
+                    .decode(cw)
+                    .expect("decode length is n by construction")
+            } else {
+                self.rs
+                    .decode_with_erasures(cw, marked)
+                    .expect("decode length is n by construction")
+            };
+            line[beat * self.data_chips..(beat + 1) * self.data_chips].copy_from_slice(&data);
+            match outcome {
+                CorrectionOutcome::Clean => {}
+                CorrectionOutcome::Corrected { symbols } => corrected_symbols += symbols,
+                CorrectionOutcome::Uncorrectable => any_uncorrectable = true,
+            }
+        }
+        let outcome = if any_uncorrectable {
+            CorrectionOutcome::Uncorrectable
+        } else if corrected_symbols > 0 {
+            CorrectionOutcome::Corrected {
+                symbols: corrected_symbols,
+            }
+        } else {
+            CorrectionOutcome::Clean
+        };
+        (line, outcome)
+    }
+}
+
+impl LineCodec for ChipkillCodec {
+    fn total_chips(&self) -> usize {
+        self.total_chips
+    }
+
+    fn codeword_bytes(&self) -> usize {
+        self.beats * self.total_chips
+    }
+
+    fn correctable_chips(&self) -> usize {
+        self.rs.correctable()
+    }
+
+    fn encode_line(&self, line: &[u8; 64]) -> Vec<u8> {
+        let mut stored = Vec::with_capacity(self.codeword_bytes());
+        for beat in 0..self.beats {
+            let data = &line[beat * self.data_chips..(beat + 1) * self.data_chips];
+            let cw = self
+                .rs
+                .encode(data)
+                .expect("encode length is k by construction");
+            stored.extend_from_slice(&cw);
+        }
+        stored
+    }
+
+    fn decode_line(&self, stored: &[u8]) -> ([u8; 64], CorrectionOutcome) {
+        self.decode_impl(stored, &[])
+    }
+
+    fn decode_line_marked(
+        &self,
+        stored: &[u8],
+        marked_chips: &[usize],
+    ) -> ([u8; 64], CorrectionOutcome) {
+        self.decode_impl(stored, marked_chips)
+    }
+}
+
+/// Conventional SEC-DED codec: Hamming(72, 64) per 64-bit word, eight
+/// codewords per line (the weaker-ECC ablation).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SecDedCodec;
+
+impl SecDedCodec {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl LineCodec for SecDedCodec {
+    fn total_chips(&self) -> usize {
+        18
+    }
+
+    fn codeword_bytes(&self) -> usize {
+        72 // 8 words x 9 bytes
+    }
+
+    fn correctable_chips(&self) -> usize {
+        0 // corrects single bits only; any whole-chip failure is fatal
+    }
+
+    fn encode_line(&self, line: &[u8; 64]) -> Vec<u8> {
+        let mut stored = Vec::with_capacity(72);
+        for w in 0..8 {
+            let word = u64::from_le_bytes(line[8 * w..8 * w + 8].try_into().expect("8 bytes"));
+            let raw = SecDed72::encode(word).raw();
+            stored.extend_from_slice(&raw.to_le_bytes()[..9]);
+        }
+        stored
+    }
+
+    fn decode_line(&self, stored: &[u8]) -> ([u8; 64], CorrectionOutcome) {
+        assert_eq!(stored.len(), 72, "stored codeword size mismatch");
+        let mut line = [0u8; 64];
+        let mut corrected = 0usize;
+        let mut any_uncorrectable = false;
+        for w in 0..8 {
+            let mut raw_bytes = [0u8; 16];
+            raw_bytes[..9].copy_from_slice(&stored[9 * w..9 * w + 9]);
+            let cw = SecDed72::from_raw(u128::from_le_bytes(raw_bytes));
+            let (word, outcome) = cw.decode();
+            line[8 * w..8 * w + 8].copy_from_slice(&word.to_le_bytes());
+            match outcome {
+                CorrectionOutcome::Clean => {}
+                CorrectionOutcome::Corrected { symbols } => corrected += symbols,
+                CorrectionOutcome::Uncorrectable => any_uncorrectable = true,
+            }
+        }
+        let outcome = if any_uncorrectable {
+            CorrectionOutcome::Uncorrectable
+        } else if corrected > 0 {
+            CorrectionOutcome::Corrected { symbols: corrected }
+        } else {
+            CorrectionOutcome::Clean
+        };
+        (line, outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_line() -> [u8; 64] {
+        core::array::from_fn(|i| (i as u8).wrapping_mul(37).wrapping_add(11))
+    }
+
+    #[test]
+    fn table4_geometry() {
+        let c = ChipkillCodec::table4();
+        assert_eq!(c.total_chips(), 18);
+        assert_eq!(c.beats(), 4);
+        assert_eq!(c.codeword_bytes(), 72);
+        assert_eq!(c.correctable_chips(), 1);
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let c = ChipkillCodec::table4();
+        let line = sample_line();
+        let (decoded, outcome) = c.decode_line(&c.encode_line(&line));
+        assert_eq!(decoded, line);
+        assert_eq!(outcome, CorrectionOutcome::Clean);
+    }
+
+    #[test]
+    fn survives_any_single_chip_kill() {
+        let c = ChipkillCodec::table4();
+        let line = sample_line();
+        let clean = c.encode_line(&line);
+        for chip in 0..18 {
+            let mut stored = clean.clone();
+            for (i, b) in stored.iter_mut().enumerate() {
+                if i % 18 == chip {
+                    *b ^= 0xa5; // corrupt every beat of this chip
+                }
+            }
+            let (decoded, outcome) = c.decode_line(&stored);
+            assert_eq!(decoded, line, "chip {chip}");
+            assert!(
+                matches!(outcome, CorrectionOutcome::Corrected { .. }),
+                "chip {chip}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_chip_kill_is_uncorrectable() {
+        let c = ChipkillCodec::table4();
+        let line = sample_line();
+        let mut stored = c.encode_line(&line);
+        for (i, b) in stored.iter_mut().enumerate() {
+            let chip = i % 18;
+            if chip == 3 || chip == 11 {
+                *b ^= 0x77;
+            }
+        }
+        let (_, outcome) = c.decode_line(&stored);
+        assert_eq!(outcome, CorrectionOutcome::Uncorrectable);
+    }
+
+    #[test]
+    fn double_chipkill_survives_two_chips() {
+        let c = ChipkillCodec::double_chipkill();
+        assert_eq!(c.correctable_chips(), 2);
+        let line = sample_line();
+        let mut stored = c.encode_line(&line);
+        for (i, b) in stored.iter_mut().enumerate() {
+            let chip = i % c.total_chips();
+            if chip == 0 || chip == 10 {
+                *b ^= 0x42;
+            }
+        }
+        let (decoded, outcome) = c.decode_line(&stored);
+        assert_eq!(decoded, line);
+        assert!(matches!(outcome, CorrectionOutcome::Corrected { .. }));
+    }
+
+    #[test]
+    fn single_bit_error_is_corrected() {
+        let c = ChipkillCodec::table4();
+        let line = sample_line();
+        let mut stored = c.encode_line(&line);
+        stored[40] ^= 0x04;
+        let (decoded, outcome) = c.decode_line(&stored);
+        assert_eq!(decoded, line);
+        assert_eq!(outcome, CorrectionOutcome::Corrected { symbols: 1 });
+    }
+
+    #[test]
+    fn secded_roundtrip_and_single_bits() {
+        let c = SecDedCodec::new();
+        let line = sample_line();
+        let clean = c.encode_line(&line);
+        assert_eq!(clean.len(), 72);
+        let (decoded, outcome) = c.decode_line(&clean);
+        assert_eq!(decoded, line);
+        assert_eq!(outcome, CorrectionOutcome::Clean);
+
+        // One bit flip in each of two different words: both corrected.
+        let mut stored = clean.clone();
+        stored[0] ^= 0x01;
+        stored[30] ^= 0x10;
+        let (decoded, outcome) = c.decode_line(&stored);
+        assert_eq!(decoded, line);
+        assert!(matches!(
+            outcome,
+            CorrectionOutcome::Corrected { symbols: 2 }
+        ));
+    }
+
+    #[test]
+    fn secded_cannot_survive_chip_kill() {
+        // A whole-chip failure hits 8 bits per affected word: SEC-DED either
+        // detects it as uncorrectable or — when the 8 flips alias to a zero
+        // syndrome — *silently corrupts* the data. Either way the data is
+        // never both "usable" and correct, which is exactly why Table 4
+        // specifies chipkill for NVM DIMMs.
+        let c = SecDedCodec::new();
+        let line = sample_line();
+        for chip in 0..18 {
+            for pattern in [0xffu8, 0x5a, 0x03] {
+                let mut stored = c.encode_line(&line);
+                for (i, b) in stored.iter_mut().enumerate() {
+                    if i % 18 == chip {
+                        *b ^= pattern;
+                    }
+                }
+                let (decoded, outcome) = c.decode_line(&stored);
+                assert!(
+                    outcome == CorrectionOutcome::Uncorrectable || decoded != line,
+                    "chip {chip} pattern {pattern:#x}: SEC-DED claimed a clean recovery"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn decode_length_checked() {
+        ChipkillCodec::table4().decode_line(&[0u8; 71]);
+    }
+
+    #[test]
+    fn marking_survives_two_dead_chips() {
+        // RS(18,16) has d = 3: two unknown bad chips are fatal, but two
+        // *marked* chips are pure erasures (e = 2 <= 2t) and both recover.
+        let c = ChipkillCodec::table4();
+        let line = sample_line();
+        let mut stored = c.encode_line(&line);
+        for (i, b) in stored.iter_mut().enumerate() {
+            let chip = i % 18;
+            if chip == 5 || chip == 11 {
+                *b ^= 0xff;
+            }
+        }
+        let (_, plain) = c.decode_line(&stored);
+        assert_eq!(plain, CorrectionOutcome::Uncorrectable);
+        let (decoded, marked) = c.decode_line_marked(&stored, &[5, 11]);
+        assert_eq!(decoded, line);
+        assert!(marked.is_usable(), "{marked:?}");
+    }
+
+    #[test]
+    fn double_chipkill_marking_absorbs_dead_chip_plus_fresh_error() {
+        // With 2t = 4: one marked dead chip (e = 1) plus one unknown
+        // error (2v = 2) fits the budget (3 <= 4).
+        let c = ChipkillCodec::double_chipkill();
+        let line = sample_line();
+        let mut stored = c.encode_line(&line);
+        for (i, b) in stored.iter_mut().enumerate() {
+            if i % c.total_chips() == 5 {
+                *b ^= 0xff; // dead chip
+            }
+        }
+        stored[12] ^= 0x08; // fresh single-symbol error elsewhere
+        let (decoded, marked) = c.decode_line_marked(&stored, &[5]);
+        assert_eq!(decoded, line);
+        assert!(marked.is_usable(), "{marked:?}");
+    }
+
+    #[test]
+    fn marking_a_healthy_chip_is_harmless() {
+        let c = ChipkillCodec::table4();
+        let line = sample_line();
+        let stored = c.encode_line(&line);
+        let (decoded, outcome) = c.decode_line_marked(&stored, &[0]);
+        assert_eq!(decoded, line);
+        assert_eq!(outcome, CorrectionOutcome::Clean);
+    }
+}

@@ -1,0 +1,202 @@
+//! Error-Correcting Pointers (ECP) for hard faults.
+//!
+//! [Schechter et al., "Use ECP, not ECC, for hard failures in resistive
+//! memories", ISCA 2010] — instead of a code, store up to `P` *pointers*
+//! to known-bad cells plus the correct value for each. This matches the
+//! stuck-at failure mode of worn-out PCM cells: once a cell is known bad,
+//! it stays bad, and a pointer repairs it forever.
+//!
+//! The paper (§2.3) lists ECP alongside ECC as the standard NVM
+//! reliability toolbox; `soteria-nvm` uses this module for permanent
+//! (wear-out) faults while Reed–Solomon handles transient ones.
+//!
+//! # Example
+//!
+//! ```
+//! use soteria_ecc::ecp::EcpBlock;
+//!
+//! let mut ecp = EcpBlock::<6>::new();
+//! assert!(ecp.record_stuck_bit(100, true));
+//! let mut line = [0u8; 64];
+//! // cell 100 is stuck at 1; ECP knows its true value is 1, so a read of a
+//! // line whose bit 100 should be 1 needs no repair, but a stored 0 would
+//! // be repaired on write-verify. Here we just apply the overlay:
+//! ecp.apply(&mut line);
+//! assert_eq!(line[12] & (1 << 4), 1 << 4); // bit 100 = byte 12, bit 4
+//! ```
+
+/// One repair pointer: a bit position within a 512-bit block plus the
+/// replacement value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EcpEntry {
+    /// Bit index within the 512-bit data block.
+    pub bit: u16,
+    /// The correct value of that bit.
+    pub value: bool,
+}
+
+/// An ECP repair structure with capacity for `P` stuck cells per block
+/// (ECP-6 — `P = 6` — is the configuration from the ECP paper). The
+/// default span is a 512-bit data block; ECC-encoded codewords use
+/// [`EcpBlock::with_span`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EcpBlock<const P: usize> {
+    entries: Vec<EcpEntry>,
+    span_bits: u16,
+}
+
+impl<const P: usize> Default for EcpBlock<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const P: usize> EcpBlock<P> {
+    /// Creates an empty repair structure over a 512-bit block.
+    pub fn new() -> Self {
+        Self::with_span(512)
+    }
+
+    /// Creates an empty repair structure over `span_bits` cells (e.g. the
+    /// 576-bit Chipkill codeword of one line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span_bits == 0`.
+    pub fn with_span(span_bits: u16) -> Self {
+        assert!(span_bits > 0, "span must be positive");
+        Self {
+            entries: Vec::new(),
+            span_bits,
+        }
+    }
+
+    /// Number of pointers in use.
+    pub fn used(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Remaining repair capacity.
+    pub fn remaining(&self) -> usize {
+        P - self.entries.len()
+    }
+
+    /// Returns `true` if the block has exhausted its pointers; a further
+    /// stuck cell makes the block unrepairable (triggering page retirement
+    /// / row sparing upstream).
+    pub fn is_exhausted(&self) -> bool {
+        self.entries.len() >= P
+    }
+
+    /// Records that `bit` is stuck and stores its correct value.
+    ///
+    /// Returns `false` (without recording) when capacity is exhausted.
+    /// Re-recording a known bit updates its value and always succeeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 512`.
+    pub fn record_stuck_bit(&mut self, bit: u16, value: bool) -> bool {
+        assert!(
+            bit < self.span_bits,
+            "ECP covers a {}-bit block, got bit {bit}",
+            self.span_bits
+        );
+        if let Some(e) = self.entries.iter_mut().find(|e| e.bit == bit) {
+            e.value = value;
+            return true;
+        }
+        if self.is_exhausted() {
+            return false;
+        }
+        self.entries.push(EcpEntry { bit, value });
+        true
+    }
+
+    /// Overwrites the repaired bits in `data` with their correct values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is shorter than the span.
+    pub fn apply(&self, data: &mut [u8]) {
+        assert!(
+            data.len() * 8 >= self.span_bits as usize,
+            "buffer shorter than ECP span"
+        );
+        for e in &self.entries {
+            let byte = (e.bit / 8) as usize;
+            let bit = e.bit % 8;
+            if e.value {
+                data[byte] |= 1 << bit;
+            } else {
+                data[byte] &= !(1 << bit);
+            }
+        }
+    }
+
+    /// Iterates over the recorded repair entries.
+    pub fn iter(&self) -> impl Iterator<Item = &EcpEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_up_to_capacity() {
+        let mut ecp = EcpBlock::<2>::new();
+        assert!(ecp.record_stuck_bit(0, true));
+        assert!(ecp.record_stuck_bit(1, false));
+        assert!(ecp.is_exhausted());
+        assert!(!ecp.record_stuck_bit(2, true));
+        assert_eq!(ecp.used(), 2);
+    }
+
+    #[test]
+    fn re_record_updates_in_place() {
+        let mut ecp = EcpBlock::<1>::new();
+        assert!(ecp.record_stuck_bit(5, true));
+        assert!(ecp.record_stuck_bit(5, false)); // same cell, new value
+        assert_eq!(ecp.used(), 1);
+        let mut line = [0xffu8; 64];
+        ecp.apply(&mut line);
+        assert_eq!(line[0] & (1 << 5), 0);
+    }
+
+    #[test]
+    fn apply_repairs_reads() {
+        let mut ecp = EcpBlock::<6>::new();
+        ecp.record_stuck_bit(511, true);
+        ecp.record_stuck_bit(0, false);
+        let mut line = [0u8; 64];
+        line[0] = 0x01; // stuck-at-0 cell read as 1 -> must be cleared
+        ecp.apply(&mut line);
+        assert_eq!(line[0], 0);
+        assert_eq!(line[63] & 0x80, 0x80);
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let mut ecp = EcpBlock::<6>::new();
+        assert_eq!(ecp.remaining(), 6);
+        ecp.record_stuck_bit(3, true);
+        assert_eq!(ecp.remaining(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "512-bit block")]
+    fn bit_bounds_checked() {
+        EcpBlock::<6>::new().record_stuck_bit(512, true);
+    }
+
+    #[test]
+    fn custom_span_accepts_codeword_bits() {
+        let mut ecp = EcpBlock::<6>::with_span(576);
+        assert!(ecp.record_stuck_bit(575, true));
+        let mut cw = vec![0u8; 72];
+        ecp.apply(&mut cw);
+        assert_eq!(cw[71] & 0x80, 0x80);
+    }
+}

@@ -1,0 +1,314 @@
+//! Arithmetic in GF(2^8) with the primitive polynomial
+//! `x^8 + x^4 + x^3 + x^2 + 1` (0x11d) and generator α = 0x02.
+//!
+//! This is the field underlying the Reed–Solomon codes in [`crate::rs`].
+//! Log/antilog tables are built at first use.
+//!
+//! # Example
+//!
+//! ```
+//! use soteria_ecc::gf256::Gf256;
+//!
+//! let a = Gf256::new(0x53);
+//! let b = Gf256::new(0xca);
+//! assert_eq!((a * b) / b, a);
+//! ```
+
+use std::ops::{Add, Div, Mul, Sub};
+use std::sync::OnceLock;
+
+const POLY: u16 = 0x11d;
+
+struct Tables {
+    exp: [u8; 512], // doubled so exp[i + j] works without modular reduction
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// An element of GF(2^8).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gf256(u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+    /// The field generator α.
+    pub const ALPHA: Gf256 = Gf256(2);
+
+    /// Wraps a byte as a field element.
+    pub fn new(value: u8) -> Self {
+        Self(value)
+    }
+
+    /// Returns the raw byte.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Returns α^`power` (power taken mod 255).
+    pub fn alpha_pow(power: usize) -> Self {
+        Gf256(tables().exp[power % 255])
+    }
+
+    /// Returns the multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero, which has no inverse.
+    pub fn inverse(self) -> Self {
+        assert!(self.0 != 0, "zero has no multiplicative inverse in GF(256)");
+        let t = tables();
+        Gf256(t.exp[255 - t.log[self.0 as usize] as usize])
+    }
+
+    /// Returns `self` raised to `power`.
+    pub fn pow(self, power: usize) -> Self {
+        if self.0 == 0 {
+            return if power == 0 { Gf256::ONE } else { Gf256::ZERO };
+        }
+        let t = tables();
+        let log = t.log[self.0 as usize] as usize;
+        Gf256(t.exp[(log * power) % 255])
+    }
+
+    /// Returns the discrete log base α, or `None` for zero.
+    pub fn log(self) -> Option<u8> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(tables().log[self.0 as usize])
+        }
+    }
+
+    /// Returns `true` if this is the zero element.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl From<u8> for Gf256 {
+    fn from(value: u8) -> Self {
+        Gf256(value)
+    }
+}
+
+impl From<Gf256> for u8 {
+    fn from(value: Gf256) -> Self {
+        value.0
+    }
+}
+
+impl Add for Gf256 {
+    type Output = Gf256;
+    // Field addition in characteristic 2 IS xor; clippy's arithmetic-impl
+    // heuristic does not apply to finite fields.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl Sub for Gf256 {
+    type Output = Gf256;
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        // Characteristic 2: subtraction is addition.
+        self + rhs
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let t = tables();
+        Gf256(t.exp[t.log[self.0 as usize] as usize + t.log[rhs.0 as usize] as usize])
+    }
+}
+
+impl Div for Gf256 {
+    type Output = Gf256;
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Gf256) -> Gf256 {
+        self * rhs.inverse()
+    }
+}
+
+impl std::fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#04x}", self.0)
+    }
+}
+
+impl std::fmt::LowerHex for Gf256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// Evaluates a polynomial (coefficients lowest-degree-first) at `x`.
+pub fn poly_eval(coeffs: &[Gf256], x: Gf256) -> Gf256 {
+    // Horner's rule from the highest coefficient down.
+    let mut acc = Gf256::ZERO;
+    for &c in coeffs.iter().rev() {
+        acc = acc * x + c;
+    }
+    acc
+}
+
+/// Multiplies two polynomials (coefficients lowest-degree-first).
+pub fn poly_mul(a: &[Gf256], b: &[Gf256]) -> Vec<Gf256> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![Gf256::ZERO; a.len() + b.len() - 1];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            out[i + j] = out[i + j] + ai * bj;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_xor() {
+        assert_eq!(Gf256::new(0x53) + Gf256::new(0xca), Gf256::new(0x99));
+        assert_eq!(Gf256::new(7) + Gf256::new(7), Gf256::ZERO);
+    }
+
+    #[test]
+    fn multiplication_known_value() {
+        // 0x53 * 0xca = 0x01 in the AES field 0x11b, but here we use 0x11d.
+        // Verify against a slow bitwise multiply instead.
+        fn slow_mul(mut a: u16, mut b: u16) -> u8 {
+            let mut p: u16 = 0;
+            while b != 0 {
+                if b & 1 != 0 {
+                    p ^= a;
+                }
+                a <<= 1;
+                if a & 0x100 != 0 {
+                    a ^= POLY;
+                }
+                b >>= 1;
+            }
+            p as u8
+        }
+        for a in [0u8, 1, 2, 3, 0x53, 0x8e, 0xff] {
+            for b in [0u8, 1, 2, 0x0a, 0xca, 0xfe, 0xff] {
+                assert_eq!(
+                    (Gf256::new(a) * Gf256::new(b)).value(),
+                    slow_mul(a as u16, b as u16),
+                    "a={a:#x} b={b:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for v in 1..=255u8 {
+            let x = Gf256::new(v);
+            assert_eq!(x * x.inverse(), Gf256::ONE, "v={v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn zero_inverse_panics() {
+        let _ = Gf256::ZERO.inverse();
+    }
+
+    #[test]
+    fn alpha_generates_the_field() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..255 {
+            assert!(seen.insert(Gf256::alpha_pow(i)));
+        }
+        assert_eq!(seen.len(), 255);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let x = Gf256::new(0x1d);
+        let mut acc = Gf256::ONE;
+        for p in 0..20 {
+            assert_eq!(x.pow(p), acc);
+            acc = acc * x;
+        }
+    }
+
+    #[test]
+    fn pow_of_zero() {
+        assert_eq!(Gf256::ZERO.pow(0), Gf256::ONE);
+        assert_eq!(Gf256::ZERO.pow(5), Gf256::ZERO);
+    }
+
+    #[test]
+    fn distributivity() {
+        for (a, b, c) in [(3u8, 7u8, 200u8), (0x55, 0xaa, 0x0f), (1, 255, 128)] {
+            let (a, b, c) = (Gf256::new(a), Gf256::new(b), Gf256::new(c));
+            assert_eq!(a * (b + c), a * b + a * c);
+        }
+    }
+
+    #[test]
+    fn poly_eval_constant_and_linear() {
+        let c = [Gf256::new(5)];
+        assert_eq!(poly_eval(&c, Gf256::new(99)), Gf256::new(5));
+        // p(x) = 3 + 2x at x = 4 -> 3 + 8 = 0x0b
+        let p = [Gf256::new(3), Gf256::new(2)];
+        assert_eq!(
+            poly_eval(&p, Gf256::new(4)),
+            Gf256::new(3) + Gf256::new(2) * Gf256::new(4)
+        );
+    }
+
+    #[test]
+    fn poly_mul_degrees_add() {
+        let a = [Gf256::ONE, Gf256::ONE]; // 1 + x
+        let b = [Gf256::ONE, Gf256::ONE]; // 1 + x
+                                          // (1+x)^2 = 1 + x^2 in characteristic 2
+        assert_eq!(poly_mul(&a, &b), vec![Gf256::ONE, Gf256::ZERO, Gf256::ONE]);
+    }
+
+    #[test]
+    fn log_roundtrip() {
+        for v in 1..=255u8 {
+            let x = Gf256::new(v);
+            assert_eq!(Gf256::alpha_pow(x.log().unwrap() as usize), x);
+        }
+        assert_eq!(Gf256::ZERO.log(), None);
+    }
+}

@@ -1,0 +1,252 @@
+//! SEC-DED Hamming(72, 64): single-error-correct, double-error-detect.
+//!
+//! This is the classic extended-Hamming code used by conventional ECC
+//! DIMMs. The Soteria ablations use it as the "weaker ECC" alternative to
+//! [`crate::chipkill`] — §3.1 argues the security metadata must not rely on
+//! ECC strength, whatever it is.
+//!
+//! # Example
+//!
+//! ```
+//! use soteria_ecc::hamming::SecDed72;
+//! use soteria_ecc::CorrectionOutcome;
+//!
+//! let word = 0xdead_beef_cafe_f00du64;
+//! let mut cw = SecDed72::encode(word);
+//! cw.flip_bit(17);
+//! let (decoded, outcome) = cw.decode();
+//! assert_eq!(decoded, word);
+//! assert_eq!(outcome, CorrectionOutcome::Corrected { symbols: 1 });
+//! ```
+
+use crate::CorrectionOutcome;
+
+/// Number of check bits (7 Hamming + 1 overall parity).
+const CHECK_BITS: usize = 8;
+/// Total codeword length in bits.
+const TOTAL_BITS: usize = 72;
+
+/// A 72-bit SEC-DED codeword protecting one 64-bit word.
+///
+/// Bit layout: positions 1..=71 hold the standard Hamming arrangement
+/// (check bits at powers of two), position 0 holds the overall parity bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SecDed72 {
+    bits: u128, // low 72 bits used
+}
+
+impl SecDed72 {
+    /// Encodes a 64-bit data word.
+    pub fn encode(data: u64) -> Self {
+        let mut bits: u128 = 0;
+        // Scatter the 64 data bits over the non-power-of-two positions
+        // 3,5,6,7,9,... within 1..=71.
+        let mut data_idx = 0;
+        for pos in 1..TOTAL_BITS {
+            if pos.is_power_of_two() {
+                continue;
+            }
+            if (data >> data_idx) & 1 != 0 {
+                bits |= 1u128 << pos;
+            }
+            data_idx += 1;
+        }
+        debug_assert_eq!(data_idx, 64);
+        // Hamming check bits: parity over positions with that bit set in
+        // their index.
+        for c in 0..(CHECK_BITS - 1) {
+            let check_pos = 1usize << c;
+            let mut parity = 0u32;
+            for pos in 1..TOTAL_BITS {
+                if pos & check_pos != 0 && (bits >> pos) & 1 != 0 {
+                    parity ^= 1;
+                }
+            }
+            if parity != 0 {
+                bits |= 1u128 << check_pos;
+            }
+        }
+        // Overall parity at position 0 (makes it SEC-DED).
+        if !bits.count_ones().is_multiple_of(2) {
+            bits |= 1;
+        }
+        Self { bits }
+    }
+
+    /// Returns the raw 72-bit codeword (low bits of the u128).
+    pub fn raw(&self) -> u128 {
+        self.bits
+    }
+
+    /// Reconstructs a codeword from raw bits (e.g. after storage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if bits above position 71 are set.
+    pub fn from_raw(bits: u128) -> Self {
+        assert_eq!(bits >> TOTAL_BITS, 0, "SEC-DED codeword uses only 72 bits");
+        Self { bits }
+    }
+
+    /// Flips one bit of the stored codeword (fault injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 72`.
+    pub fn flip_bit(&mut self, bit: usize) {
+        assert!(bit < TOTAL_BITS, "bit index {bit} out of range");
+        self.bits ^= 1u128 << bit;
+    }
+
+    fn extract_data(bits: u128) -> u64 {
+        let mut data = 0u64;
+        let mut data_idx = 0;
+        for pos in 1..TOTAL_BITS {
+            if pos.is_power_of_two() {
+                continue;
+            }
+            if (bits >> pos) & 1 != 0 {
+                data |= 1u64 << data_idx;
+            }
+            data_idx += 1;
+        }
+        data
+    }
+
+    /// Decodes, correcting a single-bit error and detecting double-bit
+    /// errors.
+    pub fn decode(&self) -> (u64, CorrectionOutcome) {
+        let mut syndrome = 0usize;
+        for c in 0..(CHECK_BITS - 1) {
+            let check_pos = 1usize << c;
+            let mut parity = 0u32;
+            for pos in 1..TOTAL_BITS {
+                if pos & check_pos != 0 && (self.bits >> pos) & 1 != 0 {
+                    parity ^= 1;
+                }
+            }
+            if parity != 0 {
+                syndrome |= check_pos;
+            }
+        }
+        let overall_parity = self.bits.count_ones() % 2;
+        match (syndrome, overall_parity) {
+            (0, 0) => (Self::extract_data(self.bits), CorrectionOutcome::Clean),
+            (0, 1) => {
+                // Error in the overall parity bit itself.
+                (
+                    Self::extract_data(self.bits),
+                    CorrectionOutcome::Corrected { symbols: 1 },
+                )
+            }
+            (s, 1) => {
+                // Single-bit error at position s.
+                if s < TOTAL_BITS {
+                    let fixed = self.bits ^ (1u128 << s);
+                    (
+                        Self::extract_data(fixed),
+                        CorrectionOutcome::Corrected { symbols: 1 },
+                    )
+                } else {
+                    (
+                        Self::extract_data(self.bits),
+                        CorrectionOutcome::Uncorrectable,
+                    )
+                }
+            }
+            (_, 0) => {
+                // Nonzero syndrome with even parity: double-bit error.
+                (
+                    Self::extract_data(self.bits),
+                    CorrectionOutcome::Uncorrectable,
+                )
+            }
+            _ => unreachable!("parity is 0 or 1"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_roundtrip() {
+        for word in [0u64, u64::MAX, 0xdead_beef_cafe_f00d, 1, 1 << 63] {
+            let (decoded, outcome) = SecDed72::encode(word).decode();
+            assert_eq!(decoded, word);
+            assert_eq!(outcome, CorrectionOutcome::Clean);
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_bit_flip() {
+        let word = 0x0123_4567_89ab_cdefu64;
+        for bit in 0..72 {
+            let mut cw = SecDed72::encode(word);
+            cw.flip_bit(bit);
+            let (decoded, outcome) = cw.decode();
+            assert_eq!(decoded, word, "bit {bit}");
+            assert_eq!(
+                outcome,
+                CorrectionOutcome::Corrected { symbols: 1 },
+                "bit {bit}"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_every_double_bit_flip() {
+        let word = 0xffff_0000_aaaa_5555u64;
+        for b1 in (0..72).step_by(7) {
+            for b2 in 0..72 {
+                if b1 == b2 {
+                    continue;
+                }
+                let mut cw = SecDed72::encode(word);
+                cw.flip_bit(b1);
+                cw.flip_bit(b2);
+                let (_, outcome) = cw.decode();
+                assert_eq!(
+                    outcome,
+                    CorrectionOutcome::Uncorrectable,
+                    "bits {b1},{b2} should be detected-uncorrectable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triple_flips_may_miscorrect_but_never_report_clean() {
+        // SEC-DED guarantees nothing for 3 flips except that the overall
+        // parity flips, which always reports a (possibly wrong) correction;
+        // a triple error must never decode as Clean.
+        let word = 0x1111_2222_3333_4444u64;
+        for (a, b, c) in [(0, 1, 2), (10, 30, 60), (5, 6, 71), (8, 16, 32)] {
+            let mut cw = SecDed72::encode(word);
+            cw.flip_bit(a);
+            cw.flip_bit(b);
+            cw.flip_bit(c);
+            let (_, outcome) = cw.decode();
+            assert_ne!(outcome, CorrectionOutcome::Clean, "bits {a},{b},{c}");
+        }
+    }
+
+    #[test]
+    fn from_raw_roundtrip() {
+        let cw = SecDed72::encode(42);
+        assert_eq!(SecDed72::from_raw(cw.raw()), cw);
+    }
+
+    #[test]
+    #[should_panic(expected = "72 bits")]
+    fn from_raw_rejects_wide_values() {
+        let _ = SecDed72::from_raw(1u128 << 72);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_bit_bounds_checked() {
+        SecDed72::encode(0).flip_bit(72);
+    }
+}

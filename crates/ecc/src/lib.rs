@@ -1,0 +1,87 @@
+#![warn(missing_docs)]
+
+//! Error-correction substrate for the Soteria reproduction.
+//!
+//! NVM DIMMs ship with strong in-memory ECC (§2.3 of the paper): the
+//! evaluated system uses **Chipkill-Correct** over an 18-chip DIMM
+//! (Table 4). This crate implements that stack from scratch:
+//!
+//! * [`gf256`] — arithmetic in GF(2^8),
+//! * [`rs`] — generic Reed–Solomon codes (syndrome decoding with
+//!   Berlekamp–Massey, Chien search and Forney's algorithm),
+//! * [`chipkill`] — the chip-striped codeword layout that turns a
+//!   Reed–Solomon symbol correction into whole-chip-failure tolerance,
+//! * [`hamming`] — SEC-DED Hamming(72,64), the weaker "conventional" ECC
+//!   used in ablation experiments,
+//! * [`ecp`] — Error-Correcting Pointers for hard (stuck-at) faults
+//!   [Schechter et al., ISCA 2010].
+//!
+//! Every decoder reports a [`CorrectionOutcome`] so the memory controller
+//! can distinguish clean reads, corrected errors, and **detected
+//! uncorrectable errors** (which trigger Soteria's clone-repair path).
+//! Miscorrection (silent corruption) is possible for errors beyond the
+//! design distance, exactly as in real codes, and is quantified in tests.
+
+pub mod chipkill;
+pub mod ecp;
+pub mod gf256;
+pub mod hamming;
+pub mod rs;
+
+/// The outcome of running an ECC decode over a (possibly faulty) codeword.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CorrectionOutcome {
+    /// No error was present.
+    Clean,
+    /// Errors were present and fully corrected; payload is trustworthy.
+    Corrected {
+        /// Number of symbols (or bits, for Hamming) repaired.
+        symbols: usize,
+    },
+    /// An error was detected but exceeds the correction capability.
+    /// The payload must not be trusted; secure controllers treat this as a
+    /// potential integrity failure (§2.7).
+    Uncorrectable,
+}
+
+impl CorrectionOutcome {
+    /// Returns `true` when the decoded payload may be used.
+    pub fn is_usable(&self) -> bool {
+        !matches!(self, CorrectionOutcome::Uncorrectable)
+    }
+}
+
+impl std::fmt::Display for CorrectionOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorrectionOutcome::Clean => write!(f, "clean"),
+            CorrectionOutcome::Corrected { symbols } => write!(f, "corrected({symbols})"),
+            CorrectionOutcome::Uncorrectable => write!(f, "uncorrectable"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_usability() {
+        assert!(CorrectionOutcome::Clean.is_usable());
+        assert!(CorrectionOutcome::Corrected { symbols: 1 }.is_usable());
+        assert!(!CorrectionOutcome::Uncorrectable.is_usable());
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(CorrectionOutcome::Clean.to_string(), "clean");
+        assert_eq!(
+            CorrectionOutcome::Corrected { symbols: 2 }.to_string(),
+            "corrected(2)"
+        );
+        assert_eq!(
+            CorrectionOutcome::Uncorrectable.to_string(),
+            "uncorrectable"
+        );
+    }
+}

@@ -1,0 +1,649 @@
+//! Monte Carlo fault-injection campaigns over a Chipkill DIMM.
+//!
+//! Each iteration draws a five-year fault history for one DIMM (Poisson
+//! arrivals per chip per fault-mode bucket), then asks the layout-aware
+//! [`ResilienceModel`] how much data each cloning policy loses. All
+//! policies are evaluated on the **same** fault sets (paired comparison,
+//! as FaultSim does), which slashes the variance of the UDR ratios the
+//! paper reports. Iterations run in parallel with `crossbeam`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use soteria::analysis::{ResilienceModel, TreeKind};
+use soteria::clone::CloningPolicy;
+use soteria::layout::MemoryLayout;
+use soteria_nvm::fault::{FaultFootprint, FaultKind, FaultRecord};
+use soteria_nvm::geometry::DimmGeometry;
+
+use crate::rates::{FaultMode, FitRates};
+use crate::FIVE_YEARS_HOURS;
+
+/// Configuration of one campaign (Table 4 defaults).
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Protected data capacity (16 GiB matches the Table 4 DIMM).
+    pub capacity_bytes: u64,
+    /// Total FIT per chip (the Fig. 11 sweep variable, 1–80).
+    pub fit_per_chip: f64,
+    /// Fault-mode mix.
+    pub rates: FitRates,
+    /// Simulated service time in hours.
+    pub hours: f64,
+    /// Monte Carlo iterations (the paper uses 10^6).
+    pub iterations: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Chips the underlying ECC corrects per codeword (0 = SEC-DED-class,
+    /// 1 = Chipkill, 2 = double-Chipkill) — the ECC-strength ablation.
+    pub correctable_chips: usize,
+    /// Integrity-tree structure (ToC vs BMT ablation).
+    pub tree: TreeKind,
+    /// Patrol-scrub interval in hours. With scrubbing, a *transient*
+    /// fault is repaired within one interval, so it only contributes to an
+    /// uncorrectable error if a second fault arrives while it is still
+    /// live. `None` disables scrubbing (faults accumulate for the whole
+    /// campaign — the conservative default).
+    pub scrub_interval_hours: Option<f64>,
+}
+
+impl CampaignConfig {
+    /// The Table 4 configuration at a given total FIT per chip: 16 GiB
+    /// DIMM, 18 chips (9/rank × 2), 16 banks, Chipkill, 5 years, Hopper
+    /// mode mix.
+    pub fn table4(fit_per_chip: f64) -> Self {
+        Self {
+            capacity_bytes: 16u64 << 30,
+            fit_per_chip,
+            rates: FitRates::hopper(),
+            hours: FIVE_YEARS_HOURS,
+            iterations: 10_000,
+            seed: 0x5072_1a5e,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            correctable_chips: 1,
+            tree: TreeKind::Toc,
+            scrub_interval_hours: None,
+        }
+    }
+
+    /// The DIMM geometry sized for this capacity's layout.
+    pub fn build_geometry(&self, layout: &MemoryLayout) -> DimmGeometry {
+        let banks = 16u32;
+        let cols = 1024u32;
+        let rows = layout
+            .total_lines()
+            .div_ceil(banks as u64 * cols as u64)
+            .max(1) as u32;
+        DimmGeometry::new(18, 9, 2, banks, rows, cols)
+    }
+
+    /// The layout shared by every policy (sized for the deepest one, so
+    /// clone addresses are identical across policies).
+    pub fn build_layout(&self) -> MemoryLayout {
+        MemoryLayout::new(self.capacity_bytes / 64, 8192, 4)
+    }
+}
+
+/// Aggregate outcome for one cloning policy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PolicyResult {
+    /// The policy evaluated.
+    pub policy: CloningPolicy,
+    /// Iterations simulated.
+    pub iterations: u64,
+    /// Iterations in which at least one fault arrived.
+    pub iterations_with_faults: u64,
+    /// Iterations in which Chipkill was defeated somewhere.
+    pub iterations_with_ue: u64,
+    /// Iterations with non-zero unverifiable data (metadata loss).
+    pub iterations_with_udr: u64,
+    /// Mean fraction of data directly lost to errors (`L_error`).
+    pub mean_error_ratio: f64,
+    /// Mean Unverifiable Data Ratio (`L_unverifiable / capacity`).
+    pub mean_udr: f64,
+}
+
+impl PolicyResult {
+    /// Mean total loss ratio (`L_total / capacity`, Fig. 12).
+    pub fn mean_total_ratio(&self) -> f64 {
+        self.mean_error_ratio + self.mean_udr
+    }
+}
+
+fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+    // Knuth's method: fine for the small lambdas of FIT-scale arrivals.
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // guard against pathological lambda
+        }
+    }
+}
+
+fn sample_fault(
+    rng: &mut StdRng,
+    geometry: &DimmGeometry,
+    chip: u32,
+    mode: FaultMode,
+    permanent: bool,
+) -> FaultRecord {
+    let kind = if permanent {
+        FaultKind::Permanent
+    } else {
+        FaultKind::Transient
+    };
+    let bank = rng.random_range(0..geometry.banks());
+    let row = rng.random_range(0..geometry.rows());
+    let col = rng.random_range(0..geometry.cols_per_row());
+    let beat = rng.random_range(0..4u8);
+    let footprint = match mode {
+        FaultMode::SingleBit => FaultFootprint::SingleBit {
+            bank,
+            row,
+            col,
+            beat,
+            bit: rng.random_range(0..8),
+        },
+        FaultMode::SingleWord => FaultFootprint::SingleWord {
+            bank,
+            row,
+            col,
+            beat,
+        },
+        FaultMode::SingleColumn => FaultFootprint::SingleColumn { bank, col },
+        FaultMode::SingleRow => FaultFootprint::SingleRow { bank, row },
+        FaultMode::SingleBank => FaultFootprint::SingleBank { bank },
+        FaultMode::MultiBank => {
+            // 2-4 distinct banks.
+            let mut mask = 1u32 << bank;
+            let extra = rng.random_range(1..4u32);
+            for _ in 0..extra {
+                mask |= 1 << rng.random_range(0..geometry.banks());
+            }
+            FaultFootprint::MultiBank { bank_mask: mask }
+        }
+        FaultMode::MultiRank => FaultFootprint::SingleBank { bank },
+    };
+    let mut record = if mode == FaultMode::MultiRank {
+        // A rank-level fault strikes shared circuitry: the same bank goes
+        // bad in the affected chip position of *both* ranks (two symbols
+        // of every codeword in that bank — beyond Chipkill, like real
+        // lockstep x8 Chipkill under rank faults). It is not whole-DIMM
+        // annihilation: other banks stay healthy.
+        let position = chip % geometry.chips_per_rank();
+        let chips: Vec<u32> = (0..geometry.ranks())
+            .map(|r| r * geometry.chips_per_rank() + position)
+            .collect();
+        FaultRecord {
+            chips,
+            footprint,
+            kind,
+            onset_epoch: 0,
+            seed: 0,
+        }
+    } else {
+        FaultRecord::on_chip(geometry, chip, footprint, kind)
+    };
+    record.seed = rng.random();
+    record
+}
+
+/// A fault plus its arrival time within the campaign horizon.
+#[derive(Clone, Debug)]
+pub struct TimedFault {
+    /// The fault.
+    pub record: FaultRecord,
+    /// Arrival time in hours since the campaign start.
+    pub start_hours: f64,
+}
+
+impl TimedFault {
+    /// Is this fault still uncorrected at `t` (hours), given a scrub
+    /// interval? Permanent faults persist; transient faults are cleansed
+    /// one scrub interval after arrival.
+    pub fn live_at(&self, t: f64, scrub_interval_hours: Option<f64>) -> bool {
+        if t < self.start_hours {
+            return false;
+        }
+        match (self.record.kind, scrub_interval_hours) {
+            (FaultKind::Permanent, _) | (_, None) => true,
+            (FaultKind::Transient, Some(s)) => t < self.start_hours + s,
+        }
+    }
+}
+
+/// Draws one DIMM's fault history with arrival times.
+pub fn sample_fault_history(
+    rng: &mut StdRng,
+    geometry: &DimmGeometry,
+    rates: &FitRates,
+    hours: f64,
+) -> Vec<TimedFault> {
+    let mut out = Vec::new();
+    let mut push = |rng: &mut StdRng, record: FaultRecord| {
+        let start_hours = rng.random::<f64>() * hours;
+        out.push(TimedFault {
+            record,
+            start_hours,
+        });
+    };
+    for (mode, permanent, fit) in rates.buckets() {
+        let lambda = fit * hours / 1e9;
+        if mode == FaultMode::MultiRank {
+            for position in 0..geometry.chips_per_rank() {
+                for _ in 0..poisson(rng, lambda) {
+                    let f = sample_fault(rng, geometry, position, mode, permanent);
+                    push(rng, f);
+                }
+            }
+        } else {
+            for chip in 0..geometry.chips() {
+                for _ in 0..poisson(rng, lambda) {
+                    let f = sample_fault(rng, geometry, chip, mode, permanent);
+                    push(rng, f);
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.start_hours.total_cmp(&b.start_hours));
+    out
+}
+
+/// Draws a fault set with **exactly** `large_count` bank-scale-or-larger
+/// faults (each bucket weighted by its rate) plus the usual Poisson
+/// background of smaller faults — the conditioned draw behind
+/// [`crate::rare::estimate_clone_udr`].
+pub fn sample_fault_set_filtered(
+    rng: &mut StdRng,
+    geometry: &DimmGeometry,
+    rates: &FitRates,
+    hours: f64,
+    large_count: u64,
+) -> Vec<FaultRecord> {
+    let mut faults = Vec::new();
+    // Background of small faults.
+    for (mode, permanent, fit) in rates.buckets() {
+        if crate::rare::is_large_mode(mode) {
+            continue;
+        }
+        let lambda = fit * hours / 1e9;
+        for chip in 0..geometry.chips() {
+            for _ in 0..poisson(rng, lambda) {
+                faults.push(sample_fault(rng, geometry, chip, mode, permanent));
+            }
+        }
+    }
+    // Exactly `large_count` large faults, bucket drawn by rate weight.
+    let large: Vec<(FaultMode, bool, f64)> = rates
+        .buckets()
+        .into_iter()
+        .filter(|&(mode, _, _)| crate::rare::is_large_mode(mode))
+        .collect();
+    let total_weight: f64 = large
+        .iter()
+        .map(|&(mode, _, fit)| {
+            let population = if mode == FaultMode::MultiRank {
+                geometry.chips_per_rank() as f64
+            } else {
+                geometry.chips() as f64
+            };
+            fit * population
+        })
+        .sum();
+    for _ in 0..large_count {
+        let mut pick = rng.random::<f64>() * total_weight;
+        let mut chosen = large[0];
+        for &(mode, permanent, fit) in &large {
+            let population = if mode == FaultMode::MultiRank {
+                geometry.chips_per_rank() as f64
+            } else {
+                geometry.chips() as f64
+            };
+            pick -= fit * population;
+            chosen = (mode, permanent, fit);
+            if pick <= 0.0 {
+                break;
+            }
+        }
+        let (mode, permanent, _) = chosen;
+        let chip = if mode == FaultMode::MultiRank {
+            rng.random_range(0..geometry.chips_per_rank())
+        } else {
+            rng.random_range(0..geometry.chips())
+        };
+        faults.push(sample_fault(rng, geometry, chip, mode, permanent));
+    }
+    faults
+}
+
+/// Draws one DIMM's fault history.
+pub fn sample_fault_set(
+    rng: &mut StdRng,
+    geometry: &DimmGeometry,
+    rates: &FitRates,
+    hours: f64,
+) -> Vec<FaultRecord> {
+    let mut faults = Vec::new();
+    for (mode, permanent, fit) in rates.buckets() {
+        let lambda = fit * hours / 1e9;
+        if mode == FaultMode::MultiRank {
+            // Rank-level events are per shared component (one per chip
+            // position pair), not per chip.
+            for position in 0..geometry.chips_per_rank() {
+                for _ in 0..poisson(rng, lambda) {
+                    faults.push(sample_fault(rng, geometry, position, mode, permanent));
+                }
+            }
+        } else {
+            for chip in 0..geometry.chips() {
+                for _ in 0..poisson(rng, lambda) {
+                    faults.push(sample_fault(rng, geometry, chip, mode, permanent));
+                }
+            }
+        }
+    }
+    faults
+}
+
+struct Accumulator {
+    iterations_with_faults: u64,
+    iterations_with_ue: u64,
+    per_policy_udr_sum: Vec<f64>,
+    per_policy_udr_hits: Vec<u64>,
+    error_ratio_sum: f64,
+}
+
+/// Runs a campaign, evaluating every policy against identical fault sets.
+///
+/// Returns one [`PolicyResult`] per input policy, in order.
+pub fn run_campaign(config: &CampaignConfig, policies: &[CloningPolicy]) -> Vec<PolicyResult> {
+    let layout = config.build_layout();
+    let geometry = config.build_geometry(&layout);
+    let rates = config.rates.scaled_to(config.fit_per_chip);
+    let threads = config.threads.max(1);
+    let per_thread = config.iterations.div_ceil(threads as u64);
+
+    let chunks: Vec<Accumulator> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let layout = &layout;
+            let geometry = &geometry;
+            let rates = &rates;
+            let iterations =
+                per_thread.min(config.iterations.saturating_sub(t as u64 * per_thread));
+            let seed = config.seed.wrapping_add(0x9e37_79b9 * (t as u64 + 1));
+            handles.push(scope.spawn(move |_| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let model = ResilienceModel::new(layout, geometry)
+                    .with_correctable_chips(config.correctable_chips)
+                    .with_tree(config.tree);
+                let policy_refs: Vec<&CloningPolicy> = policies.iter().collect();
+                let mut acc = Accumulator {
+                    iterations_with_faults: 0,
+                    iterations_with_ue: 0,
+                    per_policy_udr_sum: vec![0.0; policies.len()],
+                    per_policy_udr_hits: vec![0; policies.len()],
+                    error_ratio_sum: 0.0,
+                };
+                for _ in 0..iterations {
+                    let history = sample_fault_history(&mut rng, geometry, rates, config.hours);
+                    if history.is_empty() {
+                        continue;
+                    }
+                    acc.iterations_with_faults += 1;
+                    // Without scrubbing every fault stays live to the end;
+                    // with scrubbing, evaluate the co-active set at each
+                    // arrival instant and keep the worst outcome (UE
+                    // corruption is latched into the cells until repaired,
+                    // so the worst co-active set bounds the loss).
+                    let fault_sets: Vec<Vec<FaultRecord>> = match config.scrub_interval_hours {
+                        None => {
+                            vec![history.iter().map(|t| t.record.clone()).collect()]
+                        }
+                        Some(_) => history
+                            .iter()
+                            .map(|event| {
+                                history
+                                    .iter()
+                                    .filter(|t| {
+                                        t.live_at(event.start_hours, config.scrub_interval_hours)
+                                    })
+                                    .map(|t| t.record.clone())
+                                    .collect()
+                            })
+                            .collect(),
+                    };
+                    let faults = &fault_sets[0];
+                    let _ = faults;
+                    let mut worst_error = 0.0f64;
+                    let mut worst_udr = vec![0.0f64; policies.len()];
+                    let mut any_ue = false;
+                    for faults in &fault_sets {
+                        // Cheap pre-check: defeating an ECC that corrects
+                        // k chips needs more than k distinct faulty chips.
+                        let mut chips: Vec<u32> = Vec::new();
+                        for f in faults {
+                            for &c in &f.chips {
+                                if !chips.contains(&c) {
+                                    chips.push(c);
+                                }
+                            }
+                        }
+                        if chips.len() <= config.correctable_chips {
+                            continue;
+                        }
+                        let assessments = model.assess_many(faults, &policy_refs);
+                        for (i, a) in assessments.iter().enumerate() {
+                            if a.error_data_lines > 0 || a.unverifiable_data_lines > 0 {
+                                any_ue = true;
+                            }
+                            if i == 0 {
+                                worst_error = worst_error.max(a.error_ratio(layout.data_lines()));
+                            }
+                            worst_udr[i] = worst_udr[i].max(a.udr(layout.data_lines()));
+                        }
+                    }
+                    acc.error_ratio_sum += worst_error;
+                    for (i, &udr) in worst_udr.iter().enumerate() {
+                        if udr > 0.0 {
+                            acc.per_policy_udr_sum[i] += udr;
+                            acc.per_policy_udr_hits[i] += 1;
+                        }
+                    }
+                    if any_ue {
+                        acc.iterations_with_ue += 1;
+                    }
+                }
+                acc
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scope");
+
+    let mut iterations_with_faults = 0;
+    let mut iterations_with_ue = 0;
+    let mut error_ratio_sum = 0.0;
+    let mut udr_sum = vec![0.0; policies.len()];
+    let mut udr_hits = vec![0u64; policies.len()];
+    for acc in chunks {
+        iterations_with_faults += acc.iterations_with_faults;
+        iterations_with_ue += acc.iterations_with_ue;
+        error_ratio_sum += acc.error_ratio_sum;
+        for i in 0..policies.len() {
+            udr_sum[i] += acc.per_policy_udr_sum[i];
+            udr_hits[i] += acc.per_policy_udr_hits[i];
+        }
+    }
+    policies
+        .iter()
+        .enumerate()
+        .map(|(i, policy)| PolicyResult {
+            policy: policy.clone(),
+            iterations: config.iterations,
+            iterations_with_faults,
+            iterations_with_ue,
+            iterations_with_udr: udr_hits[i],
+            mean_error_ratio: error_ratio_sum / config.iterations as f64,
+            mean_udr: udr_sum[i] / config.iterations as f64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(fit: f64) -> CampaignConfig {
+        let mut c = CampaignConfig::table4(fit);
+        c.capacity_bytes = 1 << 26; // 64 MiB keeps per-iteration work small
+        c.iterations = 500;
+        c.threads = 2;
+        c
+    }
+
+    #[test]
+    fn zero_like_fit_produces_no_loss() {
+        let c = small_config(0.001);
+        let r = run_campaign(&c, &[CloningPolicy::None]);
+        assert_eq!(r[0].mean_udr, 0.0);
+        assert_eq!(r[0].iterations_with_ue, 0);
+    }
+
+    #[test]
+    fn fault_count_scales_with_fit() {
+        let lo = run_campaign(&small_config(5.0), &[CloningPolicy::None]);
+        let hi = run_campaign(&small_config(200.0), &[CloningPolicy::None]);
+        assert!(hi[0].iterations_with_faults > lo[0].iterations_with_faults);
+    }
+
+    #[test]
+    fn cloning_monotonically_reduces_udr() {
+        // Very high FIT so UE events are common in 500 iterations.
+        let c = small_config(3000.0);
+        let r = run_campaign(
+            &c,
+            &[
+                CloningPolicy::None,
+                CloningPolicy::Relaxed,
+                CloningPolicy::Aggressive,
+            ],
+        );
+        assert!(r[0].mean_udr > 0.0, "baseline must see UDR at extreme FIT");
+        assert!(r[0].mean_udr >= r[1].mean_udr, "SRC <= baseline");
+        assert!(r[1].mean_udr >= r[2].mean_udr, "SAC <= SRC");
+        assert!(
+            r[2].mean_udr < r[0].mean_udr,
+            "SAC strictly better than baseline"
+        );
+    }
+
+    #[test]
+    fn error_ratio_independent_of_policy() {
+        let c = small_config(3000.0);
+        let r = run_campaign(&c, &[CloningPolicy::None, CloningPolicy::Aggressive]);
+        assert!((r[0].mean_error_ratio - r[1].mean_error_ratio).abs() < 1e-15);
+        assert!(r[0].mean_error_ratio > 0.0);
+    }
+
+    #[test]
+    fn campaign_is_deterministic_for_a_seed() {
+        let c = small_config(1000.0);
+        let a = run_campaign(&c, &[CloningPolicy::None]);
+        let b = run_campaign(&c, &[CloningPolicy::None]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn poisson_mean_is_lambda() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let lambda = 2.5;
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn scrubbing_reduces_udr() {
+        let mut base = small_config(3000.0);
+        base.iterations = 800;
+        let mut scrubbed = base.clone();
+        scrubbed.scrub_interval_hours = Some(24.0);
+        let r_none = run_campaign(&base, &[CloningPolicy::None]);
+        let r_scrub = run_campaign(&scrubbed, &[CloningPolicy::None]);
+        assert!(
+            r_scrub[0].mean_udr <= r_none[0].mean_udr,
+            "scrubbing cannot hurt: {} vs {}",
+            r_scrub[0].mean_udr,
+            r_none[0].mean_udr
+        );
+        assert!(
+            r_scrub[0].mean_error_ratio < r_none[0].mean_error_ratio,
+            "frequent scrubbing must cut transient-fault coincidences: {} vs {}",
+            r_scrub[0].mean_error_ratio,
+            r_none[0].mean_error_ratio
+        );
+    }
+
+    #[test]
+    fn timed_fault_liveness() {
+        let g = DimmGeometry::table4();
+        let mk = |kind| TimedFault {
+            record: FaultRecord::on_chip(&g, 0, FaultFootprint::SingleBank { bank: 0 }, kind),
+            start_hours: 100.0,
+        };
+        let t = mk(FaultKind::Transient);
+        assert!(!t.live_at(50.0, Some(24.0)));
+        assert!(t.live_at(110.0, Some(24.0)));
+        assert!(!t.live_at(125.0, Some(24.0)));
+        assert!(t.live_at(125.0, None), "no scrubbing: transient persists");
+        let p = mk(FaultKind::Permanent);
+        assert!(p.live_at(10_000.0, Some(24.0)));
+    }
+
+    #[test]
+    fn history_is_sorted_by_arrival() {
+        let layout = MemoryLayout::new((1u64 << 26) / 64, 128, 4);
+        let c = small_config(100.0);
+        let geometry = c.build_geometry(&layout);
+        let mut rng = StdRng::seed_from_u64(5);
+        let rates = FitRates::hopper().scaled_to(100_000.0);
+        let h = sample_fault_history(&mut rng, &geometry, &rates, c.hours);
+        assert!(h.len() > 2);
+        for pair in h.windows(2) {
+            assert!(pair[0].start_hours <= pair[1].start_hours);
+        }
+        for t in &h {
+            assert!((0.0..=c.hours).contains(&t.start_hours));
+        }
+    }
+
+    #[test]
+    fn sampled_faults_are_in_bounds() {
+        let layout = MemoryLayout::new((1u64 << 26) / 64, 128, 4);
+        let c = small_config(100.0);
+        let geometry = c.build_geometry(&layout);
+        let mut rng = StdRng::seed_from_u64(3);
+        let rates = FitRates::hopper().scaled_to(50_000.0);
+        let faults = sample_fault_set(&mut rng, &geometry, &rates, c.hours);
+        assert!(!faults.is_empty());
+        for f in &faults {
+            for &chip in &f.chips {
+                assert!(chip < geometry.chips());
+            }
+        }
+    }
+}

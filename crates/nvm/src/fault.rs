@@ -1,0 +1,293 @@
+//! The memory fault taxonomy used by the resilience campaigns.
+//!
+//! Faults follow the field-study classification of Sridharan et al.
+//! ("Memory errors in modern systems", ASPLOS 2015 — the Hopper
+//! distribution referenced by Table 4): a fault lives on one chip (or, for
+//! rank-level faults, a set of chips) and covers a bit / word / column /
+//! row / bank / multi-bank / multi-rank footprint. Faults are **transient**
+//! (overwriting the cells clears them) or **permanent** (stuck until
+//! repaired).
+//!
+//! The device model applies faults lazily: a read corrupts exactly the
+//! codeword bytes whose (chip, bank, row, column, beat) coordinates fall
+//! inside a live fault's footprint, then runs the real ECC decoder.
+
+use crate::geometry::{DimmGeometry, LineLocation};
+
+/// Whether overwriting the affected cells clears the fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Cleared when the line is rewritten after fault onset.
+    Transient,
+    /// Persists across writes (stuck-at / wear-out).
+    Permanent,
+}
+
+/// The physical footprint of a fault within each affected chip.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultFootprint {
+    /// One bit of one beat of one line.
+    SingleBit {
+        /// Affected bank.
+        bank: u32,
+        /// Affected row.
+        row: u32,
+        /// Affected column group.
+        col: u32,
+        /// Beat within the line (which codeword).
+        beat: u8,
+        /// Bit within the chip's byte.
+        bit: u8,
+    },
+    /// One full byte contribution (one beat) of one line.
+    SingleWord {
+        /// Affected bank.
+        bank: u32,
+        /// Affected row.
+        row: u32,
+        /// Affected column group.
+        col: u32,
+        /// Beat within the line.
+        beat: u8,
+    },
+    /// Every row of one column group in one bank.
+    SingleColumn {
+        /// Affected bank.
+        bank: u32,
+        /// Affected column group.
+        col: u32,
+    },
+    /// Every column of one row in one bank.
+    SingleRow {
+        /// Affected bank.
+        bank: u32,
+        /// Affected row.
+        row: u32,
+    },
+    /// An entire bank of the chip.
+    SingleBank {
+        /// Affected bank.
+        bank: u32,
+    },
+    /// Several banks of the chip.
+    MultiBank {
+        /// Bitmask of affected banks.
+        bank_mask: u32,
+    },
+    /// The whole chip (also used for rank-level faults, which list
+    /// several chips in [`FaultRecord::chips`]).
+    WholeChip,
+}
+
+impl FaultFootprint {
+    /// Does this footprint cover the given line location and beat?
+    pub fn covers(&self, loc: LineLocation, beat_idx: u8) -> bool {
+        match *self {
+            FaultFootprint::SingleBit {
+                bank,
+                row,
+                col,
+                beat,
+                ..
+            } => loc.bank == bank && loc.row == row && loc.col == col && beat_idx == beat,
+            FaultFootprint::SingleWord {
+                bank,
+                row,
+                col,
+                beat,
+            } => loc.bank == bank && loc.row == row && loc.col == col && beat_idx == beat,
+            FaultFootprint::SingleColumn { bank, col } => loc.bank == bank && loc.col == col,
+            FaultFootprint::SingleRow { bank, row } => loc.bank == bank && loc.row == row,
+            FaultFootprint::SingleBank { bank } => loc.bank == bank,
+            FaultFootprint::MultiBank { bank_mask } => bank_mask & (1 << loc.bank) != 0,
+            FaultFootprint::WholeChip => true,
+        }
+    }
+
+    /// Does this footprint cover *any* beat of the given location?
+    pub fn covers_line(&self, loc: LineLocation) -> bool {
+        (0..8).any(|beat| self.covers(loc, beat))
+    }
+}
+
+/// A fault somewhere on the DIMM.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Affected chips (one chip normally; a whole rank for rank faults).
+    pub chips: Vec<u32>,
+    /// Footprint within each affected chip.
+    pub footprint: FaultFootprint,
+    /// Transient or permanent.
+    pub kind: FaultKind,
+    /// Device write-epoch at which the fault appeared. Transient faults do
+    /// not corrupt lines written after this epoch.
+    pub onset_epoch: u64,
+    /// Seed for the deterministic corruption pattern.
+    pub seed: u64,
+}
+
+impl FaultRecord {
+    /// Creates a single-chip fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` is outside the geometry.
+    pub fn on_chip(
+        geometry: &DimmGeometry,
+        chip: u32,
+        footprint: FaultFootprint,
+        kind: FaultKind,
+    ) -> Self {
+        assert!(chip < geometry.chips(), "chip {chip} out of range");
+        Self {
+            chips: vec![chip],
+            footprint,
+            kind,
+            onset_epoch: 0,
+            seed: 0,
+        }
+    }
+
+    /// Creates a rank-level fault touching every chip of `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is outside the geometry.
+    pub fn on_rank(
+        geometry: &DimmGeometry,
+        rank: u32,
+        footprint: FaultFootprint,
+        kind: FaultKind,
+    ) -> Self {
+        assert!(rank < geometry.ranks(), "rank {rank} out of range");
+        let chips = (0..geometry.chips())
+            .filter(|&c| geometry.rank_of_chip(c) == rank)
+            .collect();
+        Self {
+            chips,
+            footprint,
+            kind,
+            onset_epoch: 0,
+            seed: 0,
+        }
+    }
+
+    /// Deterministic nonzero corruption byte for a given (line, chip,
+    /// beat); single-bit footprints flip only their one bit.
+    pub fn corruption(&self, line_index: u64, chip: u32, beat: u8) -> u8 {
+        if let FaultFootprint::SingleBit { bit, .. } = self.footprint {
+            return 1 << bit;
+        }
+        // Cheap deterministic mix (splitmix64-style) so patterns differ per
+        // location but are reproducible.
+        let mut x = self
+            .seed
+            .wrapping_add(line_index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add((chip as u64) << 32)
+            .wrapping_add(beat as u64);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let b = (x ^ (x >> 31)) as u8;
+        if b == 0 {
+            0x01
+        } else {
+            b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LineAddr;
+
+    #[test]
+    fn footprint_coverage() {
+        let loc = LineLocation {
+            bank: 2,
+            row: 10,
+            col: 5,
+        };
+        assert!(FaultFootprint::SingleRow { bank: 2, row: 10 }.covers(loc, 0));
+        assert!(!FaultFootprint::SingleRow { bank: 2, row: 11 }.covers(loc, 0));
+        assert!(FaultFootprint::SingleColumn { bank: 2, col: 5 }.covers(loc, 3));
+        assert!(!FaultFootprint::SingleColumn { bank: 1, col: 5 }.covers(loc, 3));
+        assert!(FaultFootprint::SingleBank { bank: 2 }.covers(loc, 7));
+        assert!(FaultFootprint::MultiBank { bank_mask: 0b0100 }.covers(loc, 0));
+        assert!(!FaultFootprint::MultiBank { bank_mask: 0b0010 }.covers(loc, 0));
+        assert!(FaultFootprint::WholeChip.covers(loc, 0));
+    }
+
+    #[test]
+    fn single_bit_covers_only_its_beat() {
+        let loc = LineLocation {
+            bank: 0,
+            row: 0,
+            col: 0,
+        };
+        let f = FaultFootprint::SingleBit {
+            bank: 0,
+            row: 0,
+            col: 0,
+            beat: 2,
+            bit: 7,
+        };
+        assert!(f.covers(loc, 2));
+        assert!(!f.covers(loc, 1));
+    }
+
+    #[test]
+    fn rank_fault_lists_all_rank_chips() {
+        let g = DimmGeometry::table4();
+        let f = FaultRecord::on_rank(&g, 1, FaultFootprint::WholeChip, FaultKind::Transient);
+        assert_eq!(f.chips, (9..18).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn corruption_is_nonzero_and_deterministic() {
+        let g = DimmGeometry::table4();
+        let f = FaultRecord::on_chip(
+            &g,
+            3,
+            FaultFootprint::SingleBank { bank: 0 },
+            FaultKind::Permanent,
+        );
+        for line in 0..100u64 {
+            let c = f.corruption(line, 3, 0);
+            assert_ne!(c, 0);
+            assert_eq!(c, f.corruption(line, 3, 0));
+        }
+    }
+
+    #[test]
+    fn single_bit_corruption_flips_one_bit() {
+        let g = DimmGeometry::table4();
+        let f = FaultRecord::on_chip(
+            &g,
+            0,
+            FaultFootprint::SingleBit {
+                bank: 0,
+                row: 0,
+                col: 0,
+                beat: 0,
+                bit: 5,
+            },
+            FaultKind::Transient,
+        );
+        assert_eq!(f.corruption(9, 0, 0), 1 << 5);
+    }
+
+    #[test]
+    fn covers_line_any_beat() {
+        let g = DimmGeometry::tiny();
+        let loc = g.locate(LineAddr::new(0));
+        let f = FaultFootprint::SingleBit {
+            bank: loc.bank,
+            row: loc.row,
+            col: loc.col,
+            beat: 3,
+            bit: 0,
+        };
+        assert!(f.covers_line(loc));
+    }
+}

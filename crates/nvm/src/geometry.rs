@@ -1,0 +1,208 @@
+//! DIMM geometry and physical address mapping (Table 4).
+//!
+//! The evaluated DIMM has 18 × 8-bit chips organized as 2 ranks of 9
+//! chips, operated in lockstep so that every 64-byte line is striped across
+//! all 18 chips (16 data + 2 check — Chipkill). Each chip has 16 banks of
+//! 16384 rows × 4096 columns.
+//!
+//! One row across the 16 data chips holds `16 chips × 4096 cols × 8 bit
+//! / 512 bit = 1024` lines, so the full device is
+//! `16384 rows × 16 banks × 1024 lines × 64 B = 16 GiB` — exactly the
+//! simulated capacity of Table 3.
+
+use crate::LineAddr;
+
+/// Physical location of one line: the (bank, row, column-group) it
+/// occupies. In lockstep mode the line spans **all** chips at these
+/// coordinates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LineLocation {
+    /// Bank index within each chip.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+    /// Column group (line-sized slot) within the row.
+    pub col: u32,
+}
+
+/// DIMM organization parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DimmGeometry {
+    chips: u32,
+    chips_per_rank: u32,
+    ranks: u32,
+    banks: u32,
+    rows: u32,
+    cols_per_row: u32, // line-sized column groups per row
+}
+
+impl DimmGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips != chips_per_rank * ranks` or any dimension is 0.
+    pub fn new(
+        chips: u32,
+        chips_per_rank: u32,
+        ranks: u32,
+        banks: u32,
+        rows: u32,
+        cols_per_row: u32,
+    ) -> Self {
+        assert!(chips > 0 && banks > 0 && rows > 0 && cols_per_row > 0);
+        assert_eq!(
+            chips,
+            chips_per_rank * ranks,
+            "chip count must equal chips/rank x ranks"
+        );
+        Self {
+            chips,
+            chips_per_rank,
+            ranks,
+            banks,
+            rows,
+            cols_per_row,
+        }
+    }
+
+    /// The paper's Table 4 configuration: 18 chips (9/rank × 2 ranks),
+    /// 16 banks, 16384 rows, 4096 byte-columns per chip (= 1024 line-sized
+    /// column groups), 512-bit data blocks.
+    pub fn table4() -> Self {
+        Self::new(18, 9, 2, 16, 16384, 1024)
+    }
+
+    /// A tiny geometry for unit tests (256 lines).
+    pub fn tiny() -> Self {
+        Self::new(18, 9, 2, 4, 8, 8)
+    }
+
+    /// Number of chips on the DIMM.
+    pub fn chips(&self) -> u32 {
+        self.chips
+    }
+
+    /// Chips per rank.
+    pub fn chips_per_rank(&self) -> u32 {
+        self.chips_per_rank
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> u32 {
+        self.ranks
+    }
+
+    /// Banks per chip.
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Rows per bank.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Line-sized column groups per row.
+    pub fn cols_per_row(&self) -> u32 {
+        self.cols_per_row
+    }
+
+    /// Total number of 64-byte lines the DIMM stores.
+    pub fn total_lines(&self) -> u64 {
+        self.banks as u64 * self.rows as u64 * self.cols_per_row as u64
+    }
+
+    /// Total data capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_lines() * crate::LINE_BYTES
+    }
+
+    /// The rank a chip belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip >= self.chips()`.
+    pub fn rank_of_chip(&self, chip: u32) -> u32 {
+        assert!(chip < self.chips, "chip {chip} out of range");
+        chip / self.chips_per_rank
+    }
+
+    /// Maps a line address to its physical (bank, row, column) location.
+    ///
+    /// Consecutive lines interleave across column groups first, then
+    /// banks, then rows — the open-row-friendly mapping DDR controllers
+    /// use for streaming accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is beyond [`Self::total_lines`].
+    pub fn locate(&self, addr: LineAddr) -> LineLocation {
+        let idx = addr.index();
+        assert!(idx < self.total_lines(), "{addr} beyond device capacity");
+        let col = (idx % self.cols_per_row as u64) as u32;
+        let bank = ((idx / self.cols_per_row as u64) % self.banks as u64) as u32;
+        let row = (idx / (self.cols_per_row as u64 * self.banks as u64)) as u32;
+        LineLocation { bank, row, col }
+    }
+
+    /// The inverse of [`Self::locate`].
+    pub fn line_at(&self, loc: LineLocation) -> LineAddr {
+        LineAddr::new(
+            loc.row as u64 * self.cols_per_row as u64 * self.banks as u64
+                + loc.bank as u64 * self.cols_per_row as u64
+                + loc.col as u64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_capacity_is_16gib() {
+        assert_eq!(DimmGeometry::table4().capacity_bytes(), 16u64 << 30);
+    }
+
+    #[test]
+    fn locate_roundtrip() {
+        let g = DimmGeometry::tiny();
+        for idx in 0..g.total_lines() {
+            let loc = g.locate(LineAddr::new(idx));
+            assert_eq!(g.line_at(loc), LineAddr::new(idx));
+        }
+    }
+
+    #[test]
+    fn consecutive_lines_interleave_columns_first() {
+        let g = DimmGeometry::table4();
+        let a = g.locate(LineAddr::new(0));
+        let b = g.locate(LineAddr::new(1));
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(a.row, b.row);
+        assert_eq!(b.col, a.col + 1);
+    }
+
+    #[test]
+    fn rank_of_chip_partitions() {
+        let g = DimmGeometry::table4();
+        assert_eq!(g.rank_of_chip(0), 0);
+        assert_eq!(g.rank_of_chip(8), 0);
+        assert_eq!(g.rank_of_chip(9), 1);
+        assert_eq!(g.rank_of_chip(17), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond device capacity")]
+    fn locate_bounds_checked() {
+        let g = DimmGeometry::tiny();
+        let _ = g.locate(LineAddr::new(g.total_lines()));
+    }
+
+    #[test]
+    #[should_panic(expected = "chips/rank x ranks")]
+    fn chip_count_validated() {
+        let _ = DimmGeometry::new(18, 8, 2, 16, 16384, 1024);
+    }
+}

@@ -1,0 +1,105 @@
+//! Chip-marking tests on the device: a marked-dead chip decodes as
+//! erasures, and functional vs symbolic storage agree on the outcomes.
+
+use soteria_ecc::CorrectionOutcome;
+use soteria_nvm::device::NvmDimm;
+use soteria_nvm::fault::{FaultFootprint, FaultKind, FaultRecord};
+use soteria_nvm::geometry::DimmGeometry;
+use soteria_nvm::LineAddr;
+
+fn kill_chip(d: &mut NvmDimm, chip: u32) {
+    let g = *d.geometry();
+    d.inject_fault(FaultRecord::on_chip(
+        &g,
+        chip,
+        FaultFootprint::WholeChip,
+        FaultKind::Permanent,
+    ));
+}
+
+#[test]
+fn two_dead_chips_recovered_when_both_marked() {
+    let g = DimmGeometry::tiny();
+    let mut d = NvmDimm::chipkill(g);
+    d.write_line(LineAddr::new(3), &[0x42; 64]);
+    kill_chip(&mut d, 4);
+    kill_chip(&mut d, 13);
+    let (_, unmarked) = d.read_line(LineAddr::new(3));
+    assert_eq!(unmarked, CorrectionOutcome::Uncorrectable);
+    d.mark_chip(4);
+    d.mark_chip(13);
+    let (line, marked) = d.read_line(LineAddr::new(3));
+    assert_eq!(line, [0x42; 64]);
+    assert!(marked.is_usable(), "{marked:?}");
+}
+
+#[test]
+fn symbolic_marking_matches_functional_with_both_marked() {
+    let g = DimmGeometry::tiny();
+    let scenario = |mut d: NvmDimm| {
+        d.write_line(LineAddr::new(0), &[1u8; 64]);
+        kill_chip(&mut d, 2);
+        kill_chip(&mut d, 9);
+        d.mark_chip(2);
+        d.mark_chip(9);
+        let (line, outcome) = d.read_line(LineAddr::new(0));
+        (outcome.is_usable(), line)
+    };
+    let (f_ok, f_line) = scenario(NvmDimm::chipkill(g));
+    let (s_ok, _) = scenario(NvmDimm::symbolic(g, 1));
+    assert!(f_ok && s_ok);
+    assert_eq!(f_line, [1u8; 64]);
+}
+
+#[test]
+fn fully_marked_code_has_no_detection_margin() {
+    // With e == 2t every parity symbol is consumed by the marked chips: a
+    // THIRD dead chip is silently miscorrected by the real decoder (an
+    // inherent MDS-code property), while the symbolic abstraction reports
+    // it uncorrectable. Either way the data is not trustworthy — and in
+    // the secure memory stack, the MAC layer is what catches the silent
+    // case (§3.1's decoupling).
+    let g = DimmGeometry::tiny();
+    let mut functional = NvmDimm::chipkill(g);
+    functional.write_line(LineAddr::new(0), &[1u8; 64]);
+    for chip in [2, 9, 15] {
+        kill_chip(&mut functional, chip);
+    }
+    functional.mark_chip(2);
+    functional.mark_chip(9);
+    let (line, outcome) = functional.read_line(LineAddr::new(0));
+    let silently_wrong = outcome.is_usable() && line != [1u8; 64];
+    let detected = !outcome.is_usable();
+    assert!(
+        silently_wrong || detected,
+        "third dead chip must never decode correctly: {outcome:?}"
+    );
+
+    let mut symbolic = NvmDimm::symbolic(g, 1);
+    symbolic.write_line(LineAddr::new(0), &[1u8; 64]);
+    for chip in [2, 9, 15] {
+        kill_chip(&mut symbolic, chip);
+    }
+    symbolic.mark_chip(2);
+    symbolic.mark_chip(9);
+    assert!(!symbolic.read_line(LineAddr::new(0)).1.is_usable());
+}
+
+#[test]
+fn marking_a_healthy_chip_costs_budget() {
+    // e + 2v <= 2t: with one healthy chip marked (e = 1) a fresh dead
+    // chip (v = 1) exceeds the budget of RS(18,16).
+    let g = DimmGeometry::tiny();
+    let mut d = NvmDimm::symbolic(g, 1);
+    d.write_line(LineAddr::new(0), &[0u8; 64]);
+    d.mark_chip(7); // healthy but marked
+    kill_chip(&mut d, 3);
+    let (_, outcome) = d.read_line(LineAddr::new(0));
+    assert_eq!(outcome, CorrectionOutcome::Uncorrectable);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn mark_chip_bounds_checked() {
+    NvmDimm::symbolic(DimmGeometry::tiny(), 1).mark_chip(18);
+}

@@ -1,0 +1,94 @@
+//! ECP-on-device tests: write-verify turns permanent single-bit faults
+//! into repair pointers, freeing the ECC budget for fresh faults (§2.3's
+//! "use ECP for hard failures" guidance).
+
+use soteria_nvm::device::NvmDimm;
+use soteria_nvm::fault::{FaultFootprint, FaultKind, FaultRecord};
+use soteria_nvm::geometry::DimmGeometry;
+use soteria_nvm::LineAddr;
+
+fn stuck_bit_fault(g: &DimmGeometry, chip: u32, line: LineAddr, beat: u8, bit: u8) -> FaultRecord {
+    let loc = g.locate(line);
+    FaultRecord::on_chip(
+        g,
+        chip,
+        FaultFootprint::SingleBit {
+            bank: loc.bank,
+            row: loc.row,
+            col: loc.col,
+            beat,
+            bit,
+        },
+        FaultKind::Permanent,
+    )
+}
+
+#[test]
+fn ecp_neutralizes_stuck_bits_after_rewrite() {
+    let g = DimmGeometry::tiny();
+    let mut d = NvmDimm::chipkill(g);
+    d.enable_ecp();
+    let line = LineAddr::new(5);
+    d.write_line(line, &[1u8; 64]);
+    d.inject_fault(stuck_bit_fault(&g, 3, line, 0, 4));
+    // Before any rewrite, the corruption is live but correctable by ECC.
+    let (_, outcome) = d.read_line(line);
+    assert!(matches!(
+        outcome,
+        soteria_ecc::CorrectionOutcome::Corrected { .. }
+    ));
+    // Rewrite: write-verify records the stuck cell; reads are now CLEAN
+    // (the ECC never sees the bad bit).
+    d.write_line(line, &[2u8; 64]);
+    let (data, outcome) = d.read_line(line);
+    assert_eq!(data, [2u8; 64]);
+    assert_eq!(
+        outcome,
+        soteria_ecc::CorrectionOutcome::Clean,
+        "ECP absorbs the stuck bit"
+    );
+    assert!(d.ecp_repaired_bits() > 0);
+}
+
+#[test]
+fn ecp_restores_chipkill_headroom() {
+    // Two stuck bits on DIFFERENT chips in the same beat defeat Chipkill
+    // (two bad symbols) — unless ECP has already pinned them.
+    let g = DimmGeometry::tiny();
+    let line = LineAddr::new(9);
+    let run = |ecp: bool| {
+        let mut d = NvmDimm::chipkill(g);
+        if ecp {
+            d.enable_ecp();
+        }
+        d.write_line(line, &[7u8; 64]);
+        d.inject_fault(stuck_bit_fault(&g, 2, line, 1, 0));
+        d.inject_fault(stuck_bit_fault(&g, 10, line, 1, 7));
+        d.write_line(line, &[7u8; 64]); // write-verify opportunity
+        d.read_line(line).1
+    };
+    assert_eq!(run(false), soteria_ecc::CorrectionOutcome::Uncorrectable);
+    assert_eq!(run(true), soteria_ecc::CorrectionOutcome::Clean);
+}
+
+#[test]
+fn ecp_tracks_rewritten_values() {
+    // The pointer stores the *correct* value, which changes per write.
+    let g = DimmGeometry::tiny();
+    let mut d = NvmDimm::chipkill(g);
+    d.enable_ecp();
+    let line = LineAddr::new(1);
+    d.inject_fault(stuck_bit_fault(&g, 0, line, 0, 3));
+    for fill in [0x00u8, 0xff, 0x5a, 0xa5] {
+        d.write_line(line, &[fill; 64]);
+        let (data, outcome) = d.read_line(line);
+        assert_eq!(data, [fill; 64], "fill {fill:#x}");
+        assert_eq!(outcome, soteria_ecc::CorrectionOutcome::Clean);
+    }
+}
+
+#[test]
+#[should_panic(expected = "functional storage")]
+fn ecp_rejects_symbolic_devices() {
+    NvmDimm::symbolic(DimmGeometry::tiny(), 1).enable_ecp();
+}

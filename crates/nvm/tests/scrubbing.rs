@@ -1,0 +1,58 @@
+//! Patrol-scrubbing tests: transient faults are cleansed by a scrub pass,
+//! permanent ones survive it (and get reported).
+
+use soteria_ecc::CorrectionOutcome;
+use soteria_nvm::device::NvmDimm;
+use soteria_nvm::fault::{FaultFootprint, FaultKind, FaultRecord};
+use soteria_nvm::geometry::DimmGeometry;
+use soteria_nvm::LineAddr;
+
+#[test]
+fn scrub_pass_cleanses_transients() {
+    let g = DimmGeometry::tiny();
+    let mut d = NvmDimm::chipkill(g);
+    for i in 0..32 {
+        d.write_line(LineAddr::new(i), &[i as u8; 64]);
+    }
+    d.inject_fault(FaultRecord::on_chip(
+        &g,
+        3,
+        FaultFootprint::SingleBank { bank: 0 },
+        FaultKind::Transient,
+    ));
+    let first = d.scrub_region(LineAddr::new(0), LineAddr::new(32));
+    assert_eq!(first.scanned, 32);
+    assert!(first.corrected > 0, "{first:?}");
+    assert_eq!(first.uncorrectable, 0);
+    // Second pass: everything clean (rewrites cleared the transient).
+    let second = d.scrub_region(LineAddr::new(0), LineAddr::new(32));
+    assert_eq!(second.corrected, 0, "{second:?}");
+}
+
+#[test]
+fn scrub_reports_uncorrectable_without_touching() {
+    let g = DimmGeometry::tiny();
+    let mut d = NvmDimm::chipkill(g);
+    d.write_line(LineAddr::new(0), &[7u8; 64]);
+    for chip in [1u32, 12] {
+        d.inject_fault(FaultRecord::on_chip(
+            &g,
+            chip,
+            FaultFootprint::SingleBank { bank: 0 },
+            FaultKind::Permanent,
+        ));
+    }
+    let r = d.scrub_region(LineAddr::new(0), LineAddr::new(8));
+    assert!(r.uncorrectable > 0, "{r:?}");
+    // Permanent faults persist across scrubs.
+    let (_, outcome) = d.read_line(LineAddr::new(0));
+    assert_eq!(outcome, CorrectionOutcome::Uncorrectable);
+}
+
+#[test]
+#[should_panic(expected = "beyond capacity")]
+fn scrub_range_validated() {
+    let g = DimmGeometry::tiny();
+    let total = g.total_lines();
+    NvmDimm::chipkill(g).scrub_region(LineAddr::new(0), LineAddr::new(total + 1));
+}

@@ -1,0 +1,107 @@
+//! Integration tests for start-gap wear leveling on the device: hot
+//! logical lines must migrate across physical lines, data must survive
+//! the migrations, and faults must keep applying to *physical* locations.
+
+use soteria_nvm::device::NvmDimm;
+use soteria_nvm::fault::{FaultFootprint, FaultKind, FaultRecord};
+use soteria_nvm::geometry::DimmGeometry;
+use soteria_nvm::LineAddr;
+
+#[test]
+fn data_survives_gap_rotation() {
+    let mut d = NvmDimm::chipkill(DimmGeometry::tiny());
+    d.enable_wear_leveling(4);
+    // Populate every line, then hammer one of them to force many moves.
+    let total = d.geometry().total_lines();
+    for i in 0..total {
+        d.write_line(LineAddr::new(i), &[i as u8; 64]);
+    }
+    for _ in 0..2000 {
+        d.write_line(LineAddr::new(3), &[0x77; 64]);
+    }
+    assert!(d.leveler().unwrap().total_moves() > 100);
+    // Every line still readable with correct content.
+    let (hot, outcome) = d.read_line(LineAddr::new(3));
+    assert_eq!(hot, [0x77; 64]);
+    assert!(outcome.is_usable());
+    for i in 0..total {
+        if i == 3 {
+            continue;
+        }
+        let (line, _) = d.read_line(LineAddr::new(i));
+        assert_eq!(line, [i as u8; 64], "line {i} corrupted by gap moves");
+    }
+}
+
+#[test]
+fn leveling_spreads_physical_wear() {
+    let run = |level: bool| {
+        let mut d = NvmDimm::symbolic(DimmGeometry::tiny(), 1);
+        if level {
+            d.enable_wear_leveling(2);
+        }
+        for _ in 0..5000 {
+            d.write_line(LineAddr::new(7), &[0u8; 64]);
+        }
+        d.wear().hottest().map(|(_, n)| n).unwrap_or(0)
+    };
+    let without = run(false);
+    let with = run(true);
+    assert_eq!(
+        without, 5000,
+        "unleveled: every write hits one physical line"
+    );
+    assert!(
+        with < without / 5,
+        "leveling must cap per-line wear: hottest {with} vs {without}"
+    );
+}
+
+#[test]
+fn faults_follow_physical_not_logical_lines() {
+    // A permanent fault pinned to a physical location stops affecting a
+    // logical line once the mapping rotates it away.
+    let g = DimmGeometry::tiny();
+    let mut d = NvmDimm::chipkill(g);
+    d.enable_wear_leveling(8);
+    d.write_line(LineAddr::new(0), &[1u8; 64]);
+    // Fault on two chips at the *current* physical location of line 0.
+    let loc = g.locate(LineAddr::new(0)); // identity at epoch 0 modulo start-gap initial state
+    for chip in [0u32, 9] {
+        d.inject_fault(FaultRecord::on_chip(
+            &g,
+            chip,
+            FaultFootprint::SingleWord {
+                bank: loc.bank,
+                row: loc.row,
+                col: loc.col,
+                beat: 0,
+            },
+            FaultKind::Permanent,
+        ));
+    }
+    let initially_ue = !d.read_line(LineAddr::new(0)).1.is_usable();
+    // Rotate the mapping far enough that logical 0 sits elsewhere, and
+    // refresh its content (the copy at the faulty location is abandoned).
+    for _ in 0..(8 * (g.total_lines() + 2)) {
+        d.write_line(LineAddr::new(1), &[2u8; 64]);
+    }
+    d.write_line(LineAddr::new(0), &[1u8; 64]);
+    let (line, outcome) = d.read_line(LineAddr::new(0));
+    assert!(
+        outcome.is_usable(),
+        "line 0 should have migrated off the faulty cells"
+    );
+    assert_eq!(line, [1u8; 64]);
+    // Sanity: the fault really was biting at the start (start-gap begins
+    // as the identity map, so the initial read must have been UE).
+    assert!(initially_ue, "fault should cover line 0's initial location");
+}
+
+#[test]
+#[should_panic(expected = "before first write")]
+fn leveling_must_be_enabled_before_writes() {
+    let mut d = NvmDimm::chipkill(DimmGeometry::tiny());
+    d.write_line(LineAddr::new(0), &[0u8; 64]);
+    d.enable_wear_leveling(4);
+}

@@ -1,0 +1,98 @@
+//! Multi-core system tests: Table 3's four cores sharing the LLC, the
+//! secure memory controller and the PCM banks.
+
+use soteria::clone::CloningPolicy;
+use soteria::{Fidelity, SecureMemoryConfig};
+use soteria_simcpu::{CacheConfig, System, SystemConfig};
+use soteria_workloads::{Sps, UBench, Workload};
+
+fn config(policy: CloningPolicy) -> SystemConfig {
+    let mut c = SystemConfig::table3(policy, 1 << 24);
+    c.l1 = CacheConfig {
+        bytes: 4 * 1024,
+        ways: 2,
+        latency_cycles: 2,
+    };
+    c.l2 = CacheConfig {
+        bytes: 16 * 1024,
+        ways: 4,
+        latency_cycles: 20,
+    };
+    c.llc = CacheConfig {
+        bytes: 64 * 1024,
+        ways: 8,
+        latency_cycles: 32,
+    };
+    c.memory = SecureMemoryConfig::builder()
+        .capacity_bytes(1 << 24)
+        .metadata_cache(16 * 1024, 8)
+        .cloning(c.memory.cloning().clone())
+        .fidelity(Fidelity::Timing)
+        .build()
+        .unwrap();
+    c
+}
+
+#[test]
+fn four_cores_run_four_workloads() {
+    let mut system = System::with_cores(config(CloningPolicy::Relaxed), 4);
+    let mut w1 = UBench::new(256, 1 << 22);
+    let mut w2 = UBench::new(64, 1 << 20);
+    let mut w3 = Sps::new(1 << 22, 5);
+    let mut w4 = Sps::new(1 << 22, 9);
+    let mut workloads: Vec<&mut dyn Workload> = vec![&mut w1, &mut w2, &mut w3, &mut w4];
+    let r = system.run_multi(&mut workloads, 10_000);
+    assert_eq!(r.ops, 40_000);
+    assert!(
+        r.workload.contains('+'),
+        "name lists all co-runners: {}",
+        r.workload
+    );
+    assert!(r.nvm_reads > 0 && r.nvm_writes > 0);
+}
+
+#[test]
+fn co_running_contends_for_memory() {
+    // Four copies of a memory-intensive workload must take longer per op
+    // than one copy alone (shared banks + shared metadata cache).
+    let run = |cores: usize| {
+        let mut system = System::with_cores(config(CloningPolicy::None), cores);
+        let mut workloads: Vec<Sps> = (0..cores)
+            .map(|i| Sps::new(1 << 22, 100 + i as u64))
+            .collect();
+        let mut refs: Vec<&mut dyn Workload> = workloads
+            .iter_mut()
+            .map(|w| w as &mut dyn Workload)
+            .collect();
+        let r = system.run_multi(&mut refs, 15_000);
+        r.cycles as f64 / 15_000.0 // cycles per op per core (wall time)
+    };
+    let solo = run(1);
+    let quad = run(4);
+    assert!(
+        quad > solo,
+        "4 co-runners must be slower per op than 1: {quad:.1} vs {solo:.1}"
+    );
+}
+
+#[test]
+fn single_core_wrapper_matches_run_multi() {
+    let mut a = System::new(config(CloningPolicy::None));
+    let ra = a.run(&mut UBench::new(128, 1 << 20), 5_000);
+    let mut b = System::with_cores(config(CloningPolicy::None), 1);
+    let mut w = UBench::new(128, 1 << 20);
+    let mut refs: Vec<&mut dyn Workload> = vec![&mut w];
+    let rb = b.run_multi(&mut refs, 5_000);
+    assert_eq!(ra.cycles, rb.cycles);
+    assert_eq!(ra.nvm_writes, rb.nvm_writes);
+}
+
+#[test]
+#[should_panic(expected = "cores")]
+fn too_many_workloads_rejected() {
+    let mut system = System::with_cores(config(CloningPolicy::None), 1);
+    let mut w1 = UBench::new(64, 1 << 16);
+    let mut w2 = UBench::new(64, 1 << 16);
+    let mut refs: Vec<&mut dyn Workload> = vec![&mut w1, &mut w2];
+    let _ = system.run_multi(&mut refs, 10);
+}

@@ -1,0 +1,296 @@
+//! SPEC-CPU-2006-like volatile kernels (§4 footnote 3).
+//!
+//! Four memory-behaviour archetypes from the suite's best-characterized
+//! members:
+//!
+//! * [`Mcf`] — pointer chasing over a sparse graph: read-dominated,
+//!   near-random, very memory intensive (429.mcf).
+//! * [`Lbm`] — lattice-Boltzmann streaming: two sequential streams, one
+//!   read + one write per cell (470.lbm).
+//! * [`Libquantum`] — repeated sequential sweeps with read-modify-write
+//!   on a quantum-register array (462.libquantum).
+//! * [`Milc`] — strided scientific access with moderate write share
+//!   (433.milc).
+//!
+//! These are *not* persistent applications, but as §4 notes, security
+//! metadata must be maintained for them all the same — the controller
+//! cannot know which stores matter after a crash.
+
+use crate::{MemOp, OpKind, Splitmix, Workload};
+
+/// Pointer-chasing workload in the style of 429.mcf.
+#[derive(Clone, Debug)]
+pub struct Mcf {
+    footprint: u64,
+    rng: Splitmix,
+    cursor: u64,
+    since_write: u32,
+}
+
+impl Mcf {
+    /// Creates the workload.
+    pub fn new(footprint: u64, seed: u64) -> Self {
+        Self {
+            footprint,
+            rng: Splitmix::new(seed),
+            cursor: 0,
+            since_write: 0,
+        }
+    }
+}
+
+impl Workload for Mcf {
+    fn name(&self) -> &str {
+        "mcf"
+    }
+    fn is_persistent(&self) -> bool {
+        false
+    }
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+    fn next_op(&mut self) -> MemOp {
+        // Next node depends pseudo-randomly on the current one (an actual
+        // dependent chain: no two iterations alike, no prefetchable
+        // stride).
+        self.cursor = Splitmix::new(self.cursor ^ self.rng.next_u64()).next_u64()
+            % (self.footprint / 64)
+            * 64;
+        self.since_write += 1;
+        if self.since_write >= 10 {
+            // Occasional arc-cost update.
+            self.since_write = 0;
+            MemOp {
+                kind: OpKind::Write,
+                addr: self.cursor,
+                persistent: false,
+                think: 6,
+            }
+        } else {
+            MemOp {
+                kind: OpKind::Read,
+                addr: self.cursor,
+                persistent: false,
+                think: 6,
+            }
+        }
+    }
+}
+
+/// Streaming stencil in the style of 470.lbm: sequential read stream and
+/// a sequential write stream over a second half of the grid.
+#[derive(Clone, Debug)]
+pub struct Lbm {
+    footprint: u64,
+    cursor: u64,
+    phase: u8,
+}
+
+impl Lbm {
+    /// Creates the workload.
+    pub fn new(footprint: u64, _seed: u64) -> Self {
+        Self {
+            footprint,
+            cursor: 0,
+            phase: 0,
+        }
+    }
+}
+
+impl Workload for Lbm {
+    fn name(&self) -> &str {
+        "lbm"
+    }
+    fn is_persistent(&self) -> bool {
+        false
+    }
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+    fn next_op(&mut self) -> MemOp {
+        let half = self.footprint / 2;
+        let op = match self.phase {
+            0 => MemOp {
+                kind: OpKind::Read,
+                addr: self.cursor % half,
+                persistent: false,
+                think: 9,
+            },
+            _ => MemOp {
+                kind: OpKind::Write,
+                addr: half + (self.cursor % half),
+                persistent: false,
+                think: 9,
+            },
+        };
+        if self.phase == 1 {
+            self.cursor = (self.cursor + 64) % half;
+        }
+        self.phase ^= 1;
+        op
+    }
+}
+
+/// Sequential sweep with read-modify-write, in the style of
+/// 462.libquantum's gate application over the register array.
+#[derive(Clone, Debug)]
+pub struct Libquantum {
+    footprint: u64,
+    cursor: u64,
+    rmw_pending: bool,
+}
+
+impl Libquantum {
+    /// Creates the workload.
+    pub fn new(footprint: u64, _seed: u64) -> Self {
+        Self {
+            footprint,
+            cursor: 0,
+            rmw_pending: false,
+        }
+    }
+}
+
+impl Workload for Libquantum {
+    fn name(&self) -> &str {
+        "libquantum"
+    }
+    fn is_persistent(&self) -> bool {
+        false
+    }
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+    fn next_op(&mut self) -> MemOp {
+        if self.rmw_pending {
+            self.rmw_pending = false;
+            let addr = self.cursor;
+            self.cursor = (self.cursor + 64) % self.footprint;
+            MemOp {
+                kind: OpKind::Write,
+                addr,
+                persistent: false,
+                think: 2,
+            }
+        } else {
+            self.rmw_pending = true;
+            MemOp {
+                kind: OpKind::Read,
+                addr: self.cursor,
+                persistent: false,
+                think: 7,
+            }
+        }
+    }
+}
+
+/// Strided scientific kernel in the style of 433.milc: 4-line strides
+/// through a lattice with ~25 % writes.
+#[derive(Clone, Debug)]
+pub struct Milc {
+    footprint: u64,
+    rng: Splitmix,
+    cursor: u64,
+}
+
+impl Milc {
+    /// Creates the workload.
+    pub fn new(footprint: u64, seed: u64) -> Self {
+        Self {
+            footprint,
+            rng: Splitmix::new(seed),
+            cursor: 0,
+        }
+    }
+}
+
+impl Workload for Milc {
+    fn name(&self) -> &str {
+        "milc"
+    }
+    fn is_persistent(&self) -> bool {
+        false
+    }
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+    fn next_op(&mut self) -> MemOp {
+        let addr = self.cursor;
+        self.cursor = (self.cursor + 256) % self.footprint;
+        let kind = if self.rng.percent(25) {
+            OpKind::Write
+        } else {
+            OpKind::Read
+        };
+        MemOp {
+            kind,
+            addr,
+            persistent: false,
+            think: 14,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mcf_is_read_dominated_and_scattered() {
+        let mut w = Mcf::new(1 << 24, 11);
+        let mut reads = 0;
+        let mut addrs = std::collections::HashSet::new();
+        for _ in 0..5000 {
+            let op = w.next_op();
+            if op.kind == OpKind::Read {
+                reads += 1;
+            }
+            addrs.insert(op.addr);
+        }
+        assert!(reads > 4000);
+        assert!(addrs.len() > 4000, "pointer chase must scatter");
+    }
+
+    #[test]
+    fn lbm_alternates_streams() {
+        let mut w = Lbm::new(1 << 20, 0);
+        let a = w.next_op();
+        let b = w.next_op();
+        assert_eq!(a.kind, OpKind::Read);
+        assert_eq!(b.kind, OpKind::Write);
+        assert!(b.addr >= (1 << 19), "write stream in the second half");
+    }
+
+    #[test]
+    fn libquantum_rmw_pairs() {
+        let mut w = Libquantum::new(1 << 16, 0);
+        for _ in 0..100 {
+            let r = w.next_op();
+            let wr = w.next_op();
+            assert_eq!(r.kind, OpKind::Read);
+            assert_eq!(wr.kind, OpKind::Write);
+            assert_eq!(r.addr, wr.addr);
+        }
+    }
+
+    #[test]
+    fn milc_write_share_near_quarter() {
+        let mut w = Milc::new(1 << 20, 13);
+        let writes = (0..10_000)
+            .filter(|_| w.next_op().kind == OpKind::Write)
+            .count();
+        assert!((2000..3000).contains(&writes), "writes {writes}");
+    }
+
+    #[test]
+    fn none_are_persistent() {
+        for w in [
+            &Mcf::new(1 << 16, 0) as &dyn Workload,
+            &Lbm::new(1 << 16, 0),
+            &Libquantum::new(1 << 16, 0),
+            &Milc::new(1 << 16, 0),
+        ] {
+            assert!(!w.is_persistent(), "{}", w.name());
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! The in-house `uBENCH X` microbenchmarks of §4: sequential array sweeps
+//! touching one byte every `X` bytes with a 1:1 read/write ratio.
+//!
+//! The stride controls spatial locality in the metadata: a 16-byte stride
+//! hits each 64-byte line four times and each counter block 256 times
+//! (low eviction pressure), while a 256-byte stride skips lines and burns
+//! through counter blocks four times faster — exactly the eviction-rate
+//! contrast Fig. 10c shows between uBENCH16 and uBENCH128.
+
+use crate::{MemOp, OpKind, Workload};
+
+/// A sequential stride microbenchmark.
+#[derive(Clone, Debug)]
+pub struct UBench {
+    name: String,
+    stride: u64,
+    footprint: u64,
+    cursor: u64,
+    next_is_write: bool,
+}
+
+impl UBench {
+    /// Creates `uBENCH<stride>` over `footprint` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero or footprint is smaller than one stride.
+    pub fn new(stride: u64, footprint: u64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(footprint >= stride, "footprint smaller than stride");
+        Self {
+            name: format!("uBENCH{stride}"),
+            stride,
+            footprint,
+            cursor: 0,
+            next_is_write: false,
+        }
+    }
+
+    /// The stride in bytes.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+}
+
+impl Workload for UBench {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_persistent(&self) -> bool {
+        true // the array lives in NVM (§4)
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+
+    fn next_op(&mut self) -> MemOp {
+        let addr = self.cursor;
+        // Read then write the same location (r/w ratio 1), then stride on.
+        let kind = if self.next_is_write {
+            OpKind::Write
+        } else {
+            OpKind::Read
+        };
+        if self.next_is_write {
+            self.cursor = (self.cursor + self.stride) % self.footprint;
+        }
+        self.next_is_write = !self.next_is_write;
+        MemOp {
+            kind,
+            addr,
+            persistent: kind == OpKind::Write,
+            think: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternates_read_write_same_address() {
+        let mut u = UBench::new(64, 1 << 16);
+        let a = u.next_op();
+        let b = u.next_op();
+        assert_eq!(a.kind, OpKind::Read);
+        assert_eq!(b.kind, OpKind::Write);
+        assert_eq!(a.addr, b.addr);
+    }
+
+    #[test]
+    fn strides_sequentially_and_wraps() {
+        let mut u = UBench::new(128, 256);
+        let mut addrs = Vec::new();
+        for _ in 0..6 {
+            addrs.push(u.next_op().addr);
+        }
+        assert_eq!(addrs, vec![0, 0, 128, 128, 0, 0]);
+    }
+
+    #[test]
+    fn name_embeds_stride() {
+        assert_eq!(UBench::new(16, 1024).name(), "uBENCH16");
+    }
+
+    #[test]
+    fn writes_are_persistent() {
+        let mut u = UBench::new(64, 1024);
+        u.next_op();
+        assert!(u.next_op().persistent);
+    }
+}

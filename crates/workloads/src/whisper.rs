@@ -1,0 +1,652 @@
+//! WHISPER-like persistent-memory kernels and a PMEMKV-like store.
+//!
+//! WHISPER [Nalli et al., ASPLOS 2017] characterizes persistent-memory
+//! applications as short transactions: a few random reads, a log append,
+//! a small number of in-place persistent stores. The generators below
+//! mimic the published access mixes of its best-known members (`ctree`,
+//! `hashmap`, `redo` logging, `sps`, a persistent queue) plus a PMEMKV
+//! put/get mix — at the only granularity the memory controller sees:
+//! which lines are read/written, how persistently, and how often.
+
+use crate::{MemOp, OpKind, Splitmix, Workload};
+
+fn line_align(addr: u64) -> u64 {
+    addr & !63
+}
+
+/// Crash-consistent B-tree insert/lookup mix (WHISPER `ctree`).
+///
+/// Each transaction walks ~4 random node lines (reads), then appends to a
+/// log and updates a leaf (persistent writes). 70 % lookups / 30 %
+/// inserts.
+#[derive(Clone, Debug)]
+pub struct Ctree {
+    footprint: u64,
+    rng: Splitmix,
+    pending: Vec<MemOp>,
+    log_head: u64,
+}
+
+impl Ctree {
+    /// Creates the workload.
+    pub fn new(footprint: u64, seed: u64) -> Self {
+        Self {
+            footprint,
+            rng: Splitmix::new(seed),
+            pending: Vec::new(),
+            log_head: 0,
+        }
+    }
+
+    fn refill(&mut self) {
+        let tree_region = self.footprint * 7 / 8;
+        let log_region = self.footprint - tree_region;
+        // Root levels are hot: level i node drawn from a 8^i-scaled range.
+        let mut range = 4096u64.max(tree_region >> 12);
+        for _ in 0..4 {
+            let addr = line_align(self.rng.below(range.min(tree_region)));
+            self.pending.push(MemOp {
+                kind: OpKind::Read,
+                addr,
+                persistent: false,
+                think: 12,
+            });
+            range = (range * 8).min(tree_region);
+        }
+        if self.rng.percent(30) {
+            // Insert: log append + leaf update.
+            let log_addr = tree_region + (self.log_head % log_region);
+            self.log_head += 64;
+            self.pending.push(MemOp {
+                kind: OpKind::Write,
+                addr: line_align(log_addr),
+                persistent: true,
+                think: 6,
+            });
+            let leaf = line_align(self.rng.hot_below(tree_region));
+            self.pending.push(MemOp {
+                kind: OpKind::Write,
+                addr: leaf,
+                persistent: true,
+                think: 6,
+            });
+        }
+        self.pending.reverse();
+    }
+}
+
+impl Workload for Ctree {
+    fn name(&self) -> &str {
+        "ctree"
+    }
+    fn is_persistent(&self) -> bool {
+        true
+    }
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+    fn next_op(&mut self) -> MemOp {
+        if self.pending.is_empty() {
+            self.refill();
+        }
+        self.pending.pop().expect("refill produces ops")
+    }
+}
+
+/// Persistent hash table (WHISPER `hashmap`): one bucket read, 40 %
+/// updates with log + bucket writes.
+#[derive(Clone, Debug)]
+pub struct Hashmap {
+    footprint: u64,
+    rng: Splitmix,
+    pending: Vec<MemOp>,
+    log_head: u64,
+}
+
+impl Hashmap {
+    /// Creates the workload.
+    pub fn new(footprint: u64, seed: u64) -> Self {
+        Self {
+            footprint,
+            rng: Splitmix::new(seed),
+            pending: Vec::new(),
+            log_head: 0,
+        }
+    }
+}
+
+impl Workload for Hashmap {
+    fn name(&self) -> &str {
+        "hashmap"
+    }
+    fn is_persistent(&self) -> bool {
+        true
+    }
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+    fn next_op(&mut self) -> MemOp {
+        if let Some(op) = self.pending.pop() {
+            return op;
+        }
+        let table = self.footprint * 3 / 4;
+        let bucket = line_align(self.rng.hot_below(table));
+        if self.rng.percent(40) {
+            let log = table + (self.log_head % (self.footprint - table));
+            self.log_head += 64;
+            self.pending.push(MemOp {
+                kind: OpKind::Write,
+                addr: bucket,
+                persistent: true,
+                think: 8,
+            });
+            self.pending.push(MemOp {
+                kind: OpKind::Write,
+                addr: line_align(log),
+                persistent: true,
+                think: 4,
+            });
+        }
+        MemOp {
+            kind: OpKind::Read,
+            addr: bucket,
+            persistent: false,
+            think: 15,
+        }
+    }
+}
+
+/// Redo-log appender (WHISPER-style `redo` transaction log): write-heavy
+/// sequential log traffic plus random data reads.
+#[derive(Clone, Debug)]
+pub struct RedoLog {
+    footprint: u64,
+    rng: Splitmix,
+    head: u64,
+}
+
+impl RedoLog {
+    /// Creates the workload.
+    pub fn new(footprint: u64, seed: u64) -> Self {
+        Self {
+            footprint,
+            rng: Splitmix::new(seed),
+            head: 0,
+        }
+    }
+}
+
+impl Workload for RedoLog {
+    fn name(&self) -> &str {
+        "redo_log"
+    }
+    fn is_persistent(&self) -> bool {
+        true
+    }
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+    fn next_op(&mut self) -> MemOp {
+        let log_region = self.footprint / 2;
+        if self.rng.percent(60) {
+            let addr = self.head % log_region;
+            self.head += 64;
+            MemOp {
+                kind: OpKind::Write,
+                addr,
+                persistent: true,
+                think: 5,
+            }
+        } else {
+            let addr = log_region + line_align(self.rng.below(self.footprint - log_region));
+            MemOp {
+                kind: OpKind::Read,
+                addr,
+                persistent: false,
+                think: 10,
+            }
+        }
+    }
+}
+
+/// Swap random entries (WHISPER-like `sps`, scalable persistent swaps):
+/// read two random lines, write them back swapped, all persistent.
+#[derive(Clone, Debug)]
+pub struct Sps {
+    footprint: u64,
+    rng: Splitmix,
+    pending: Vec<MemOp>,
+}
+
+impl Sps {
+    /// Creates the workload.
+    pub fn new(footprint: u64, seed: u64) -> Self {
+        Self {
+            footprint,
+            rng: Splitmix::new(seed),
+            pending: Vec::new(),
+        }
+    }
+}
+
+impl Workload for Sps {
+    fn name(&self) -> &str {
+        "sps"
+    }
+    fn is_persistent(&self) -> bool {
+        true
+    }
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+    fn next_op(&mut self) -> MemOp {
+        if let Some(op) = self.pending.pop() {
+            return op;
+        }
+        let a = line_align(self.rng.hot_below(self.footprint));
+        let b = line_align(self.rng.hot_below(self.footprint));
+        self.pending.push(MemOp {
+            kind: OpKind::Write,
+            addr: a,
+            persistent: true,
+            think: 3,
+        });
+        self.pending.push(MemOp {
+            kind: OpKind::Write,
+            addr: b,
+            persistent: true,
+            think: 3,
+        });
+        self.pending.push(MemOp {
+            kind: OpKind::Read,
+            addr: b,
+            persistent: false,
+            think: 3,
+        });
+        MemOp {
+            kind: OpKind::Read,
+            addr: a,
+            persistent: false,
+            think: 6,
+        }
+    }
+}
+
+/// Persistent FIFO queue: enqueue at head, dequeue at tail — localized
+/// writes that hammer a small set of counter blocks.
+#[derive(Clone, Debug)]
+pub struct Queue {
+    footprint: u64,
+    rng: Splitmix,
+    head: u64,
+    tail: u64,
+}
+
+impl Queue {
+    /// Creates the workload.
+    pub fn new(footprint: u64, seed: u64) -> Self {
+        Self {
+            footprint,
+            rng: Splitmix::new(seed),
+            head: 0,
+            tail: 0,
+        }
+    }
+}
+
+impl Workload for Queue {
+    fn name(&self) -> &str {
+        "queue"
+    }
+    fn is_persistent(&self) -> bool {
+        true
+    }
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+    fn next_op(&mut self) -> MemOp {
+        if self.rng.percent(55) || self.head == self.tail {
+            let addr = self.head % self.footprint;
+            self.head += 64;
+            MemOp {
+                kind: OpKind::Write,
+                addr,
+                persistent: true,
+                think: 7,
+            }
+        } else {
+            let addr = self.tail % self.footprint;
+            self.tail += 64;
+            MemOp {
+                kind: OpKind::Read,
+                addr,
+                persistent: false,
+                think: 7,
+            }
+        }
+    }
+}
+
+/// PMEMKV-like key-value store: 50/50 put/get over a hashed index plus a
+/// value heap, with persistent index and value writes on puts.
+#[derive(Clone, Debug)]
+pub struct Pmemkv {
+    footprint: u64,
+    rng: Splitmix,
+    pending: Vec<MemOp>,
+}
+
+impl Pmemkv {
+    /// Creates the workload.
+    pub fn new(footprint: u64, seed: u64) -> Self {
+        Self {
+            footprint,
+            rng: Splitmix::new(seed),
+            pending: Vec::new(),
+        }
+    }
+}
+
+impl Workload for Pmemkv {
+    fn name(&self) -> &str {
+        "pmemkv"
+    }
+    fn is_persistent(&self) -> bool {
+        true
+    }
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+    fn next_op(&mut self) -> MemOp {
+        if let Some(op) = self.pending.pop() {
+            return op;
+        }
+        let index = self.footprint / 4;
+        let slot = line_align(self.rng.hot_below(index));
+        let value = index + line_align(self.rng.hot_below(self.footprint - index));
+        if self.rng.percent(50) {
+            // put: read index slot, write value, write index.
+            self.pending.push(MemOp {
+                kind: OpKind::Write,
+                addr: slot,
+                persistent: true,
+                think: 5,
+            });
+            self.pending.push(MemOp {
+                kind: OpKind::Write,
+                addr: value,
+                persistent: true,
+                think: 5,
+            });
+            MemOp {
+                kind: OpKind::Read,
+                addr: slot,
+                persistent: false,
+                think: 10,
+            }
+        } else {
+            // get: read index slot then the value line.
+            self.pending.push(MemOp {
+                kind: OpKind::Read,
+                addr: value,
+                persistent: false,
+                think: 5,
+            });
+            MemOp {
+                kind: OpKind::Read,
+                addr: slot,
+                persistent: false,
+                think: 10,
+            }
+        }
+    }
+}
+
+/// YCSB-like key-value workload: Zipfian key popularity (approximated by
+/// three nested hot sets), 95/5 read/update mix — the cloud-serving
+/// profile most KV papers evaluate against (workload B).
+#[derive(Clone, Debug)]
+pub struct Ycsb {
+    footprint: u64,
+    rng: Splitmix,
+    pending: Vec<MemOp>,
+}
+
+impl Ycsb {
+    /// Creates the workload.
+    pub fn new(footprint: u64, seed: u64) -> Self {
+        Self {
+            footprint,
+            rng: Splitmix::new(seed),
+            pending: Vec::new(),
+        }
+    }
+
+    fn zipf_like(&mut self, bound: u64) -> u64 {
+        // Nested hot sets: 50% of traffic in 1/64, 80% in 1/8.
+        let region = match self.rng.below(10) {
+            0..=4 => bound / 64,
+            5..=7 => bound / 8,
+            _ => bound,
+        };
+        self.rng.below(region.max(64))
+    }
+}
+
+impl Workload for Ycsb {
+    fn name(&self) -> &str {
+        "ycsb"
+    }
+    fn is_persistent(&self) -> bool {
+        true
+    }
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+    fn next_op(&mut self) -> MemOp {
+        if let Some(op) = self.pending.pop() {
+            return op;
+        }
+        let key = line_align(self.zipf_like(self.footprint));
+        if self.rng.percent(5) {
+            // update: read-modify-write the record, persist.
+            self.pending.push(MemOp {
+                kind: OpKind::Write,
+                addr: key,
+                persistent: true,
+                think: 6,
+            });
+        }
+        MemOp {
+            kind: OpKind::Read,
+            addr: key,
+            persistent: false,
+            think: 18,
+        }
+    }
+}
+
+/// Vacation-like transactional workload (STAMP): each "reservation"
+/// touches three tables (flights/rooms/cars) with reads, then commits a
+/// few persistent writes plus an undo-log entry.
+#[derive(Clone, Debug)]
+pub struct Vacation {
+    footprint: u64,
+    rng: Splitmix,
+    pending: Vec<MemOp>,
+    log_head: u64,
+}
+
+impl Vacation {
+    /// Creates the workload.
+    pub fn new(footprint: u64, seed: u64) -> Self {
+        Self {
+            footprint,
+            rng: Splitmix::new(seed),
+            pending: Vec::new(),
+            log_head: 0,
+        }
+    }
+}
+
+impl Workload for Vacation {
+    fn name(&self) -> &str {
+        "vacation"
+    }
+    fn is_persistent(&self) -> bool {
+        true
+    }
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+    fn next_op(&mut self) -> MemOp {
+        if let Some(op) = self.pending.pop() {
+            return op;
+        }
+        let table_size = self.footprint / 4; // 3 tables + log region
+        let log_base = 3 * table_size;
+        // Transaction: probe each table twice (index + record)...
+        let mut ops = Vec::with_capacity(8);
+        for table in 0..3u64 {
+            let record = table * table_size + line_align(self.rng.hot_below(table_size));
+            ops.push(MemOp {
+                kind: OpKind::Read,
+                addr: record,
+                persistent: false,
+                think: 9,
+            });
+            ops.push(MemOp {
+                kind: OpKind::Read,
+                addr: record + 64,
+                persistent: false,
+                think: 4,
+            });
+        }
+        // ...then commit: undo-log append + one record update.
+        let log = log_base + (self.log_head % (self.footprint - log_base));
+        self.log_head += 64;
+        ops.push(MemOp {
+            kind: OpKind::Write,
+            addr: line_align(log),
+            persistent: true,
+            think: 5,
+        });
+        let victim = line_align(self.rng.hot_below(3 * table_size));
+        ops.push(MemOp {
+            kind: OpKind::Write,
+            addr: victim,
+            persistent: true,
+            think: 5,
+        });
+        ops.reverse();
+        self.pending = ops;
+        self.pending.pop().expect("transaction is nonempty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut dyn Workload, n: usize) -> (usize, usize, usize) {
+        let (mut r, mut wr, mut p) = (0, 0, 0);
+        for _ in 0..n {
+            let op = w.next_op();
+            match op.kind {
+                OpKind::Read => r += 1,
+                OpKind::Write => wr += 1,
+            }
+            if op.persistent {
+                p += 1;
+            }
+        }
+        (r, wr, p)
+    }
+
+    #[test]
+    fn ctree_is_read_dominant_with_persistent_writes() {
+        let mut w = Ctree::new(1 << 22, 1);
+        let (r, wr, p) = drain(&mut w, 10_000);
+        assert!(r > wr, "tree walks dominate: r={r} w={wr}");
+        assert_eq!(wr, p, "all ctree writes are persistent");
+    }
+
+    #[test]
+    fn redo_log_is_write_heavy_and_sequential() {
+        let mut w = RedoLog::new(1 << 20, 2);
+        let (r, wr, _) = drain(&mut w, 10_000);
+        assert!(wr > r, "log appends dominate: r={r} w={wr}");
+        // Log addresses increase between consecutive writes.
+        let mut last = None;
+        for _ in 0..100 {
+            let op = w.next_op();
+            if op.kind == OpKind::Write {
+                if let Some(prev) = last {
+                    assert!(op.addr > prev || op.addr == 0);
+                }
+                last = Some(op.addr);
+            }
+        }
+    }
+
+    #[test]
+    fn sps_transactions_are_balanced() {
+        let mut w = Sps::new(1 << 20, 3);
+        let (r, wr, p) = drain(&mut w, 8000);
+        assert_eq!(r, wr);
+        assert_eq!(p, wr);
+    }
+
+    #[test]
+    fn queue_addresses_advance() {
+        let mut w = Queue::new(1 << 16, 4);
+        let a = w.next_op();
+        let ops: Vec<_> = (0..50).map(|_| w.next_op()).collect();
+        assert!(ops.iter().any(|o| o.addr != a.addr));
+    }
+
+    #[test]
+    fn pmemkv_mixes_puts_and_gets() {
+        let mut w = Pmemkv::new(1 << 22, 5);
+        let (r, wr, _) = drain(&mut w, 10_000);
+        // ~2 writes per put, ~2 reads per get, 50/50 mix with a put read.
+        assert!(r > 0 && wr > 0);
+        assert!(r > wr, "gets contribute extra reads: r={r} w={wr}");
+    }
+
+    #[test]
+    fn ycsb_is_read_heavy_and_skewed() {
+        let mut w = Ycsb::new(1 << 24, 7);
+        let mut reads = 0;
+        let mut hot = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let op = w.next_op();
+            if op.kind == OpKind::Read {
+                reads += 1;
+            }
+            if op.addr < (1 << 24) / 64 {
+                hot += 1;
+            }
+        }
+        assert!(reads as f64 > 0.9 * n as f64, "reads {reads}");
+        assert!(hot as f64 > 0.4 * n as f64, "hot-set traffic {hot}");
+    }
+
+    #[test]
+    fn vacation_transactions_commit_persistently() {
+        let mut w = Vacation::new(1 << 22, 8);
+        let (r, wr, p) = drain(&mut w, 8000);
+        assert!(r > wr, "probes dominate: r={r} w={wr}");
+        assert_eq!(wr, p, "all commits persistent");
+        assert_eq!((r + wr) % 8, 0, "whole transactions of 8 ops");
+    }
+
+    #[test]
+    fn hashmap_reads_every_transaction() {
+        let mut w = Hashmap::new(1 << 20, 6);
+        let (r, _, p) = drain(&mut w, 5000);
+        assert!(r >= 5000 / 3);
+        assert!(p > 0);
+    }
+}

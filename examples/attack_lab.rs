@@ -1,0 +1,139 @@
+//! Attack lab: the §2.1 threat model exercised live. The attacker owns
+//! everything outside the processor chip — this example mounts the
+//! classic physical attacks against the NVM and shows each one bounce
+//! off the controller's defenses.
+//!
+//! ```text
+//! cargo run --release --example attack_lab
+//! ```
+
+use soteria_suite::soteria::clone::CloningPolicy;
+use soteria_suite::soteria::{DataAddr, SecureMemoryConfig, SecureMemoryController};
+use soteria_suite::soteria_nvm::LineAddr;
+
+fn fresh() -> Result<SecureMemoryController, Box<dyn std::error::Error>> {
+    let config = SecureMemoryConfig::builder()
+        .capacity_bytes(1 << 20)
+        .metadata_cache(16 * 1024, 8)
+        .cloning(CloningPolicy::Relaxed)
+        .build()?;
+    Ok(SecureMemoryController::new(config))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== attack 1: cold boot (NVM retains data after power-off, §2.4) ==");
+    {
+        let mut m = fresh()?;
+        let secret = [0x51u8; 64];
+        m.write(DataAddr::new(0), &secret)?;
+        m.persist_all()?;
+        // Attacker pulls the DIMM and scans it at leisure.
+        let mut found = false;
+        for idx in 0..m.layout().total_lines() {
+            if m.device_mut().read_line(LineAddr::new(idx)).0 == secret {
+                found = true;
+            }
+        }
+        println!(
+            "   scanned {} NVM lines for the secret pattern: {}",
+            m.layout().total_lines(),
+            if found {
+                "FOUND (broken!)"
+            } else {
+                "not found — counter-mode encryption holds"
+            }
+        );
+        assert!(!found);
+    }
+
+    println!("\n== attack 2: data replay (snapshot old ciphertext+MAC, restore later) ==");
+    {
+        let mut m = fresh()?;
+        m.write(DataAddr::new(0), &[1u8; 64])?;
+        m.persist_all()?;
+        let (old_ct, _) = m.device_mut().read_line(LineAddr::new(0));
+        let (mac_line, _) = m.layout().data_mac_slot(DataAddr::new(0));
+        let (old_mac, _) = m.device_mut().read_line(mac_line);
+        m.write(DataAddr::new(0), &[2u8; 64])?; // the victim updates the value
+        m.persist_all()?;
+        m.device_mut().write_line(LineAddr::new(0), &old_ct);
+        m.device_mut().write_line(mac_line, &old_mac);
+        match m.read(DataAddr::new(0)) {
+            Err(e) => println!("   replayed pair rejected: {e}"),
+            Ok(v) if v == [1u8; 64] => panic!("replay succeeded!"),
+            Ok(_) => println!("   replay garbled and detected downstream"),
+        }
+    }
+
+    println!("\n== attack 3: ciphertext splice (move line A's bytes over line B) ==");
+    {
+        let mut m = fresh()?;
+        m.write(DataAddr::new(1), &[0xaa; 64])?;
+        m.write(DataAddr::new(2), &[0xbb; 64])?;
+        m.persist_all()?;
+        let (a, _) = m.device_mut().read_line(LineAddr::new(1));
+        m.device_mut().write_line(LineAddr::new(2), &a);
+        match m.read(DataAddr::new(2)) {
+            Err(e) => println!("   splice rejected: {e}"),
+            Ok(_) => panic!("splice accepted!"),
+        }
+    }
+
+    println!("\n== attack 4: metadata tampering, repaired by Soteria clones ==");
+    {
+        let mut m = fresh()?;
+        for i in 0..16u64 {
+            m.write(DataAddr::new(i * 64), &[7u8; 64])?;
+        }
+        m.persist_all()?;
+        // Flip bits in a ToC node's primary copy.
+        let node = soteria_suite::soteria::MetaId::new(2, 0);
+        let addr = m.layout().meta_addr(node);
+        let (mut bytes, _) = m.device_mut().read_line(addr);
+        bytes[10] ^= 0xff;
+        m.device_mut().write_line(addr, &bytes);
+        // Force re-fetch through cache pressure, then read protected data.
+        for i in 0..m.layout().data_lines() / 64 {
+            let _ = m.read(DataAddr::new(i * 64));
+        }
+        let v = m.read(DataAddr::new(0))?;
+        assert_eq!(v, [7u8; 64]);
+        println!(
+            "   tampered node purified from its clone ({} repair(s)); data intact",
+            m.stats().clone_repairs
+        );
+    }
+
+    println!("\n== attack 5: replaying EVERY copy of a metadata block ==");
+    {
+        let mut m = fresh()?;
+        m.write(DataAddr::new(0), &[1u8; 64])?;
+        m.persist_all()?;
+        let leaf = soteria_suite::soteria::MetaId::new(1, 0);
+        let primary = m.layout().meta_addr(leaf);
+        let clone = m.layout().clone_addr(leaf, 1);
+        let (mac_line, _) = m.layout().leaf_mac_slot(0);
+        let snap_p = m.device_mut().read_line(primary).0;
+        let snap_c = m.device_mut().read_line(clone).0;
+        let snap_m = m.device_mut().read_line(mac_line).0;
+        for round in 0..4u64 {
+            for i in 0..m.layout().data_lines() / 64 {
+                m.write(DataAddr::new(i * 64), &[round as u8; 64])?;
+            }
+        }
+        m.persist_all()?;
+        m.device_mut().write_line(primary, &snap_p);
+        m.device_mut().write_line(clone, &snap_c);
+        m.device_mut().write_line(mac_line, &snap_m);
+        for i in (64..m.layout().data_lines()).step_by(64) {
+            let _ = m.read(DataAddr::new(i));
+        }
+        match m.read(DataAddr::new(0)) {
+            Err(e) => println!("   full-set replay detected (§3.2.2): {e}"),
+            Ok(_) => panic!("full-set replay accepted!"),
+        }
+    }
+
+    println!("\nall five attacks defeated.");
+    Ok(())
+}

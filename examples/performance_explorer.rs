@@ -1,0 +1,84 @@
+//! Performance explorer: drive one workload through the full simulated
+//! system (cores → caches → secure memory controller → PCM banks) under
+//! each cloning scheme and inspect where the cycles and the writes go.
+//!
+//! ```text
+//! cargo run --release --example performance_explorer [workload] [ops]
+//! ```
+//!
+//! `workload` is any suite name (`uBENCH128`, `pmemkv`, `mcf`, ...).
+
+use soteria_suite::soteria::CloningPolicy;
+use soteria_suite::soteria_simcpu::{System, SystemConfig};
+use soteria_suite::soteria_workloads::{standard_suite, SuiteConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let wanted = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("pmemkv")
+        .to_string();
+    let ops: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400_000);
+
+    let suite_config = SuiteConfig {
+        footprint_bytes: 64 << 20,
+        seed: 0xda7a,
+    };
+    let available: Vec<String> = standard_suite(&suite_config)
+        .iter()
+        .map(|w| w.name().to_string())
+        .collect();
+    if !available.iter().any(|n| n == &wanted) {
+        eprintln!("unknown workload '{wanted}'; available: {available:?}");
+        std::process::exit(1);
+    }
+
+    println!("workload {wanted}, {ops} memory operations per scheme\n");
+    println!(
+        "{:>9} | {:>12} | {:>10} | {:>10} | {:>9} | {:>8}",
+        "scheme", "cycles", "NVM reads", "NVM writes", "evict/op", "md-miss"
+    );
+    println!("{}", "-".repeat(74));
+    let mut baseline_cycles = None;
+    for policy in [
+        CloningPolicy::None,
+        CloningPolicy::Relaxed,
+        CloningPolicy::Aggressive,
+    ] {
+        let mut workloads = standard_suite(&suite_config);
+        let workload = workloads
+            .iter_mut()
+            .find(|w| w.name() == wanted)
+            .expect("validated above");
+        let mut system = System::new(SystemConfig::table3(policy, 64 << 20));
+        let r = system.run(workload.as_mut(), ops);
+        let base = *baseline_cycles.get_or_insert(r.cycles);
+        println!(
+            "{:>9} | {:>12} | {:>10} | {:>10} | {:>8.2}% | {:>7.2}%",
+            r.scheme,
+            format!(
+                "{} ({:+.2}%)",
+                r.cycles,
+                (r.cycles as f64 / base as f64 - 1.0) * 100.0
+            ),
+            r.nvm_reads,
+            r.nvm_writes,
+            r.evictions_per_op() * 100.0,
+            r.metadata_miss_ratio * 100.0,
+        );
+        let stats = system.controller().stats();
+        println!(
+            "{:>9} |   writes: cipher {} | mac {} | shadow {} | evict {} | leaf-mac {} | clone {}",
+            "",
+            stats.writes.cipher,
+            stats.writes.data_mac,
+            stats.writes.shadow,
+            stats.writes.eviction,
+            stats.writes.leaf_mac,
+            stats.writes.clone,
+        );
+    }
+    println!("\nThe clone column is the entire cost of Soteria; it tracks the eviction");
+    println!("rate (Fig. 10c), which is why the slowdown stays around 1% (Fig. 10a).");
+}

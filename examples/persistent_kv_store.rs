@@ -1,0 +1,134 @@
+//! A persistent key-value store on secure NVM that survives both a crash
+//! **and** an uncorrectable memory error in its security metadata — the
+//! scenario from the paper's introduction (applications relying on NVM
+//! persistence: filesystems, checkpointing, KV stores).
+//!
+//! The store keeps fixed-size records in a hashed table of 64-byte lines.
+//! Everything under it is encrypted + integrity-protected; Soteria SRC
+//! cloning repairs the metadata fault that would make a baseline secure
+//! memory lose a whole region.
+//!
+//! ```text
+//! cargo run --example persistent_kv_store
+//! ```
+
+use soteria_suite::soteria::{
+    recover, CloningPolicy, DataAddr, MetaId, SecureMemoryConfig, SecureMemoryController,
+};
+use soteria_suite::soteria_nvm::fault::{FaultFootprint, FaultKind, FaultRecord};
+
+const SLOTS: u64 = 4096;
+
+/// A fixed-size record store: key -> one 64-byte line (56-byte value).
+struct KvStore {
+    memory: SecureMemoryController,
+}
+
+impl KvStore {
+    fn new(memory: SecureMemoryController) -> Self {
+        Self { memory }
+    }
+
+    fn slot_of(key: &str) -> u64 {
+        // FNV-1a over the key, open addressing handled by the caller
+        // being gentle (demo-sized store).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        h % SLOTS
+    }
+
+    fn put(&mut self, key: &str, value: &str) -> Result<(), Box<dyn std::error::Error>> {
+        assert!(value.len() <= 56, "demo records carry up to 56 bytes");
+        let mut line = [0u8; 64];
+        line[0] = 1; // occupied
+        line[1] = value.len() as u8;
+        line[8..8 + value.len()].copy_from_slice(value.as_bytes());
+        self.memory
+            .write(DataAddr::new(Self::slot_of(key)), &line)?;
+        Ok(())
+    }
+
+    fn get(&mut self, key: &str) -> Result<Option<String>, Box<dyn std::error::Error>> {
+        let line = self.memory.read(DataAddr::new(Self::slot_of(key)))?;
+        if line[0] != 1 {
+            return Ok(None);
+        }
+        let len = line[1] as usize;
+        Ok(Some(
+            String::from_utf8_lossy(&line[8..8 + len]).into_owned(),
+        ))
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SecureMemoryConfig::builder()
+        .capacity_bytes(1 << 20)
+        .metadata_cache(16 * 1024, 8)
+        .cloning(CloningPolicy::Relaxed) // SRC
+        .build()?;
+    let mut store = KvStore::new(SecureMemoryController::new(config));
+
+    println!("== phase 1: populate ==");
+    let entries = [
+        ("paper", "Soteria, MICRO 2021"),
+        ("scheme/relaxed", "SRC: one clone per metadata block"),
+        ("scheme/aggressive", "SAC: up to 5 copies near the root"),
+        ("substrate", "chipkill over 18 chips"),
+        ("recovery", "Anubis shadow + Osiris trials"),
+    ];
+    for (k, v) in entries {
+        store.put(k, v)?;
+    }
+    println!("stored {} records", entries.len());
+
+    println!("\n== phase 2: power loss ==");
+    let mut image = store.memory.crash();
+
+    println!("== phase 3: uncorrectable error strikes a counter block while down ==");
+    // Chipkill corrects one chip; hit the leaf's line on *two* chips.
+    let config = image.config().clone();
+    let layout = config.build_layout();
+    let leaf = MetaId::new(1, 0); // covers data lines 0..64 (several records)
+    let loc = image.device_mut().geometry().locate(layout.meta_addr(leaf));
+    for chip in [1u32, 10] {
+        let g = *image.device_mut().geometry();
+        image.device_mut().inject_fault(FaultRecord::on_chip(
+            &g,
+            chip,
+            FaultFootprint::SingleWord {
+                bank: loc.bank,
+                row: loc.row,
+                col: loc.col,
+                beat: 0,
+            },
+            FaultKind::Permanent,
+        ));
+    }
+
+    println!("== phase 4: recover ==");
+    let (memory, report) = recover(image);
+    println!(
+        "recovery: complete = {}, clone repairs = {}, blocks restored = {}",
+        report.is_complete(),
+        report.clone_repairs,
+        report.blocks_restored
+    );
+    assert!(
+        report.is_complete(),
+        "SRC must repair the counter block from its clone"
+    );
+
+    let mut store = KvStore::new(memory);
+    println!("\n== phase 5: verify every record ==");
+    for (k, v) in entries {
+        let got = store.get(k)?.expect("record survived");
+        assert_eq!(got, v);
+        println!("  {k} => {got}");
+    }
+    println!("\nAll records intact despite crash + metadata UE. A baseline secure");
+    println!("memory (CloningPolicy::None) would have lost every record under the");
+    println!("faulted counter block — try it by editing the policy above.");
+    Ok(())
+}

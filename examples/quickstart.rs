@@ -1,0 +1,64 @@
+//! Quickstart: a secure, crash-consistent, clone-protected NVM in ~50
+//! lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use soteria_suite::soteria::{
+    recover, CloningPolicy, DataAddr, SecureMemoryConfig, SecureMemoryController,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 16 MiB protected memory with SRC cloning (one clone per metadata
+    // block, Table 2) and the Table-3 metadata cache scaled down.
+    let config = SecureMemoryConfig::builder()
+        .capacity_bytes(16 << 20)
+        .metadata_cache(64 * 1024, 8)
+        .cloning(CloningPolicy::Relaxed)
+        .build()?;
+    let mut memory = SecureMemoryController::new(config);
+
+    // Writes are transparently encrypted (AES counter mode, split
+    // counters) and integrity-protected (ToC tree + per-line MACs).
+    let mut secret = [0u8; 64];
+    secret[..32].copy_from_slice(b"attack at dawn; bring both keys!");
+    memory.write(DataAddr::new(7), &secret)?;
+    assert_eq!(memory.read(DataAddr::new(7))?, secret);
+
+    // The device never sees plaintext (persist first so the line leaves
+    // the WPQ and lands in the NVM array):
+    memory.persist_all()?;
+    let line_in_nvm = memory
+        .device_mut()
+        .read_line(soteria_suite::soteria_nvm::LineAddr::new(7))
+        .0;
+    assert_ne!(line_in_nvm, secret);
+    println!("ciphertext at rest: {:02x?}...", &line_in_nvm[..8]);
+
+    let stats = memory.stats();
+    println!(
+        "traffic so far: {} data ops -> {} NVM reads, {} NVM writes ({} shadow, {} clone)",
+        stats.memory_ops(),
+        stats.nvm_reads,
+        stats.nvm_writes,
+        stats.writes.shadow,
+        stats.writes.clone,
+    );
+
+    // Power loss: the metadata cache evaporates; the WPQ (ADR domain) and
+    // NVM survive. Recovery replays the Anubis shadow table and runs
+    // Osiris counter trials.
+    let image = memory.crash();
+    let (mut memory, report) = recover(image);
+    println!(
+        "recovered: {} blocks restored, {} counters via Osiris trials, complete = {}",
+        report.blocks_restored,
+        report.counters_recovered,
+        report.is_complete()
+    );
+    assert!(report.is_complete());
+    assert_eq!(memory.read(DataAddr::new(7))?, secret);
+    println!("secret survived the crash, still decrypts and verifies");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Reliability study: evaluate *your* DIMM's metadata resilience.
+//!
+//! This is the workflow a memory-systems architect would use the library
+//! for: configure a fault environment (FIT rate, fault-mode mix), run a
+//! Monte Carlo campaign over five simulated years, and compare cloning
+//! policies — including a custom one — by Unverifiable Data Ratio.
+//!
+//! ```text
+//! cargo run --release --example reliability_study
+//! ```
+
+use soteria_suite::soteria::analysis::ExpectedLossModel;
+use soteria_suite::soteria::CloningPolicy;
+use soteria_suite::soteria_faultsim::{cluster_mtbf_hours, run_campaign, CampaignConfig};
+
+fn main() {
+    println!("== analytic sanity check (Fig. 3 model) ==");
+    for capacity in [256u64 << 30, 1 << 40, 4 << 40] {
+        let m = ExpectedLossModel::new(capacity);
+        println!(
+            "  {:>5} GiB: {} tree levels, secure memory {:.1}x less resilient",
+            capacity >> 30,
+            m.levels(),
+            m.amplification()
+        );
+    }
+
+    println!("\n== Monte Carlo campaign (16 GiB DIMM, Chipkill, 5 years) ==");
+    let fit = 60.0;
+    println!(
+        "FIT {fit}/chip -> cluster MTBF {:.1} h for 20k nodes (field-study range: 7-23 h)",
+        cluster_mtbf_hours(fit, 20_000, 4, 18)
+    );
+    let mut config = CampaignConfig::table4(fit);
+    config.iterations = 60_000;
+    config.capacity_bytes = 1 << 30; // 1 GiB keeps the example snappy
+
+    // Compare the paper's schemes plus a custom "clone only the upper
+    // half of the tree" policy.
+    let policies = vec![
+        CloningPolicy::None,
+        CloningPolicy::Relaxed,
+        CloningPolicy::Aggressive,
+        CloningPolicy::Custom(vec![1, 1, 2, 3, 4]),
+    ];
+    let results = run_campaign(&config, &policies);
+    println!(
+        "\n{:>22} | {:>12} | {:>12} | {:>14}",
+        "policy", "mean UDR", "L_error", "iters w/ UDR"
+    );
+    println!("{}", "-".repeat(70));
+    for r in &results {
+        let name = match &r.policy {
+            CloningPolicy::Custom(d) => format!("Custom{d:?}"),
+            p => p.name().to_string(),
+        };
+        println!(
+            "{:>22} | {:>12.3e} | {:>12.3e} | {:>14}",
+            name, r.mean_udr, r.mean_error_ratio, r.iterations_with_udr
+        );
+    }
+    println!(
+        "\n{} of {} iterations saw faults; {} defeated Chipkill somewhere.",
+        results[0].iterations_with_faults, results[0].iterations, results[0].iterations_with_ue
+    );
+    println!("Cloned schemes only lose data when every copy of a block is hit —");
+    println!("raise `config.iterations` toward 10^6 to resolve their tiny UDRs.");
+}

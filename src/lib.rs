@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the Soteria reproduction.
+//!
+//! This crate re-exports the individual workspace crates so that the
+//! examples and integration tests can reach the whole system through one
+//! dependency. Library users should normally depend on the individual
+//! crates ([`soteria`], [`soteria_nvm`], ...) directly.
+//!
+//! # Example
+//!
+//! ```
+//! use soteria_suite::soteria::SecureMemoryConfig;
+//!
+//! let config = SecureMemoryConfig::builder().capacity_bytes(1 << 24).build()?;
+//! assert_eq!(config.capacity_bytes(), 1 << 24);
+//! # Ok::<(), soteria_suite::soteria::ConfigError>(())
+//! ```
+
+pub use soteria;
+pub use soteria_crypto;
+pub use soteria_ecc;
+pub use soteria_faultsim;
+pub use soteria_nvm;
+pub use soteria_simcpu;
+pub use soteria_workloads;

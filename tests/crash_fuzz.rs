@@ -1,0 +1,95 @@
+//! Crash-point fuzzing: for random operation streams and random crash
+//! points, every acknowledged write must be durable and verifiable after
+//! recovery — under every tree-update mode and cloning policy. This is
+//! the crash-consistency contract of §2.6 as a property test.
+
+use proptest::prelude::*;
+
+use soteria_suite::soteria::clone::CloningPolicy;
+use soteria_suite::soteria::config::TreeUpdate;
+use soteria_suite::soteria::recovery::recover;
+use soteria_suite::soteria::{DataAddr, SecureMemoryConfig, SecureMemoryController};
+
+fn build(update: TreeUpdate, policy: CloningPolicy) -> SecureMemoryController {
+    let config = SecureMemoryConfig::builder()
+        .capacity_bytes(1 << 20)
+        .metadata_cache(8 * 1024, 4)
+        .cloning(policy)
+        .tree_update(update)
+        .build()
+        .unwrap();
+    SecureMemoryController::new(config)
+}
+
+fn run_crash_fuzz(
+    update: TreeUpdate,
+    policy: CloningPolicy,
+    ops: &[(u64, u8)],
+    crash_at: usize,
+) -> Result<(), TestCaseError> {
+    let mut memory = build(update, policy);
+    let mut reference = std::collections::HashMap::new();
+    let crash_at = crash_at % (ops.len() + 1);
+    for (i, &(line, fill)) in ops.iter().enumerate() {
+        if i == crash_at {
+            break;
+        }
+        let line = line % 2048;
+        memory.write(DataAddr::new(line), &[fill; 64]).unwrap();
+        reference.insert(line, [fill; 64]);
+    }
+    let (mut memory, report) = recover(memory.crash());
+    prop_assert!(
+        report.is_complete(),
+        "unverifiable: {:?}",
+        report.unverifiable
+    );
+    for (&line, data) in &reference {
+        let got = memory
+            .read(DataAddr::new(line))
+            .map_err(|e| TestCaseError::fail(format!("line {line}: {e}")))?;
+        prop_assert_eq!(got, *data, "line {} after crash at op {}", line, crash_at);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn lazy_baseline_survives_any_crash_point(
+        ops in prop::collection::vec((any::<u64>(), any::<u8>()), 1..150),
+        crash_at in any::<usize>(),
+    ) {
+        run_crash_fuzz(TreeUpdate::Lazy, CloningPolicy::None, &ops, crash_at)?;
+    }
+
+    #[test]
+    fn lazy_src_survives_any_crash_point(
+        ops in prop::collection::vec((any::<u64>(), any::<u8>()), 1..150),
+        crash_at in any::<usize>(),
+    ) {
+        run_crash_fuzz(TreeUpdate::Lazy, CloningPolicy::Relaxed, &ops, crash_at)?;
+    }
+
+    #[test]
+    fn triad_survives_any_crash_point(
+        ops in prop::collection::vec((any::<u64>(), any::<u8>()), 1..120),
+        crash_at in any::<usize>(),
+    ) {
+        run_crash_fuzz(
+            TreeUpdate::Triad { persist_levels: 1 },
+            CloningPolicy::Relaxed,
+            &ops,
+            crash_at,
+        )?;
+    }
+
+    #[test]
+    fn eager_survives_any_crash_point(
+        ops in prop::collection::vec((any::<u64>(), any::<u8>()), 1..100),
+        crash_at in any::<usize>(),
+    ) {
+        run_crash_fuzz(TreeUpdate::Eager, CloningPolicy::Aggressive, &ops, crash_at)?;
+    }
+}

@@ -1,0 +1,226 @@
+//! Security tests: the §6.1 attack analysis as executable scenarios.
+//! The attacker controls everything outside the processor chip (threat
+//! model §2.1): they can snoop, rewrite, splice and replay NVM contents —
+//! including Soteria's clone regions.
+
+use soteria_suite::soteria::clone::CloningPolicy;
+use soteria_suite::soteria::layout::MetaId;
+use soteria_suite::soteria::{DataAddr, MemoryError, SecureMemoryConfig, SecureMemoryController};
+use soteria_suite::soteria_nvm::LineAddr;
+
+fn controller(policy: CloningPolicy) -> SecureMemoryController {
+    let config = SecureMemoryConfig::builder()
+        .capacity_bytes(1 << 20)
+        .metadata_cache(8 * 1024, 4)
+        .cloning(policy)
+        .build()
+        .unwrap();
+    SecureMemoryController::new(config)
+}
+
+/// Force re-fetch of all metadata by thrashing the small metadata cache.
+fn thrash(c: &mut SecureMemoryController) {
+    let lines = c.layout().data_lines();
+    for i in (0..lines).step_by(64) {
+        let _ = c.read(DataAddr::new(i));
+    }
+}
+
+#[test]
+fn cold_boot_reveals_no_plaintext() {
+    // Scan the entire NVM for the secret pattern: counter-mode encryption
+    // must leave no plaintext anywhere (data region, WPQ-drained lines,
+    // clone regions).
+    let mut c = controller(CloningPolicy::Aggressive);
+    let secret = [0xd5u8; 64];
+    for i in 0..64u64 {
+        c.write(DataAddr::new(i * 3), &secret).unwrap();
+    }
+    c.persist_all().unwrap();
+    let total = c.layout().total_lines();
+    for idx in 0..total {
+        let (line, _) = c.device_mut().read_line(LineAddr::new(idx));
+        assert_ne!(line, secret, "plaintext leaked at NVM line {idx}");
+    }
+}
+
+#[test]
+fn data_replay_is_detected() {
+    let mut c = controller(CloningPolicy::None);
+    c.write(DataAddr::new(0), &[1u8; 64]).unwrap();
+    c.persist_all().unwrap();
+    // Snapshot ciphertext + MAC line, overwrite with fresh data, replay.
+    let (old_cipher, _) = c.device_mut().read_line(LineAddr::new(0));
+    let (mac_line, _) = c.layout().data_mac_slot(DataAddr::new(0));
+    let (old_mac, _) = c.device_mut().read_line(mac_line);
+    c.write(DataAddr::new(0), &[2u8; 64]).unwrap();
+    c.persist_all().unwrap();
+    c.device_mut().write_line(LineAddr::new(0), &old_cipher);
+    c.device_mut().write_line(mac_line, &old_mac);
+    // The counter advanced in the metadata, so the replayed pair fails.
+    assert!(matches!(
+        c.read(DataAddr::new(0)),
+        Err(MemoryError::IntegrityViolation { .. })
+    ));
+}
+
+#[test]
+fn single_clone_replay_is_corrected_not_trusted() {
+    // §3.2.2: "replaying a single MT node will end up being corrected by
+    // Soteria." A stale clone is inert while the primary is healthy; when
+    // the primary *does* fail, the stale copy flunks MAC verification, a
+    // fresh copy wins, and purification overwrites the replayed one.
+    use soteria_suite::soteria_nvm::fault::{FaultFootprint, FaultKind, FaultRecord};
+    let mut c = controller(CloningPolicy::Aggressive);
+    c.write(DataAddr::new(0), &[1u8; 64]).unwrap();
+    c.persist_all().unwrap();
+    // Target the root's child (top level): SAC keeps 5 copies of it
+    // (Table 2), so one replayed clone leaves three good ones.
+    let node = MetaId::new(c.layout().levels(), 0);
+    let clone1 = c.layout().clone_addr(node, 1);
+    let (stale_clone, _) = c.device_mut().read_line(clone1);
+    // Advance the tree state (writebacks bump the parent counter and
+    // refresh every clone).
+    for round in 0..4 {
+        for i in 0..c.layout().data_lines() / 64 {
+            c.write(DataAddr::new(i * 64), &[round as u8; 64]).unwrap();
+        }
+    }
+    c.persist_all().unwrap();
+    // Attack: replay the old copy over clone 1, and break the primary
+    // with a two-chip fault so the repair path actually runs.
+    c.device_mut().write_line(clone1, &stale_clone);
+    let primary = c.layout().meta_addr(node);
+    let loc = c.device_mut().geometry().locate(primary);
+    for chip in [0u32, 9] {
+        let g = *c.device_mut().geometry();
+        c.device_mut().inject_fault(FaultRecord::on_chip(
+            &g,
+            chip,
+            FaultFootprint::SingleWord {
+                bank: loc.bank,
+                row: loc.row,
+                col: loc.col,
+                beat: 1,
+            },
+            FaultKind::Permanent,
+        ));
+    }
+    thrash(&mut c);
+    // The stale clone must have been skipped (its MAC binds to an older
+    // parent counter) and a fresh clone must have repaired everything:
+    assert_eq!(c.read(DataAddr::new(0)).unwrap(), [3u8; 64]);
+    assert!(c.stats().clone_repairs > 0);
+    // Drain the WPQ so the purify writes reach the media, then check the
+    // replayed copy was overwritten with the verified current content.
+    c.persist_all().unwrap();
+    let (purified, _) = c.device_mut().read_line(clone1);
+    assert_ne!(purified, stale_clone, "replayed clone must be purified");
+}
+
+#[test]
+fn replaying_every_copy_is_detected() {
+    // §3.2.2: "If the attacker replays all clones of a node, Soteria's
+    // recovery will fail in the integrity verification stage, and the
+    // attack will be detected."
+    let mut c = controller(CloningPolicy::Relaxed);
+    c.write(DataAddr::new(0), &[1u8; 64]).unwrap();
+    c.persist_all().unwrap();
+    let leaf = MetaId::new(1, 0);
+    let primary = c.layout().meta_addr(leaf);
+    let clone_addr = c.layout().clone_addr(leaf, 1);
+    let (leaf_mac_line, _) = c.layout().leaf_mac_slot(0);
+    let (old_primary, _) = c.device_mut().read_line(primary);
+    let (old_clone, _) = c.device_mut().read_line(clone_addr);
+    let (old_mac, _) = c.device_mut().read_line(leaf_mac_line);
+    // Advance state: evictions bump the parent counter several times.
+    for round in 0..4u64 {
+        for i in 0..c.layout().data_lines() / 64 {
+            c.write(DataAddr::new(i * 64), &[round as u8; 64]).unwrap();
+        }
+    }
+    c.persist_all().unwrap();
+    // Replay the complete old set: primary, clone, and stored MAC.
+    c.device_mut().write_line(primary, &old_primary);
+    c.device_mut().write_line(clone_addr, &old_clone);
+    c.device_mut().write_line(leaf_mac_line, &old_mac);
+    thrash(&mut c);
+    let r = c.read(DataAddr::new(0));
+    assert!(
+        matches!(r, Err(MemoryError::MetadataUnverifiable { .. })),
+        "full-set replay must be detected, got {r:?}"
+    );
+}
+
+#[test]
+fn ciphertext_splice_across_addresses_fails() {
+    let mut c = controller(CloningPolicy::None);
+    c.write(DataAddr::new(10), &[0xaa; 64]).unwrap();
+    c.write(DataAddr::new(20), &[0xbb; 64]).unwrap();
+    c.persist_all().unwrap();
+    // Move BOTH ciphertext and MAC from line 10 onto line 20.
+    let (cipher10, _) = c.device_mut().read_line(LineAddr::new(10));
+    let (m10_line, off10) = c.layout().data_mac_slot(DataAddr::new(10));
+    let (m20_line, off20) = c.layout().data_mac_slot(DataAddr::new(20));
+    let (mac10, _) = c.device_mut().read_line(m10_line);
+    let (mut mac20, _) = c.device_mut().read_line(m20_line);
+    mac20[off20..off20 + 8].copy_from_slice(&mac10[off10..off10 + 8]);
+    c.device_mut().write_line(LineAddr::new(20), &cipher10);
+    c.device_mut().write_line(m20_line, &mac20);
+    assert!(
+        c.read(DataAddr::new(20)).is_err(),
+        "address-bound MACs must reject relocated ciphertext"
+    );
+}
+
+#[test]
+fn counter_freshness_prevents_pad_reuse() {
+    // Writing the same plaintext to the same address repeatedly must give
+    // distinct ciphertext every time (counter never reused).
+    let mut c = controller(CloningPolicy::None);
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..100 {
+        c.write(DataAddr::new(5), &[0x42; 64]).unwrap();
+        c.persist_all().unwrap();
+        let (cipher, _) = c.device_mut().read_line(LineAddr::new(5));
+        assert!(seen.insert(cipher.to_vec()), "one-time pad reused");
+    }
+}
+
+#[test]
+fn tampered_tree_node_without_clones_is_unverifiable() {
+    let mut c = controller(CloningPolicy::None);
+    for i in 0..c.layout().data_lines() / 64 {
+        c.write(DataAddr::new(i * 64), &[7u8; 64]).unwrap();
+    }
+    c.persist_all().unwrap();
+    // Corrupt an L2 node directly.
+    let node = MetaId::new(2, 0);
+    let addr = c.layout().meta_addr(node);
+    let (mut bytes, _) = c.device_mut().read_line(addr);
+    bytes[3] ^= 0x80;
+    c.device_mut().write_line(addr, &bytes);
+    thrash(&mut c);
+    let r = c.read(DataAddr::new(0));
+    assert!(
+        matches!(r, Err(MemoryError::MetadataUnverifiable { .. })),
+        "tampered ToC node must be caught, got {r:?}"
+    );
+}
+
+#[test]
+fn tampered_tree_node_with_clones_is_repaired() {
+    let mut c = controller(CloningPolicy::Aggressive);
+    for i in 0..c.layout().data_lines() / 64 {
+        c.write(DataAddr::new(i * 64), &[7u8; 64]).unwrap();
+    }
+    c.persist_all().unwrap();
+    let node = MetaId::new(2, 0);
+    let addr = c.layout().meta_addr(node);
+    let (mut bytes, _) = c.device_mut().read_line(addr);
+    bytes[3] ^= 0x80;
+    c.device_mut().write_line(addr, &bytes);
+    thrash(&mut c);
+    assert_eq!(c.read(DataAddr::new(0)).unwrap(), [7u8; 64]);
+    assert!(c.stats().clone_repairs > 0);
+}
