@@ -1,10 +1,14 @@
-//! Criterion micro-benchmarks for the building blocks: the crypto engine,
+//! Micro-benchmarks for the building blocks: the crypto engine,
 //! Reed–Solomon/Chipkill codecs, the secure controller datapath, and one
 //! FaultSim iteration. These quantify simulator throughput (they are not
 //! paper figures — the `fig*` binaries regenerate those).
+//!
+//! Runs on the in-tree wall-clock harness ([`soteria_rt::bench`]):
+//! calibrated batches, warmup, median/p95 per-iteration times. Tune with
+//! `SOTERIA_BENCH_SAMPLES` / `SOTERIA_BENCH_WARMUP_MS` /
+//! `SOTERIA_BENCH_MIN_BATCH_US`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use soteria_rt::bench::{black_box, Harness};
 
 use soteria::clone::CloningPolicy;
 use soteria::{DataAddr, Fidelity, SecureMemoryConfig, SecureMemoryController};
@@ -15,22 +19,20 @@ use soteria_crypto::{EncryptionKey, MacKey};
 use soteria_ecc::chipkill::{ChipkillCodec, LineCodec};
 use soteria_faultsim::{run_campaign, CampaignConfig};
 
-fn bench_crypto(c: &mut Criterion) {
+fn bench_crypto(c: &mut Harness) {
     let cipher = CounterModeCipher::new(EncryptionKey::from_bytes([1; 16]));
     let mac = MacEngine::new(MacKey::from_bytes([2; 32]));
     let line = [0xabu8; 64];
     c.bench_function("aes_ctr_encrypt_line", |b| {
         b.iter(|| cipher.encrypt_line(black_box(&line), black_box(0x40), black_box(7)))
     });
-    c.bench_function("sha256_64B", |b| {
-        b.iter(|| Sha256::digest(black_box(&line)))
-    });
+    c.bench_function("sha256_64B", |b| b.iter(|| Sha256::digest(black_box(&line))));
     c.bench_function("data_mac_64bit", |b| {
         b.iter(|| mac.data_mac(black_box(0x40), black_box(&line), black_box(7)))
     });
 }
 
-fn bench_gcm(c: &mut Criterion) {
+fn bench_gcm(c: &mut Harness) {
     use soteria_crypto::gcm::AesGcm;
     let gcm = AesGcm::new([3; 16]);
     let line = [0x42u8; 64];
@@ -43,7 +45,7 @@ fn bench_gcm(c: &mut Criterion) {
     });
 }
 
-fn bench_chipkill(c: &mut Criterion) {
+fn bench_chipkill(c: &mut Harness) {
     let codec = ChipkillCodec::table4();
     let line = [0x5au8; 64];
     let clean = codec.encode_line(&line);
@@ -85,7 +87,7 @@ fn controller(fidelity: Fidelity, policy: CloningPolicy) -> SecureMemoryControll
     SecureMemoryController::new(config)
 }
 
-fn bench_controller(c: &mut Criterion) {
+fn bench_controller(c: &mut Harness) {
     for (name, fidelity) in [
         ("functional", Fidelity::Functional),
         ("timing", Fidelity::Timing),
@@ -114,7 +116,7 @@ fn bench_controller(c: &mut Criterion) {
     }
 }
 
-fn bench_faultsim(c: &mut Criterion) {
+fn bench_faultsim(c: &mut Harness) {
     let mut config = CampaignConfig::table4(80.0);
     config.iterations = 200;
     config.threads = 1;
@@ -124,9 +126,12 @@ fn bench_faultsim(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_crypto, bench_gcm, bench_chipkill, bench_controller, bench_faultsim
-);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::new();
+    bench_crypto(&mut harness);
+    bench_gcm(&mut harness);
+    bench_chipkill(&mut harness);
+    bench_controller(&mut harness);
+    bench_faultsim(&mut harness);
+    harness.finish();
+}

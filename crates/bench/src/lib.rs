@@ -70,34 +70,17 @@ pub fn run_performance_suite(ops: u64, footprint: u64, capacity: u64) -> Vec<Vec
             jobs.push((w, p));
         }
     }
-    let results: Vec<(usize, usize, RunResult)> = crossbeam::thread::scope(|scope| {
-        let threads: usize = std::thread::available_parallelism().map_or(4, |n| n.get());
-        let chunks: Vec<Vec<(usize, usize)>> = jobs
-            .chunks(jobs.len().div_ceil(threads))
-            .map(|c| c.to_vec())
-            .collect();
-        let mut handles = Vec::new();
-        for chunk in chunks {
-            let policies = policies.clone();
-            handles.push(scope.spawn(move |_| {
-                let mut out = Vec::new();
-                for (w, p) in chunk {
-                    let mut workloads = standard_suite(&suite_config);
-                    let workload = &mut workloads[w];
-                    let mut system =
-                        System::new(SystemConfig::table3(policies[p].clone(), capacity));
-                    let result = system.run(workload.as_mut(), ops);
-                    out.push((w, p, result));
-                }
-                out
-            }));
-        }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker panicked"))
-            .collect()
-    })
-    .expect("scope");
+    let results: Vec<(usize, usize, RunResult)> = soteria_rt::thread::parallel_map(
+        jobs,
+        soteria_rt::thread::default_threads(),
+        |(w, p)| {
+            let mut workloads = standard_suite(&suite_config);
+            let workload = &mut workloads[w];
+            let mut system = System::new(SystemConfig::table3(policies[p].clone(), capacity));
+            let result = system.run(workload.as_mut(), ops);
+            (w, p, result)
+        },
+    );
 
     let mut grouped: Vec<Vec<Option<RunResult>>> = vec![vec![None, None, None]; names.len()];
     for (w, p, r) in results {

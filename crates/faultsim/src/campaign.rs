@@ -5,10 +5,17 @@
 //! [`ResilienceModel`] how much data each cloning policy loses. All
 //! policies are evaluated on the **same** fault sets (paired comparison,
 //! as FaultSim does), which slashes the variance of the UDR ratios the
-//! paper reports. Iterations run in parallel with `crossbeam`.
+//! paper reports.
+//!
+//! Iterations run in parallel on scoped threads, and campaigns are
+//! **thread-count invariant**: iteration `i` always draws from the RNG
+//! stream `stream_seed(config.seed, i)`, and partial results are merged
+//! in fixed blocks of [`ITERATION_BLOCK`] iterations regardless of which
+//! worker produced them — so the same seed yields bit-identical
+//! [`PolicyResult`]s whether the campaign ran on one thread or sixteen.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use soteria_rt::rng::{stream_seed, StdRng};
+use soteria_rt::thread::fan_out;
 
 use soteria::analysis::{ResilienceModel, TreeKind};
 use soteria::clone::CloningPolicy;
@@ -113,20 +120,7 @@ impl PolicyResult {
 }
 
 fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
-    // Knuth's method: fine for the small lambdas of FIT-scale arrivals.
-    let l = (-lambda).exp();
-    let mut k = 0u64;
-    let mut p = 1.0;
-    loop {
-        p *= rng.random::<f64>();
-        if p <= l {
-            return k;
-        }
-        k += 1;
-        if k > 10_000 {
-            return k; // guard against pathological lambda
-        }
-    }
+    rng.poisson(lambda)
 }
 
 fn sample_fault(
@@ -151,7 +145,7 @@ fn sample_fault(
             row,
             col,
             beat,
-            bit: rng.random_range(0..8),
+            bit: rng.random_range(0..8u8),
         },
         FaultMode::SingleWord => FaultFootprint::SingleWord {
             bank,
@@ -362,123 +356,156 @@ struct Accumulator {
     error_ratio_sum: f64,
 }
 
+impl Accumulator {
+    fn new(policies: usize) -> Self {
+        Self {
+            iterations_with_faults: 0,
+            iterations_with_ue: 0,
+            per_policy_udr_sum: vec![0.0; policies],
+            per_policy_udr_hits: vec![0; policies],
+            error_ratio_sum: 0.0,
+        }
+    }
+}
+
+/// Iterations per scheduling block. Blocks — not threads — are the unit
+/// of work distribution **and** floating-point accumulation: a block's
+/// partial sums are computed in iteration order by whichever worker picks
+/// it up, and blocks are reduced in block order afterwards. Since f64
+/// addition is not associative, this fixed grouping is what makes
+/// same-seed campaigns bit-identical across thread counts.
+pub const ITERATION_BLOCK: u64 = 64;
+
+/// Simulates one Monte Carlo iteration into `acc`.
+#[allow(clippy::too_many_arguments)]
+fn simulate_iteration(
+    rng: &mut StdRng,
+    config: &CampaignConfig,
+    layout: &MemoryLayout,
+    geometry: &DimmGeometry,
+    rates: &FitRates,
+    model: &ResilienceModel,
+    policy_refs: &[&CloningPolicy],
+    acc: &mut Accumulator,
+) {
+    let history = sample_fault_history(rng, geometry, rates, config.hours);
+    if history.is_empty() {
+        return;
+    }
+    acc.iterations_with_faults += 1;
+    // Without scrubbing every fault stays live to the end; with
+    // scrubbing, evaluate the co-active set at each arrival instant and
+    // keep the worst outcome (UE corruption is latched into the cells
+    // until repaired, so the worst co-active set bounds the loss).
+    let fault_sets: Vec<Vec<FaultRecord>> = match config.scrub_interval_hours {
+        None => {
+            vec![history.iter().map(|t| t.record.clone()).collect()]
+        }
+        Some(_) => history
+            .iter()
+            .map(|event| {
+                history
+                    .iter()
+                    .filter(|t| t.live_at(event.start_hours, config.scrub_interval_hours))
+                    .map(|t| t.record.clone())
+                    .collect()
+            })
+            .collect(),
+    };
+    let mut worst_error = 0.0f64;
+    let mut worst_udr = vec![0.0f64; policy_refs.len()];
+    let mut any_ue = false;
+    for faults in &fault_sets {
+        // Cheap pre-check: defeating an ECC that corrects k chips needs
+        // more than k distinct faulty chips.
+        let mut chips: Vec<u32> = Vec::new();
+        for f in faults {
+            for &c in &f.chips {
+                if !chips.contains(&c) {
+                    chips.push(c);
+                }
+            }
+        }
+        if chips.len() <= config.correctable_chips {
+            continue;
+        }
+        let assessments = model.assess_many(faults, policy_refs);
+        for (i, a) in assessments.iter().enumerate() {
+            if a.error_data_lines > 0 || a.unverifiable_data_lines > 0 {
+                any_ue = true;
+            }
+            if i == 0 {
+                worst_error = worst_error.max(a.error_ratio(layout.data_lines()));
+            }
+            worst_udr[i] = worst_udr[i].max(a.udr(layout.data_lines()));
+        }
+    }
+    acc.error_ratio_sum += worst_error;
+    for (i, &udr) in worst_udr.iter().enumerate() {
+        if udr > 0.0 {
+            acc.per_policy_udr_sum[i] += udr;
+            acc.per_policy_udr_hits[i] += 1;
+        }
+    }
+    if any_ue {
+        acc.iterations_with_ue += 1;
+    }
+}
+
 /// Runs a campaign, evaluating every policy against identical fault sets.
 ///
-/// Returns one [`PolicyResult`] per input policy, in order.
+/// Returns one [`PolicyResult`] per input policy, in order. For a fixed
+/// `config.seed` the results are bit-identical for **any**
+/// `config.threads` value.
 pub fn run_campaign(config: &CampaignConfig, policies: &[CloningPolicy]) -> Vec<PolicyResult> {
     let layout = config.build_layout();
     let geometry = config.build_geometry(&layout);
     let rates = config.rates.scaled_to(config.fit_per_chip);
-    let threads = config.threads.max(1);
-    let per_thread = config.iterations.div_ceil(threads as u64);
+    let blocks = config.iterations.div_ceil(ITERATION_BLOCK);
+    let workers = config.threads.max(1).min(blocks.max(1) as usize);
 
-    let chunks: Vec<Accumulator> = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let layout = &layout;
-            let geometry = &geometry;
-            let rates = &rates;
-            let iterations =
-                per_thread.min(config.iterations.saturating_sub(t as u64 * per_thread));
-            let seed = config.seed.wrapping_add(0x9e37_79b9 * (t as u64 + 1));
-            handles.push(scope.spawn(move |_| {
-                let mut rng = StdRng::seed_from_u64(seed);
-                let model = ResilienceModel::new(layout, geometry)
-                    .with_correctable_chips(config.correctable_chips)
-                    .with_tree(config.tree);
-                let policy_refs: Vec<&CloningPolicy> = policies.iter().collect();
-                let mut acc = Accumulator {
-                    iterations_with_faults: 0,
-                    iterations_with_ue: 0,
-                    per_policy_udr_sum: vec![0.0; policies.len()],
-                    per_policy_udr_hits: vec![0; policies.len()],
-                    error_ratio_sum: 0.0,
-                };
-                for _ in 0..iterations {
-                    let history = sample_fault_history(&mut rng, geometry, rates, config.hours);
-                    if history.is_empty() {
-                        continue;
-                    }
-                    acc.iterations_with_faults += 1;
-                    // Without scrubbing every fault stays live to the end;
-                    // with scrubbing, evaluate the co-active set at each
-                    // arrival instant and keep the worst outcome (UE
-                    // corruption is latched into the cells until repaired,
-                    // so the worst co-active set bounds the loss).
-                    let fault_sets: Vec<Vec<FaultRecord>> = match config.scrub_interval_hours {
-                        None => {
-                            vec![history.iter().map(|t| t.record.clone()).collect()]
-                        }
-                        Some(_) => history
-                            .iter()
-                            .map(|event| {
-                                history
-                                    .iter()
-                                    .filter(|t| {
-                                        t.live_at(event.start_hours, config.scrub_interval_hours)
-                                    })
-                                    .map(|t| t.record.clone())
-                                    .collect()
-                            })
-                            .collect(),
-                    };
-                    let faults = &fault_sets[0];
-                    let _ = faults;
-                    let mut worst_error = 0.0f64;
-                    let mut worst_udr = vec![0.0f64; policies.len()];
-                    let mut any_ue = false;
-                    for faults in &fault_sets {
-                        // Cheap pre-check: defeating an ECC that corrects
-                        // k chips needs more than k distinct faulty chips.
-                        let mut chips: Vec<u32> = Vec::new();
-                        for f in faults {
-                            for &c in &f.chips {
-                                if !chips.contains(&c) {
-                                    chips.push(c);
-                                }
-                            }
-                        }
-                        if chips.len() <= config.correctable_chips {
-                            continue;
-                        }
-                        let assessments = model.assess_many(faults, &policy_refs);
-                        for (i, a) in assessments.iter().enumerate() {
-                            if a.error_data_lines > 0 || a.unverifiable_data_lines > 0 {
-                                any_ue = true;
-                            }
-                            if i == 0 {
-                                worst_error = worst_error.max(a.error_ratio(layout.data_lines()));
-                            }
-                            worst_udr[i] = worst_udr[i].max(a.udr(layout.data_lines()));
-                        }
-                    }
-                    acc.error_ratio_sum += worst_error;
-                    for (i, &udr) in worst_udr.iter().enumerate() {
-                        if udr > 0.0 {
-                            acc.per_policy_udr_sum[i] += udr;
-                            acc.per_policy_udr_hits[i] += 1;
-                        }
-                    }
-                    if any_ue {
-                        acc.iterations_with_ue += 1;
-                    }
-                }
-                acc
-            }));
+    // Each worker claims blocks workers-strided (worker t gets blocks
+    // t, t+workers, …), tags every accumulator with its block index, and
+    // the merge below folds them back in block order.
+    let per_worker: Vec<Vec<(u64, Accumulator)>> = fan_out(workers, |t| {
+        let model = ResilienceModel::new(&layout, &geometry)
+            .with_correctable_chips(config.correctable_chips)
+            .with_tree(config.tree);
+        let policy_refs: Vec<&CloningPolicy> = policies.iter().collect();
+        let mut out = Vec::new();
+        let mut block = t as u64;
+        while block < blocks {
+            let lo = block * ITERATION_BLOCK;
+            let hi = (lo + ITERATION_BLOCK).min(config.iterations);
+            let mut acc = Accumulator::new(policies.len());
+            for iter in lo..hi {
+                let mut rng = StdRng::seed_from_u64(stream_seed(config.seed, iter));
+                simulate_iteration(
+                    &mut rng,
+                    config,
+                    &layout,
+                    &geometry,
+                    &rates,
+                    &model,
+                    &policy_refs,
+                    &mut acc,
+                );
+            }
+            out.push((block, acc));
+            block += workers as u64;
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    })
-    .expect("scope");
+        out
+    });
+
+    let mut tagged: Vec<(u64, Accumulator)> = per_worker.into_iter().flatten().collect();
+    tagged.sort_by_key(|&(block, _)| block);
 
     let mut iterations_with_faults = 0;
     let mut iterations_with_ue = 0;
     let mut error_ratio_sum = 0.0;
     let mut udr_sum = vec![0.0; policies.len()];
     let mut udr_hits = vec![0u64; policies.len()];
-    for acc in chunks {
+    for (_, acc) in tagged {
         iterations_with_faults += acc.iterations_with_faults;
         iterations_with_ue += acc.iterations_with_ue;
         error_ratio_sum += acc.error_ratio_sum;
@@ -564,6 +591,43 @@ mod tests {
         let a = run_campaign(&c, &[CloningPolicy::None]);
         let b = run_campaign(&c, &[CloningPolicy::None]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn campaign_is_bit_identical_across_thread_counts() {
+        // The determinism contract: same seed ⇒ identical PolicyResults
+        // (f64 fields included, via PartialEq) for any worker count —
+        // including thread counts that do not divide the block count.
+        let mut base = small_config(2000.0);
+        base.iterations = 300; // not a multiple of ITERATION_BLOCK
+        let policies = [
+            CloningPolicy::None,
+            CloningPolicy::Relaxed,
+            CloningPolicy::Aggressive,
+        ];
+        base.threads = 1;
+        let single = run_campaign(&base, &policies);
+        for threads in [2, 3, 5, 8] {
+            let mut c = base.clone();
+            c.threads = threads;
+            assert_eq!(
+                run_campaign(&c, &policies),
+                single,
+                "thread count {threads} diverged from single-threaded run"
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_results_change_with_the_seed() {
+        let a = small_config(2000.0);
+        let mut b = a.clone();
+        b.seed ^= 1;
+        assert_ne!(
+            run_campaign(&a, &[CloningPolicy::None]),
+            run_campaign(&b, &[CloningPolicy::None]),
+            "different seeds must explore different fault histories"
+        );
     }
 
     #[test]

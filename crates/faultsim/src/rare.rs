@@ -21,8 +21,7 @@
 //!    the clone scheme's true UDR, resolvable with ~10^4 samples instead
 //!    of ~10^9.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use soteria_rt::rng::StdRng;
 
 use soteria::analysis::ResilienceModel;
 use soteria::clone::CloningPolicy;

@@ -222,4 +222,40 @@ mod tests {
     fn translate_bounds_checked() {
         StartGapLeveler::new(4, 1).translate(4);
     }
+
+    #[test]
+    fn start_gap_remap_round_trip_preserves_data() {
+        // Model the physical array (N logical lines + 1 spare). Every
+        // write goes through `translate`, and every gap move applies the
+        // reported (from, to) copy. Reading each logical line back through
+        // the current mapping must always return the last value written to
+        // it — across several full rotations of start and gap.
+        use soteria_rt::rng::StdRng;
+        let lines = 16u64;
+        let mut lv = StartGapLeveler::new(lines, 1); // move on every write
+        let mut physical = vec![u64::MAX; lines as usize + 1];
+        let mut expected = vec![u64::MAX; lines as usize];
+        let mut rng = StdRng::seed_from_u64(0x5047);
+        for (l, slot) in expected.iter_mut().enumerate() {
+            physical[lv.translate(l as u64) as usize] = 1000 + l as u64;
+            *slot = 1000 + l as u64;
+        }
+        for value in 0..600u64 {
+            let logical = rng.random_range(0..lines);
+            physical[lv.translate(logical) as usize] = value;
+            expected[logical as usize] = value;
+            if let Some((from, to)) = lv.record_write() {
+                physical[to as usize] = physical[from as usize];
+            }
+            for l in 0..lines {
+                assert_eq!(
+                    physical[lv.translate(l) as usize], expected[l as usize],
+                    "logical line {l} lost data after {} gap moves",
+                    lv.total_moves()
+                );
+            }
+        }
+        // 600 moves over 17 slots: the mapping rotated several times.
+        assert!(lv.total_moves() >= 600);
+    }
 }

@@ -243,4 +243,47 @@ mod tests {
             .unwrap();
         assert_eq!(q.accepted(), 3);
     }
+
+    #[test]
+    fn adr_flush_preserves_every_accepted_write_on_power_loss() {
+        // ADR contract: once `push`/`push_atomic` returns, the write is
+        // durable. Drive a random mix of single writes and atomic groups
+        // over a small address window (forcing mid-run stall drains and
+        // many same-address overwrites), then cut power (`flush`). The
+        // media must hold exactly the last accepted value of every line:
+        // FIFO drain order means later writes win.
+        use soteria_rt::rng::StdRng;
+        let mut rng = StdRng::seed_from_u64(0xadf1);
+        let mut d = device();
+        let mut q = WritePendingQueue::new(8);
+        let mut expected = std::collections::HashMap::new();
+        let mut fill = 0u8;
+        for _ in 0..200 {
+            fill = fill.wrapping_add(1);
+            if rng.random::<bool>() {
+                let addr = rng.random_range(0..32u64);
+                q.push(write(addr, fill), &mut d);
+                expected.insert(addr, fill);
+            } else {
+                let group_len = rng.random_range(2..=5usize);
+                let group: Vec<PendingWrite> = (0..group_len)
+                    .map(|_| write(rng.random_range(0..32u64), fill))
+                    .collect();
+                for w in &group {
+                    expected.insert(w.addr.index(), fill);
+                }
+                q.push_atomic(group, &mut d).unwrap();
+            }
+        }
+        // Power loss: ADR drains the whole queue to media.
+        q.flush(&mut d);
+        assert!(q.is_empty(), "flush must leave nothing pending");
+        for (&addr, &fill) in &expected {
+            assert_eq!(
+                d.read_line(LineAddr::new(addr)).0,
+                [fill; 64],
+                "line {addr} lost its last accepted write across power loss"
+            );
+        }
+    }
 }

@@ -1,0 +1,264 @@
+//! A small wall-clock micro-benchmark harness (warmup, calibrated
+//! batches, median/p95 reporting) — the workspace's replacement for an
+//! external benchmark framework.
+//!
+//! Mechanics per benchmark:
+//!
+//! 1. **Calibrate**: time one batch, then grow the batch size until a
+//!    batch takes at least [`Config::min_batch`] — per-iteration timer
+//!    overhead becomes negligible.
+//! 2. **Warm up** for [`Config::warmup`] (caches, branch predictors,
+//!    allocator arenas).
+//! 3. **Sample**: run [`Config::samples`] batches, recording mean
+//!    nanoseconds per iteration for each batch.
+//! 4. **Report** min / median / p95 / max per-iteration time.
+//!
+//! Knobs come from the environment so CI can run quick passes:
+//! `SOTERIA_BENCH_SAMPLES`, `SOTERIA_BENCH_WARMUP_MS`,
+//! `SOTERIA_BENCH_MIN_BATCH_US`.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so bench binaries need only this module.
+pub use std::hint::black_box;
+
+/// Harness configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Timed batches per benchmark.
+    pub samples: usize,
+    /// Wall-clock warmup before sampling.
+    pub warmup: Duration,
+    /// Minimum duration of one timed batch.
+    pub min_batch: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let env = |name: &str, default: u64| -> u64 {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        Self {
+            samples: env("SOTERIA_BENCH_SAMPLES", 30) as usize,
+            warmup: Duration::from_millis(env("SOTERIA_BENCH_WARMUP_MS", 300)),
+            min_batch: Duration::from_micros(env("SOTERIA_BENCH_MIN_BATCH_US", 2_000)),
+        }
+    }
+}
+
+/// Statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct Stats {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations per timed batch after calibration.
+    pub batch: u64,
+    /// Fastest batch.
+    pub min_ns: f64,
+    /// Median batch.
+    pub median_ns: f64,
+    /// 95th-percentile batch.
+    pub p95_ns: f64,
+    /// Slowest batch.
+    pub max_ns: f64,
+}
+
+/// Handed to each benchmark routine; the routine calls [`Bencher::iter`]
+/// with the code under test (mirrors the familiar `b.iter(|| …)` shape).
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs the closure `iters` times and records the elapsed wall time.
+    /// The closure's result is passed through [`black_box`] so the
+    /// optimizer cannot delete the work.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness: construct once, call
+/// [`Harness::bench_function`] per benchmark, then [`Harness::finish`].
+pub struct Harness {
+    config: Config,
+    results: Vec<Stats>,
+}
+
+impl Harness {
+    /// A harness with environment-tunable defaults.
+    pub fn new() -> Self {
+        Self::with_config(Config::default())
+    }
+
+    /// A harness with explicit configuration.
+    pub fn with_config(config: Config) -> Self {
+        println!(
+            "{:<38} {:>12} {:>12} {:>12} {:>10}",
+            "benchmark", "median", "p95", "min", "batch"
+        );
+        println!("{}", "-".repeat(88));
+        Self {
+            config,
+            results: Vec::new(),
+        }
+    }
+
+    /// Measures one benchmark and prints its row immediately.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut routine: F) {
+        let mut run = |iters: u64| -> Duration {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            b.elapsed
+        };
+
+        // Calibrate batch size.
+        let mut batch = 1u64;
+        loop {
+            let t = run(batch);
+            if t >= self.config.min_batch || batch >= 1 << 30 {
+                break;
+            }
+            // Aim past the threshold with headroom; at least double.
+            let scale = if t.is_zero() {
+                8.0
+            } else {
+                (self.config.min_batch.as_secs_f64() / t.as_secs_f64() * 1.5).max(2.0)
+            };
+            batch = ((batch as f64 * scale) as u64).max(batch * 2);
+        }
+
+        // Warm up.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.config.warmup {
+            run(batch);
+        }
+
+        // Sample.
+        let mut per_iter_ns: Vec<f64> = (0..self.config.samples.max(1))
+            .map(|_| run(batch).as_nanos() as f64 / batch as f64)
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let pick = |q: f64| -> f64 {
+            let idx = ((per_iter_ns.len() - 1) as f64 * q).round() as usize;
+            per_iter_ns[idx]
+        };
+        let stats = Stats {
+            name: name.to_string(),
+            batch,
+            min_ns: per_iter_ns[0],
+            median_ns: pick(0.5),
+            p95_ns: pick(0.95),
+            max_ns: *per_iter_ns.last().expect("samples >= 1"),
+        };
+        println!(
+            "{:<38} {:>12} {:>12} {:>12} {:>10}",
+            stats.name,
+            format_ns(stats.median_ns),
+            format_ns(stats.p95_ns),
+            format_ns(stats.min_ns),
+            stats.batch
+        );
+        self.results.push(stats);
+    }
+
+    /// Returns every measurement taken so far.
+    pub fn results(&self) -> &[Stats] {
+        &self.results
+    }
+
+    /// Prints the footer and consumes the harness.
+    pub fn finish(self) -> Vec<Stats> {
+        println!("{}", "-".repeat(88));
+        println!(
+            "{} benchmarks · {} samples each · times are per iteration",
+            self.results.len(),
+            self.config.samples
+        );
+        self.results
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Human-readable nanosecond figure (`12.3 ns`, `4.56 µs`, `7.89 ms`).
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> Config {
+        Config {
+            samples: 5,
+            warmup: Duration::from_millis(1),
+            min_batch: Duration::from_micros(50),
+        }
+    }
+
+    #[test]
+    fn harness_measures_something_positive() {
+        let mut h = Harness::with_config(quick_config());
+        h.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        let stats = h.finish();
+        assert_eq!(stats.len(), 1);
+        let s = &stats[0];
+        assert!(s.min_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.median_ns <= s.p95_ns);
+        assert!(s.p95_ns <= s.max_ns);
+        assert!(s.batch >= 1);
+    }
+
+    #[test]
+    fn calibration_grows_batches_for_fast_bodies() {
+        let mut h = Harness::with_config(quick_config());
+        h.bench_function("noop", |b| b.iter(|| 1u64 + 1));
+        assert!(
+            h.results()[0].batch > 1,
+            "a ~1 ns body must batch up: {}",
+            h.results()[0].batch
+        );
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert_eq!(format_ns(12.34), "12.3 ns");
+        assert_eq!(format_ns(4_560.0), "4.56 µs");
+        assert_eq!(format_ns(7_890_000.0), "7.89 ms");
+        assert_eq!(format_ns(1_500_000_000.0), "1.50 s");
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! `soteria-rt`: the zero-dependency runtime substrate of the Soteria
+//! workspace.
+//!
+//! The build environment is hermetic — no crate registry is reachable —
+//! so everything the simulator, test suites, and benchmarks need beyond
+//! `std` lives here:
+//!
+//! * [`rng`] — deterministic seedable PRNG (SplitMix64 seed expansion +
+//!   xoshiro256\*\*) with uniform, range, Poisson, and exponential
+//!   sampling. Same seed ⇒ same stream, on every platform, forever.
+//! * [`prop`] — a minimal property-testing harness: seeded generators,
+//!   bounded shrinking, and a plain-text regression corpus replayed
+//!   before novel cases.
+//! * [`thread`] — scoped-thread fan-out on [`std::thread::scope`] whose
+//!   results come back in task order (deterministic reductions).
+//! * [`mod@bench`] — a wall-clock micro-benchmark harness (calibrated
+//!   batches, warmup, median/p95).
+//!
+//! Policy: **no crate in this workspace may depend on anything outside
+//! the workspace.** CI builds with `--offline` against an empty registry
+//! cache, so a reintroduced external dependency fails the build.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+pub mod thread;
+
+pub use rng::{SplitMix64, StdRng, Xoshiro256StarStar};

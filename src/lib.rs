@@ -22,5 +22,6 @@ pub use soteria_crypto;
 pub use soteria_ecc;
 pub use soteria_faultsim;
 pub use soteria_nvm;
+pub use soteria_rt;
 pub use soteria_simcpu;
 pub use soteria_workloads;

@@ -1,14 +1,16 @@
 //! Crash-point fuzzing: for random operation streams and random crash
 //! points, every acknowledged write must be durable and verifiable after
 //! recovery — under every tree-update mode and cloning policy. This is
-//! the crash-consistency contract of §2.6 as a property test.
-
-use proptest::prelude::*;
+//! the crash-consistency contract of §2.6 as a property test, running on
+//! the in-tree `soteria_rt::prop` harness.
 
 use soteria_suite::soteria::clone::CloningPolicy;
 use soteria_suite::soteria::config::TreeUpdate;
 use soteria_suite::soteria::recovery::recover;
 use soteria_suite::soteria::{DataAddr, SecureMemoryConfig, SecureMemoryController};
+
+use soteria_suite::soteria_rt::prop::{any, check, vec, Config};
+use soteria_suite::soteria_rt::{prop_assert, prop_assert_eq};
 
 fn build(update: TreeUpdate, policy: CloningPolicy) -> SecureMemoryController {
     let config = SecureMemoryConfig::builder()
@@ -21,12 +23,17 @@ fn build(update: TreeUpdate, policy: CloningPolicy) -> SecureMemoryController {
     SecureMemoryController::new(config)
 }
 
+fn cfg() -> Config {
+    Config::with_cases(10)
+        .regressions(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/crash_fuzz.regressions"))
+}
+
 fn run_crash_fuzz(
     update: TreeUpdate,
     policy: CloningPolicy,
     ops: &[(u64, u8)],
     crash_at: usize,
-) -> Result<(), TestCaseError> {
+) -> Result<(), String> {
     let mut memory = build(update, policy);
     let mut reference = std::collections::HashMap::new();
     let crash_at = crash_at % (ops.len() + 1);
@@ -47,49 +54,57 @@ fn run_crash_fuzz(
     for (&line, data) in &reference {
         let got = memory
             .read(DataAddr::new(line))
-            .map_err(|e| TestCaseError::fail(format!("line {line}: {e}")))?;
+            .map_err(|e| format!("line {line}: {e}"))?;
         prop_assert_eq!(got, *data, "line {} after crash at op {}", line, crash_at);
     }
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
+#[test]
+fn lazy_baseline_survives_any_crash_point() {
+    check(
+        "lazy_baseline_survives_any_crash_point",
+        &cfg(),
+        &(vec((any::<u64>(), any::<u8>()), 1..150usize), any::<usize>()),
+        |(ops, crash_at)| run_crash_fuzz(TreeUpdate::Lazy, CloningPolicy::None, ops, *crash_at),
+    );
+}
 
-    #[test]
-    fn lazy_baseline_survives_any_crash_point(
-        ops in prop::collection::vec((any::<u64>(), any::<u8>()), 1..150),
-        crash_at in any::<usize>(),
-    ) {
-        run_crash_fuzz(TreeUpdate::Lazy, CloningPolicy::None, &ops, crash_at)?;
-    }
+#[test]
+fn lazy_src_survives_any_crash_point() {
+    check(
+        "lazy_src_survives_any_crash_point",
+        &cfg(),
+        &(vec((any::<u64>(), any::<u8>()), 1..150usize), any::<usize>()),
+        |(ops, crash_at)| run_crash_fuzz(TreeUpdate::Lazy, CloningPolicy::Relaxed, ops, *crash_at),
+    );
+}
 
-    #[test]
-    fn lazy_src_survives_any_crash_point(
-        ops in prop::collection::vec((any::<u64>(), any::<u8>()), 1..150),
-        crash_at in any::<usize>(),
-    ) {
-        run_crash_fuzz(TreeUpdate::Lazy, CloningPolicy::Relaxed, &ops, crash_at)?;
-    }
+#[test]
+fn triad_survives_any_crash_point() {
+    check(
+        "triad_survives_any_crash_point",
+        &cfg(),
+        &(vec((any::<u64>(), any::<u8>()), 1..120usize), any::<usize>()),
+        |(ops, crash_at)| {
+            run_crash_fuzz(
+                TreeUpdate::Triad { persist_levels: 1 },
+                CloningPolicy::Relaxed,
+                ops,
+                *crash_at,
+            )
+        },
+    );
+}
 
-    #[test]
-    fn triad_survives_any_crash_point(
-        ops in prop::collection::vec((any::<u64>(), any::<u8>()), 1..120),
-        crash_at in any::<usize>(),
-    ) {
-        run_crash_fuzz(
-            TreeUpdate::Triad { persist_levels: 1 },
-            CloningPolicy::Relaxed,
-            &ops,
-            crash_at,
-        )?;
-    }
-
-    #[test]
-    fn eager_survives_any_crash_point(
-        ops in prop::collection::vec((any::<u64>(), any::<u8>()), 1..100),
-        crash_at in any::<usize>(),
-    ) {
-        run_crash_fuzz(TreeUpdate::Eager, CloningPolicy::Aggressive, &ops, crash_at)?;
-    }
+#[test]
+fn eager_survives_any_crash_point() {
+    check(
+        "eager_survives_any_crash_point",
+        &cfg(),
+        &(vec((any::<u64>(), any::<u8>()), 1..100usize), any::<usize>()),
+        |(ops, crash_at)| {
+            run_crash_fuzz(TreeUpdate::Eager, CloningPolicy::Aggressive, ops, *crash_at)
+        },
+    );
 }

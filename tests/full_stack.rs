@@ -15,8 +15,7 @@ use soteria_suite::soteria_nvm::LineAddr;
 use soteria_suite::soteria_simcpu::{System, SystemConfig};
 use soteria_suite::soteria_workloads::{standard_suite, SuiteConfig, UBench, Workload};
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use soteria_suite::soteria_rt::rng::StdRng;
 
 #[test]
 fn every_workload_runs_through_the_full_system() {

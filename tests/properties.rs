@@ -1,9 +1,12 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants: codecs round-trip under correctable faults, counters never
-//! repeat, the layout partitions the address space, and the secure
-//! controller is a faithful memory under arbitrary operation sequences.
-
-use proptest::prelude::*;
+//! Property-based tests (on the in-tree `soteria_rt::prop` harness) over
+//! the core data structures and invariants: codecs round-trip under
+//! correctable faults, counters never repeat, the layout partitions the
+//! address space, and the secure controller is a faithful memory under
+//! arbitrary operation sequences.
+//!
+//! Failing cases are shrunk and their seeds recorded in
+//! `tests/properties.regressions`; recorded entries replay before any
+//! novel case on every run.
 
 use soteria_suite::soteria::clone::CloningPolicy;
 use soteria_suite::soteria::counter::CounterBlock;
@@ -19,300 +22,441 @@ use soteria_suite::soteria_ecc::rs::ReedSolomon;
 use soteria_suite::soteria_ecc::CorrectionOutcome;
 use soteria_suite::soteria_nvm::LineAddr;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+use soteria_suite::soteria_rt::prop::{any, array, btree_set, check, vec, Config};
+use soteria_suite::soteria_rt::{prop_assert, prop_assert_eq};
 
-    #[test]
-    fn aes_ctr_roundtrips(key in prop::array::uniform16(any::<u8>()),
-                          line in prop::array::uniform32(any::<u8>()),
-                          addr in any::<u64>(),
-                          counter in any::<u64>()) {
-        let cipher = CounterModeCipher::new(EncryptionKey::from_bytes(key));
-        let mut full = [0u8; 64];
-        full[..32].copy_from_slice(&line);
-        full[32..].copy_from_slice(&line);
-        let ct = cipher.encrypt_line(&full, addr, counter);
-        prop_assert_eq!(cipher.decrypt_line(&ct, addr, counter), full);
-    }
-
-    #[test]
-    fn rs_corrects_any_t_errors(data in prop::collection::vec(any::<u8>(), 16),
-                                positions in prop::collection::btree_set(0usize..20, 1..=2),
-                                magnitudes in prop::collection::vec(1u8..=255, 2)) {
-        let rs = ReedSolomon::new(20, 16).unwrap();
-        let cw = rs.encode(&data).unwrap();
-        let mut bad = cw.clone();
-        for (i, &pos) in positions.iter().enumerate() {
-            bad[pos] ^= magnitudes[i % magnitudes.len()];
-        }
-        let (decoded, outcome) = rs.decode(&bad).unwrap();
-        prop_assert_eq!(decoded, data);
-        let corrected = matches!(outcome, CorrectionOutcome::Corrected { .. });
-        prop_assert!(corrected);
-    }
-
-    #[test]
-    fn chipkill_survives_one_chip_any_pattern(
-        line in prop::array::uniform32(any::<u8>()),
-        chip in 0usize..18,
-        pattern in 1u8..=255,
-    ) {
-        let codec = ChipkillCodec::table4();
-        let mut full = [0u8; 64];
-        full[..32].copy_from_slice(&line);
-        full[32..].copy_from_slice(&line);
-        let mut stored = codec.encode_line(&full);
-        for (i, b) in stored.iter_mut().enumerate() {
-            if i % 18 == chip {
-                *b ^= pattern;
-            }
-        }
-        let (decoded, outcome) = codec.decode_line(&stored);
-        prop_assert_eq!(decoded, full);
-        prop_assert!(outcome.is_usable());
-    }
-
-    #[test]
-    fn rs_erasures_recover_any_two_marked_positions(
-        data in prop::collection::vec(any::<u8>(), 16),
-        positions in prop::collection::btree_set(0usize..18, 1..=2),
-        magnitudes in prop::collection::vec(any::<u8>(), 2),
-    ) {
-        // RS(18,16): e <= 2t = 2 known erasures always recover, for any
-        // corruption pattern (including "no corruption at all").
-        let rs = ReedSolomon::new(18, 16).unwrap();
-        let cw = rs.encode(&data).unwrap();
-        let mut bad = cw.clone();
-        let marked: Vec<usize> = positions.iter().copied().collect();
-        for (i, &pos) in marked.iter().enumerate() {
-            bad[pos] ^= magnitudes[i % magnitudes.len()];
-        }
-        let (decoded, outcome) = rs.decode_with_erasures(&bad, &marked).unwrap();
-        prop_assert_eq!(decoded, data);
-        prop_assert!(outcome.is_usable());
-    }
-
-    #[test]
-    fn devices_agree_on_random_fault_sets(
-        chips in prop::collection::btree_set(0u32..18, 0..4),
-        bank in 0u32..4,
-        row in 0u32..8,
-        probe_lines in prop::collection::vec(0u64..256, 8),
-    ) {
-        // Functional (real RS decode) and symbolic (chip-count rule)
-        // devices must classify every probed line identically under any
-        // combination of single-chip row faults.
-        use soteria_suite::soteria_nvm::device::NvmDimm;
-        use soteria_suite::soteria_nvm::fault::{FaultFootprint, FaultKind, FaultRecord};
-        use soteria_suite::soteria_nvm::geometry::DimmGeometry;
-        let g = DimmGeometry::tiny();
-        let mut functional = NvmDimm::chipkill(g);
-        let mut symbolic = NvmDimm::symbolic(g, 1);
-        for d in [&mut functional, &mut symbolic] {
-            for line in 0..g.total_lines() {
-                d.write_line(LineAddr::new(line), &[line as u8; 64]);
-            }
-            for &chip in &chips {
-                d.inject_fault(FaultRecord::on_chip(
-                    &g,
-                    chip,
-                    FaultFootprint::SingleRow { bank, row },
-                    FaultKind::Permanent,
-                ));
-            }
-        }
-        for &line in &probe_lines {
-            let fo = functional.read_line(LineAddr::new(line)).1;
-            let so = symbolic.read_line(LineAddr::new(line)).1;
-            let class = |o: soteria_suite::soteria_ecc::CorrectionOutcome| match o {
-                soteria_suite::soteria_ecc::CorrectionOutcome::Clean => 0,
-                soteria_suite::soteria_ecc::CorrectionOutcome::Corrected { .. } => 1,
-                soteria_suite::soteria_ecc::CorrectionOutcome::Uncorrectable => 2,
-            };
-            prop_assert_eq!(class(fo), class(so), "line {}", line);
-        }
-    }
-
-    #[test]
-    fn gcm_seal_open_roundtrips(
-        key in prop::array::uniform16(any::<u8>()),
-        nonce in prop::array::uniform12(any::<u8>()),
-        aad in prop::collection::vec(any::<u8>(), 0..40),
-        plaintext in prop::collection::vec(any::<u8>(), 0..100),
-    ) {
-        use soteria_suite::soteria_crypto::gcm::AesGcm;
-        let gcm = AesGcm::new(key);
-        let (ct, tag) = gcm.seal(&nonce, &aad, &plaintext);
-        prop_assert_eq!(ct.len(), plaintext.len());
-        let back = gcm.open(&nonce, &aad, &ct, &tag);
-        prop_assert_eq!(back, Some(plaintext.clone()));
-        // Any tag flip must be rejected.
-        let mut bad_tag = tag;
-        bad_tag[0] ^= 1;
-        prop_assert!(gcm.open(&nonce, &aad, &ct, &bad_tag).is_none());
-    }
-
-    #[test]
-    fn morphable_counters_never_repeat(
-        lines in prop::collection::vec(0usize..128, 1..400),
-    ) {
-        use soteria_suite::soteria::morphable::MorphableBlock;
-        let mut block = MorphableBlock::new();
-        let mut seen: Vec<std::collections::HashSet<u64>> =
-            vec![std::collections::HashSet::new(); 128];
-        for (slot, set) in seen.iter_mut().enumerate() {
-            set.insert(block.counter(slot));
-        }
-        for &line in &lines {
-            let c = block.bump(line).counter();
-            prop_assert!(seen[line].insert(c), "counter {} reused for line {}", c, line);
-        }
-    }
-
-    #[test]
-    fn secded_corrects_any_single_bit(word in any::<u64>(), bit in 0usize..72) {
-        let mut cw = SecDed72::encode(word);
-        cw.flip_bit(bit);
-        let (decoded, outcome) = cw.decode();
-        prop_assert_eq!(decoded, word);
-        prop_assert_eq!(outcome, CorrectionOutcome::Corrected { symbols: 1 });
-    }
-
-    #[test]
-    fn counter_block_roundtrips(major in any::<u64>(),
-                                minors in prop::collection::vec(0u8..128, 64)) {
-        let mut block = CounterBlock::new();
-        let mut raw = block.to_bytes();
-        raw[..8].copy_from_slice(&major.to_le_bytes());
-        block = CounterBlock::from_bytes(&raw);
-        // Drive each minor to its target via bump (public API only).
-        for (slot, &target) in minors.iter().enumerate() {
-            for _ in 0..target {
-                block.bump(slot);
-            }
-        }
-        let restored = CounterBlock::from_bytes(&block.to_bytes());
-        prop_assert_eq!(restored, block);
-        for (slot, &target) in minors.iter().enumerate() {
-            prop_assert_eq!(restored.minor(slot), target);
-        }
-    }
-
-    #[test]
-    fn toc_node_roundtrips(counters in prop::collection::vec(0u64..(1 << 56), 8),
-                           mac in any::<u64>()) {
-        let mut node = TocNode::new();
-        for (i, &c) in counters.iter().enumerate() {
-            node.set_counter(i, c);
-        }
-        node.set_mac(mac);
-        prop_assert_eq!(TocNode::from_bytes(&node.to_bytes()), node);
-    }
-
-    #[test]
-    fn shadow_entries_roundtrip(level in 1u8..=12,
-                                index in 0u64..(1 << 48),
-                                lsbs in prop::array::uniform8(any::<u16>()),
-                                mac in any::<u64>()) {
-        let record = ShadowRecord { meta: MetaId::new(level, index), lsbs, mac };
-        for mode in [ShadowMode::Plain, ShadowMode::Duplicated] {
-            let decoded = decode_entry(&encode_entry(&record, mode), mode);
-            prop_assert!(decoded.contains(&record));
-        }
-    }
-
-    #[test]
-    fn layout_meta_addresses_classify_back(data_kilo_lines in 1u64..64,
-                                           level_pick in any::<u64>(),
-                                           index_pick in any::<u64>()) {
-        let data_lines = data_kilo_lines * 1024;
-        let layout = MemoryLayout::new(data_lines, 64, 2);
-        let level = 1 + (level_pick % layout.levels() as u64) as u8;
-        let index = index_pick % layout.level_count(level);
-        let meta = MetaId::new(level, index);
-        prop_assert_eq!(layout.classify(layout.meta_addr(meta)), Region::Meta(meta));
-        for c in 1..=2u8 {
-            prop_assert_eq!(
-                layout.classify(layout.clone_addr(meta, c)),
-                Region::Clone { meta, clone_no: c }
-            );
-        }
-    }
-
-    #[test]
-    fn coverage_total_equals_data_per_level(data_kilo_lines in 1u64..32) {
-        let data_lines = data_kilo_lines * 1024;
-        let layout = MemoryLayout::new(data_lines, 64, 0);
-        for level in 1..=layout.levels() {
-            let total: u64 = (0..layout.level_count(level))
-                .map(|i| layout.covered_data_lines(MetaId::new(level, i)))
-                .sum();
-            prop_assert_eq!(total, data_lines, "level {}", level);
-        }
-    }
+/// Shared config: `cases` novel cases plus replay of the corpus.
+fn cfg(cases: u32) -> Config {
+    Config::with_cases(cases)
+        .regressions(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/properties.regressions"))
 }
 
-proptest! {
-    // The controller property runs fewer, heavier cases.
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn aes_ctr_roundtrips() {
+    check(
+        "aes_ctr_roundtrips",
+        &cfg(64),
+        &(
+            array::<_, 16>(any::<u8>()),
+            array::<_, 32>(any::<u8>()),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        |&(key, line, addr, counter)| {
+            let cipher = CounterModeCipher::new(EncryptionKey::from_bytes(key));
+            let mut full = [0u8; 64];
+            full[..32].copy_from_slice(&line);
+            full[32..].copy_from_slice(&line);
+            let ct = cipher.encrypt_line(&full, addr, counter);
+            prop_assert_eq!(cipher.decrypt_line(&ct, addr, counter), full);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn controller_behaves_like_memory(ops in prop::collection::vec(
-        (0u64..256, any::<u8>(), any::<bool>()), 1..200,
-    )) {
-        let config = SecureMemoryConfig::builder()
-            .capacity_bytes(1 << 20)
-            .metadata_cache(8 * 1024, 4)
-            .cloning(CloningPolicy::Relaxed)
-            .build()
-            .unwrap();
-        let mut memory = SecureMemoryController::new(config);
-        let mut reference = std::collections::HashMap::new();
-        for (line, fill, is_write) in ops {
-            if is_write {
+#[test]
+fn rs_corrects_any_t_errors() {
+    check(
+        "rs_corrects_any_t_errors",
+        &cfg(64),
+        &(
+            vec(any::<u8>(), 16usize),
+            btree_set(0usize..20, 1..=2usize),
+            vec(1u8..=255, 2usize),
+        ),
+        |(data, positions, magnitudes)| {
+            let rs = ReedSolomon::new(20, 16).unwrap();
+            let cw = rs.encode(data).unwrap();
+            let mut bad = cw.clone();
+            for (i, &pos) in positions.iter().enumerate() {
+                bad[pos] ^= magnitudes[i % magnitudes.len()];
+            }
+            let (decoded, outcome) = rs.decode(&bad).unwrap();
+            prop_assert_eq!(&decoded, data);
+            let corrected = matches!(outcome, CorrectionOutcome::Corrected { .. });
+            prop_assert!(corrected);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn chipkill_survives_one_chip_any_pattern() {
+    check(
+        "chipkill_survives_one_chip_any_pattern",
+        &cfg(64),
+        &(array::<_, 32>(any::<u8>()), 0usize..18, 1u8..=255),
+        |&(line, chip, pattern)| {
+            let codec = ChipkillCodec::table4();
+            let mut full = [0u8; 64];
+            full[..32].copy_from_slice(&line);
+            full[32..].copy_from_slice(&line);
+            let mut stored = codec.encode_line(&full);
+            for (i, b) in stored.iter_mut().enumerate() {
+                if i % 18 == chip {
+                    *b ^= pattern;
+                }
+            }
+            let (decoded, outcome) = codec.decode_line(&stored);
+            prop_assert_eq!(decoded, full);
+            prop_assert!(outcome.is_usable());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn rs_erasures_recover_any_two_marked_positions() {
+    check(
+        "rs_erasures_recover_any_two_marked_positions",
+        &cfg(64),
+        &(
+            vec(any::<u8>(), 16usize),
+            btree_set(0usize..18, 1..=2usize),
+            vec(any::<u8>(), 2usize),
+        ),
+        |(data, positions, magnitudes)| {
+            // RS(18,16): e <= 2t = 2 known erasures always recover, for any
+            // corruption pattern (including "no corruption at all").
+            let rs = ReedSolomon::new(18, 16).unwrap();
+            let cw = rs.encode(data).unwrap();
+            let mut bad = cw.clone();
+            let marked: Vec<usize> = positions.iter().copied().collect();
+            for (i, &pos) in marked.iter().enumerate() {
+                bad[pos] ^= magnitudes[i % magnitudes.len()];
+            }
+            let (decoded, outcome) = rs.decode_with_erasures(&bad, &marked).unwrap();
+            prop_assert_eq!(&decoded, data);
+            prop_assert!(outcome.is_usable());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn devices_agree_on_random_fault_sets() {
+    check(
+        "devices_agree_on_random_fault_sets",
+        &cfg(64),
+        &(
+            btree_set(0u32..18, 0..4usize),
+            0u32..4,
+            0u32..8,
+            vec(0u64..256, 8usize),
+        ),
+        |(chips, bank, row, probe_lines)| {
+            // Functional (real RS decode) and symbolic (chip-count rule)
+            // devices must classify every probed line identically under any
+            // combination of single-chip row faults.
+            use soteria_suite::soteria_nvm::device::NvmDimm;
+            use soteria_suite::soteria_nvm::fault::{FaultFootprint, FaultKind, FaultRecord};
+            use soteria_suite::soteria_nvm::geometry::DimmGeometry;
+            let (bank, row) = (*bank, *row);
+            let g = DimmGeometry::tiny();
+            let mut functional = NvmDimm::chipkill(g);
+            let mut symbolic = NvmDimm::symbolic(g, 1);
+            for d in [&mut functional, &mut symbolic] {
+                for line in 0..g.total_lines() {
+                    d.write_line(LineAddr::new(line), &[line as u8; 64]);
+                }
+                for &chip in chips {
+                    d.inject_fault(FaultRecord::on_chip(
+                        &g,
+                        chip,
+                        FaultFootprint::SingleRow { bank, row },
+                        FaultKind::Permanent,
+                    ));
+                }
+            }
+            for &line in probe_lines {
+                let fo = functional.read_line(LineAddr::new(line)).1;
+                let so = symbolic.read_line(LineAddr::new(line)).1;
+                let class = |o: soteria_suite::soteria_ecc::CorrectionOutcome| match o {
+                    soteria_suite::soteria_ecc::CorrectionOutcome::Clean => 0,
+                    soteria_suite::soteria_ecc::CorrectionOutcome::Corrected { .. } => 1,
+                    soteria_suite::soteria_ecc::CorrectionOutcome::Uncorrectable => 2,
+                };
+                prop_assert_eq!(class(fo), class(so), "line {}", line);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn gcm_seal_open_roundtrips() {
+    check(
+        "gcm_seal_open_roundtrips",
+        &cfg(64),
+        &(
+            array::<_, 16>(any::<u8>()),
+            array::<_, 12>(any::<u8>()),
+            vec(any::<u8>(), 0..40usize),
+            vec(any::<u8>(), 0..100usize),
+        ),
+        |(key, nonce, aad, plaintext)| {
+            use soteria_suite::soteria_crypto::gcm::AesGcm;
+            let gcm = AesGcm::new(*key);
+            let (ct, tag) = gcm.seal(nonce, aad, plaintext);
+            prop_assert_eq!(ct.len(), plaintext.len());
+            let back = gcm.open(nonce, aad, &ct, &tag);
+            prop_assert_eq!(back, Some(plaintext.clone()));
+            // Any tag flip must be rejected.
+            let mut bad_tag = tag;
+            bad_tag[0] ^= 1;
+            prop_assert!(gcm.open(nonce, aad, &ct, &bad_tag).is_none());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn morphable_counters_never_repeat() {
+    check(
+        "morphable_counters_never_repeat",
+        &cfg(64),
+        &vec(0usize..128, 1..400usize),
+        |lines| {
+            use soteria_suite::soteria::morphable::MorphableBlock;
+            let mut block = MorphableBlock::new();
+            let mut seen: Vec<std::collections::HashSet<u64>> =
+                vec![std::collections::HashSet::new(); 128];
+            for (slot, set) in seen.iter_mut().enumerate() {
+                set.insert(block.counter(slot));
+            }
+            for &line in lines {
+                let c = block.bump(line).counter();
+                prop_assert!(seen[line].insert(c), "counter {} reused for line {}", c, line);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn secded_corrects_any_single_bit() {
+    check(
+        "secded_corrects_any_single_bit",
+        &cfg(64),
+        &(any::<u64>(), 0usize..72),
+        |&(word, bit)| {
+            let mut cw = SecDed72::encode(word);
+            cw.flip_bit(bit);
+            let (decoded, outcome) = cw.decode();
+            prop_assert_eq!(decoded, word);
+            prop_assert_eq!(outcome, CorrectionOutcome::Corrected { symbols: 1 });
+            Ok(())
+        },
+    );
+}
+
+/// The counter-block roundtrip property, shared by the generated cases,
+/// the corpus replays, and the ported legacy regression below.
+fn counter_block_roundtrip_case(major: u64, minors: &[u8]) -> Result<(), String> {
+    let mut block = CounterBlock::new();
+    let mut raw = block.to_bytes();
+    raw[..8].copy_from_slice(&major.to_le_bytes());
+    block = CounterBlock::from_bytes(&raw);
+    // Drive each minor to its target via bump (public API only).
+    for (slot, &target) in minors.iter().enumerate() {
+        for _ in 0..target {
+            block.bump(slot);
+        }
+    }
+    let restored = CounterBlock::from_bytes(&block.to_bytes());
+    prop_assert_eq!(&restored, &block);
+    for (slot, &target) in minors.iter().enumerate() {
+        prop_assert_eq!(restored.minor(slot), target);
+    }
+    Ok(())
+}
+
+#[test]
+fn counter_block_roundtrips() {
+    check(
+        "counter_block_roundtrips",
+        &cfg(64),
+        &(any::<u64>(), vec(0u8..128, 64usize)),
+        |(major, minors)| counter_block_roundtrip_case(*major, minors),
+    );
+}
+
+#[test]
+fn counter_block_legacy_proptest_regression() {
+    // Ported verbatim from the retired proptest corpus
+    // (`cc cf4e1910…` in the old tests/properties.proptest-regressions):
+    // a major counter with only bit 57 set plus a sparse minor pattern
+    // once broke the from_bytes/to_bytes roundtrip. The old entry encoded
+    // a proptest-internal RNG state that no longer replays, so the shrunk
+    // value itself is pinned here.
+    let major = 144115188075855872u64; // 1 << 57
+    let mut minors = [0u8; 64];
+    let tail: [u8; 33] = [
+        48, 43, 21, 98, 63, 17, 126, 113, 48, 31, 112, 108, 29, 23, 34, 46, 39, 41, 19, 123,
+        61, 105, 9, 61, 47, 94, 94, 80, 90, 2, 102, 31, 4,
+    ];
+    minors[31..].copy_from_slice(&tail);
+    counter_block_roundtrip_case(major, &minors).expect("legacy regression case must pass");
+}
+
+#[test]
+fn toc_node_roundtrips() {
+    check(
+        "toc_node_roundtrips",
+        &cfg(64),
+        &(vec(0u64..(1 << 56), 8usize), any::<u64>()),
+        |(counters, mac)| {
+            let mut node = TocNode::new();
+            for (i, &c) in counters.iter().enumerate() {
+                node.set_counter(i, c);
+            }
+            node.set_mac(*mac);
+            prop_assert_eq!(TocNode::from_bytes(&node.to_bytes()), node);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn shadow_entries_roundtrip() {
+    check(
+        "shadow_entries_roundtrip",
+        &cfg(64),
+        &(
+            1u8..=12,
+            0u64..(1 << 48),
+            array::<_, 8>(any::<u16>()),
+            any::<u64>(),
+        ),
+        |&(level, index, lsbs, mac)| {
+            let record = ShadowRecord {
+                meta: MetaId::new(level, index),
+                lsbs,
+                mac,
+            };
+            for mode in [ShadowMode::Plain, ShadowMode::Duplicated] {
+                let decoded = decode_entry(&encode_entry(&record, mode), mode);
+                prop_assert!(decoded.contains(&record));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn layout_meta_addresses_classify_back() {
+    check(
+        "layout_meta_addresses_classify_back",
+        &cfg(64),
+        &(1u64..64, any::<u64>(), any::<u64>()),
+        |&(data_kilo_lines, level_pick, index_pick)| {
+            let data_lines = data_kilo_lines * 1024;
+            let layout = MemoryLayout::new(data_lines, 64, 2);
+            let level = 1 + (level_pick % layout.levels() as u64) as u8;
+            let index = index_pick % layout.level_count(level);
+            let meta = MetaId::new(level, index);
+            prop_assert_eq!(layout.classify(layout.meta_addr(meta)), Region::Meta(meta));
+            for c in 1..=2u8 {
+                prop_assert_eq!(
+                    layout.classify(layout.clone_addr(meta, c)),
+                    Region::Clone { meta, clone_no: c }
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn coverage_total_equals_data_per_level() {
+    check(
+        "coverage_total_equals_data_per_level",
+        &cfg(64),
+        &(1u64..32),
+        |&data_kilo_lines| {
+            let data_lines = data_kilo_lines * 1024;
+            let layout = MemoryLayout::new(data_lines, 64, 0);
+            for level in 1..=layout.levels() {
+                let total: u64 = (0..layout.level_count(level))
+                    .map(|i| layout.covered_data_lines(MetaId::new(level, i)))
+                    .sum();
+                prop_assert_eq!(total, data_lines, "level {}", level);
+            }
+            Ok(())
+        },
+    );
+}
+
+// The controller properties run fewer, heavier cases.
+
+#[test]
+fn controller_behaves_like_memory() {
+    check(
+        "controller_behaves_like_memory",
+        &cfg(12),
+        &vec((0u64..256, any::<u8>(), any::<bool>()), 1..200usize),
+        |ops| {
+            let config = SecureMemoryConfig::builder()
+                .capacity_bytes(1 << 20)
+                .metadata_cache(8 * 1024, 4)
+                .cloning(CloningPolicy::Relaxed)
+                .build()
+                .unwrap();
+            let mut memory = SecureMemoryController::new(config);
+            let mut reference = std::collections::HashMap::new();
+            for &(line, fill, is_write) in ops {
+                if is_write {
+                    let data = [fill; 64];
+                    memory.write(DataAddr::new(line), &data).unwrap();
+                    reference.insert(line, data);
+                } else {
+                    let expected = reference.get(&line).copied().unwrap_or([0u8; 64]);
+                    prop_assert_eq!(memory.read(DataAddr::new(line)).unwrap(), expected);
+                }
+            }
+            // Clean shutdown leaves the NVM image consistent with the model.
+            memory.persist_all().unwrap();
+            for (line, data) in &reference {
+                prop_assert_eq!(memory.read(DataAddr::new(*line)).unwrap(), *data);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn crash_recovery_preserves_all_writes() {
+    check(
+        "crash_recovery_preserves_all_writes",
+        &cfg(12),
+        &vec((0u64..128, any::<u8>()), 1..80usize),
+        |ops| {
+            let config = SecureMemoryConfig::builder()
+                .capacity_bytes(1 << 20)
+                .metadata_cache(8 * 1024, 4)
+                .cloning(CloningPolicy::None)
+                .build()
+                .unwrap();
+            let mut memory = SecureMemoryController::new(config);
+            let mut reference = std::collections::HashMap::new();
+            for &(line, fill) in ops {
                 let data = [fill; 64];
                 memory.write(DataAddr::new(line), &data).unwrap();
                 reference.insert(line, data);
-            } else {
-                let expected = reference.get(&line).copied().unwrap_or([0u8; 64]);
-                prop_assert_eq!(memory.read(DataAddr::new(line)).unwrap(), expected);
             }
-        }
-        // Clean shutdown leaves the NVM image consistent with the model.
-        memory.persist_all().unwrap();
-        for (line, data) in &reference {
-            prop_assert_eq!(memory.read(DataAddr::new(*line)).unwrap(), *data);
-        }
-    }
-
-    #[test]
-    fn crash_recovery_preserves_all_writes(ops in prop::collection::vec(
-        (0u64..128, any::<u8>()), 1..80,
-    )) {
-        let config = SecureMemoryConfig::builder()
-            .capacity_bytes(1 << 20)
-            .metadata_cache(8 * 1024, 4)
-            .cloning(CloningPolicy::None)
-            .build()
-            .unwrap();
-        let mut memory = SecureMemoryController::new(config);
-        let mut reference = std::collections::HashMap::new();
-        for (line, fill) in ops {
-            let data = [fill; 64];
-            memory.write(DataAddr::new(line), &data).unwrap();
-            reference.insert(line, data);
-        }
-        let (mut memory, report) = soteria_suite::soteria::recover(memory.crash());
-        prop_assert!(report.is_complete());
-        for (line, data) in &reference {
-            prop_assert_eq!(memory.read(DataAddr::new(*line)).unwrap(), *data);
-        }
-    }
+            let (mut memory, report) = soteria_suite::soteria::recover(memory.crash());
+            prop_assert!(report.is_complete());
+            for (line, data) in &reference {
+                prop_assert_eq!(memory.read(DataAddr::new(*line)).unwrap(), *data);
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]
 fn line_addr_sanity() {
-    // Anchor for the proptest file: plain unit check that the shared
+    // Anchor for the property file: plain unit check that the shared
     // newtypes interoperate.
     assert_eq!(LineAddr::from_byte_addr(128).index(), 2);
     assert_eq!(DataAddr::from_byte_addr(128).index(), 2);
