@@ -7,24 +7,48 @@
 //! calibrated batches, warmup, median/p95 per-iteration times. Tune with
 //! `SOTERIA_BENCH_SAMPLES` / `SOTERIA_BENCH_WARMUP_MS` /
 //! `SOTERIA_BENCH_MIN_BATCH_US`.
+//!
+//! Hot kernels are benchmarked in **pairs**: `<name>` is the optimized
+//! path and `<name>_ref` the bit-identical reference implementation it
+//! replaced (equivalence is proven by tests in the owning crates). After
+//! the run, every result — plus the `median(ref) / median(optimized)`
+//! speedup for each pair — is written as JSON to `$SOTERIA_BENCH_JSON`
+//! (default `BENCH_kernels.json` in the working directory) so CI can diff
+//! against the committed baseline with the `bench_check` binary.
 
-use soteria_rt::bench::{black_box, Harness};
+use soteria_rt::bench::{black_box, Harness, Stats};
+use soteria_rt::json::Json;
 
 use soteria::clone::CloningPolicy;
-use soteria::{DataAddr, Fidelity, SecureMemoryConfig, SecureMemoryController};
+use soteria::mdcache::{CachedBlock, MetadataCache};
+use soteria::{DataAddr, Fidelity, MetaId, SecureMemoryConfig, SecureMemoryController};
+use soteria_crypto::aes::Aes128;
 use soteria_crypto::ctr::CounterModeCipher;
 use soteria_crypto::mac::MacEngine;
 use soteria_crypto::sha256::Sha256;
 use soteria_crypto::{EncryptionKey, MacKey};
 use soteria_ecc::chipkill::{ChipkillCodec, LineCodec};
+use soteria_ecc::rs::ReedSolomon;
 use soteria_faultsim::{run_campaign, CampaignConfig};
+use soteria_nvm::LineAddr;
 
 fn bench_crypto(c: &mut Harness) {
+    let aes = Aes128::new([4; 16]);
+    let block = [0x6cu8; 16];
+    c.bench_function("aes128_encrypt_block", |b| {
+        b.iter(|| aes.encrypt_block(black_box(&block)))
+    });
+    c.bench_function("aes128_encrypt_block_ref", |b| {
+        b.iter(|| aes.encrypt_block_reference(black_box(&block)))
+    });
     let cipher = CounterModeCipher::new(EncryptionKey::from_bytes([1; 16]));
     let mac = MacEngine::new(MacKey::from_bytes([2; 32]));
     let line = [0xabu8; 64];
     c.bench_function("aes_ctr_encrypt_line", |b| {
         b.iter(|| cipher.encrypt_line(black_box(&line), black_box(0x40), black_box(7)))
+    });
+    c.bench_function("aes_ctr_encrypt_line_ref", |b| {
+        b.iter(|| cipher.encrypt_line_reference(black_box(&line), black_box(0x40), black_box(7)))
     });
     c.bench_function("sha256_64B", |b| b.iter(|| Sha256::digest(black_box(&line))));
     c.bench_function("data_mac_64bit", |b| {
@@ -73,6 +97,62 @@ fn bench_chipkill(c: &mut Harness) {
     }
     c.bench_function("chipkill_decode_two_marked_erasures", |b| {
         b.iter(|| codec.decode_line_marked(black_box(&two_dead), &[3, 11]))
+    });
+}
+
+fn bench_rs(c: &mut Harness) {
+    // The Table 4 beat code: RS(18, 16) over one 18-chip beat.
+    let rs = ReedSolomon::new(18, 16).expect("valid geometry");
+    let data: Vec<u8> = (0..16u8).map(|i| i.wrapping_mul(37) ^ 0x5a).collect();
+    let mut cw = rs.encode(&data).expect("encode");
+    cw[3] ^= 0x77; // non-zero syndromes exercise the full Horner pass
+    c.bench_function("rs_syndromes", |b| b.iter(|| rs.syndromes(black_box(&cw))));
+    c.bench_function("rs_syndromes_ref", |b| {
+        b.iter(|| rs.syndromes_reference(black_box(&cw)))
+    });
+    let mut out = vec![0u8; 18];
+    c.bench_function("rs_encode_into", |b| {
+        b.iter(|| rs.encode_into(black_box(&data), black_box(&mut out)))
+    });
+}
+
+fn bench_mdcache(c: &mut Harness) {
+    let block = |level: u8| CachedBlock::clean(MetaId::new(level, 0), [7u8; 64]);
+    // Table 3 geometry: 256 KiB, 8-way ⇒ 512 sets.
+    let mut cache = MetadataCache::new(256 * 1024, 8);
+    let slots = cache.slots();
+    for i in 0..slots {
+        cache.insert(LineAddr::new(i), block(1), &[]);
+    }
+    let mut i = 0u64;
+    c.bench_function("mdcache_lookup_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % slots;
+            cache.lookup(black_box(LineAddr::new(i))).is_some()
+        })
+    });
+    let mut j = 0u64;
+    c.bench_function("mdcache_lookup_miss", |b| {
+        b.iter(|| {
+            j = (j + 1) % slots;
+            cache.lookup(black_box(LineAddr::new(slots + j))).is_some()
+        })
+    });
+    let mut k = 0u64;
+    c.bench_function("mdcache_insert_evict", |b| {
+        b.iter(|| {
+            k += slots; // every insert maps to a full set and evicts
+            cache.insert(black_box(LineAddr::new(k)), block(1), &[])
+        })
+    });
+    let mut dirty_cache = MetadataCache::new(256 * 1024, 8);
+    for i in 0..slots {
+        let mut blk = block(1);
+        blk.dirty = i % 16 == 0;
+        dirty_cache.insert(LineAddr::new(i), blk, &[]);
+    }
+    c.bench_function("mdcache_dirty_addrs_scan", |b| {
+        b.iter(|| dirty_cache.dirty_addrs().count())
     });
 }
 
@@ -126,12 +206,60 @@ fn bench_faultsim(c: &mut Harness) {
     });
 }
 
+/// Serializes the results as the `soteria-bench-kernels/v1` document:
+/// every kernel's median/p95/batch, plus a `speedups` object holding
+/// `median(<name>_ref) / median(<name>)` for each optimized/reference
+/// pair present in the run.
+fn results_to_json(stats: &[Stats]) -> Json {
+    let kernels = Json::Obj(
+        stats
+            .iter()
+            .map(|s| {
+                (
+                    s.name.clone(),
+                    Json::Obj(vec![
+                        ("median_ns".to_string(), Json::Num(s.median_ns)),
+                        ("p95_ns".to_string(), Json::Num(s.p95_ns)),
+                        ("batch".to_string(), Json::Num(s.batch as f64)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let speedups = Json::Obj(
+        stats
+            .iter()
+            .filter_map(|s| {
+                let reference = stats.iter().find(|r| r.name == format!("{}_ref", s.name))?;
+                Some((
+                    s.name.clone(),
+                    Json::Num(reference.median_ns / s.median_ns),
+                ))
+            })
+            .collect(),
+    );
+    Json::Obj(vec![
+        (
+            "schema".to_string(),
+            Json::Str("soteria-bench-kernels/v1".to_string()),
+        ),
+        ("kernels".to_string(), kernels),
+        ("speedups".to_string(), speedups),
+    ])
+}
+
 fn main() {
     let mut harness = Harness::new();
     bench_crypto(&mut harness);
     bench_gcm(&mut harness);
     bench_chipkill(&mut harness);
+    bench_rs(&mut harness);
+    bench_mdcache(&mut harness);
     bench_controller(&mut harness);
     bench_faultsim(&mut harness);
-    harness.finish();
+    let stats = harness.finish();
+    let path = std::env::var("SOTERIA_BENCH_JSON").unwrap_or_else(|_| "BENCH_kernels.json".into());
+    std::fs::write(&path, results_to_json(&stats).to_pretty_string())
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
 }

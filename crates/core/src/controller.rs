@@ -761,12 +761,17 @@ impl SecureMemoryController {
         // Writing back a child dirties its parent; iterate to fixpoint,
         // lowest levels first.
         loop {
-            let mut dirty = self.cache.dirty_addrs();
-            if dirty.is_empty() {
+            // Lowest level first; min_by_key keeps the first minimum in
+            // iteration order, matching the old stable sort's front. Not a
+            // `while let`: in edition 2021 the iterator temporary would
+            // borrow the cache across the `&mut self` calls in the body.
+            let next = self
+                .cache
+                .dirty_addrs()
+                .min_by_key(|a| self.cache.peek(*a).map(|b| b.meta.level).unwrap_or(u8::MAX));
+            let Some(addr) = next else {
                 break;
-            }
-            dirty.sort_by_key(|a| self.cache.peek(*a).map(|b| b.meta.level).unwrap_or(u8::MAX));
-            let addr = dirty[0];
+            };
             let (meta, bytes) = {
                 let blk = self.cache.peek(addr).expect("listed as dirty");
                 (blk.meta, blk.data)
@@ -1099,7 +1104,7 @@ mod tests {
             .unwrap();
         }
         c.persist_all().unwrap();
-        assert!(c.cache.dirty_addrs().is_empty());
+        assert!(c.cache.dirty_addrs().next().is_none());
         // Everything still readable afterwards.
         assert!(c.read(DataAddr::new(0)).is_ok());
     }

@@ -83,12 +83,19 @@ impl CacheStats {
 }
 
 /// Set-associative write-back metadata cache with LRU replacement.
+///
+/// Residency is tracked by a tag **index** (address → global slot), so
+/// `slot_of` / `contains` / `lookup` / `peek` resolve without scanning
+/// the ways of a set; the set vectors remain the source of truth for LRU
+/// and eviction. Nothing ever iterates the index, so the hash map's
+/// nondeterministic iteration order cannot leak into simulation results.
 #[derive(Clone, Debug)]
 pub struct MetadataCache {
     sets: Vec<Vec<Option<Entry>>>,
     ways: usize,
     tick: u64,
     stats: CacheStats,
+    index: std::collections::HashMap<LineAddr, u32>,
 }
 
 impl MetadataCache {
@@ -113,6 +120,7 @@ impl MetadataCache {
             ways,
             tick: 0,
             stats: CacheStats::default(),
+            index: std::collections::HashMap::with_capacity(sets * ways),
         }
     }
 
@@ -147,26 +155,30 @@ impl MetadataCache {
 
     /// The shadow slot a resident block occupies, if cached.
     pub fn slot_of(&self, addr: LineAddr) -> Option<u64> {
-        let set = self.set_of(addr);
-        self.sets[set]
-            .iter()
-            .position(|e| e.as_ref().is_some_and(|e| e.addr == addr))
-            .map(|way| (set * self.ways + way) as u64)
+        self.index.get(&addr).map(|&slot| slot as u64)
     }
 
     /// Returns `true` if `addr` is resident (without touching LRU state).
     pub fn contains(&self, addr: LineAddr) -> bool {
-        self.slot_of(addr).is_some()
+        self.index.contains_key(&addr)
+    }
+
+    /// Splits a global slot back into its (set, way) coordinates.
+    fn coords(&self, slot: u32) -> (usize, usize) {
+        (slot as usize / self.ways, slot as usize % self.ways)
     }
 
     /// Looks up a block, updating LRU and hit/miss statistics.
     pub fn lookup(&mut self, addr: LineAddr) -> Option<&mut CachedBlock> {
         self.tick += 1;
         let tick = self.tick;
-        let set = self.set_of(addr);
-        let found = self.sets[set].iter_mut().flatten().find(|e| e.addr == addr);
-        match found {
-            Some(e) => {
+        match self.index.get(&addr) {
+            Some(&slot) => {
+                let (set, way) = self.coords(slot);
+                let e = self.sets[set][way]
+                    .as_mut()
+                    .expect("indexed slot is occupied");
+                debug_assert_eq!(e.addr, addr);
                 e.last_use = tick;
                 self.stats.hits += 1;
                 Some(&mut e.block)
@@ -180,22 +192,16 @@ impl MetadataCache {
 
     /// Peeks at a block without LRU/stat side effects.
     pub fn peek(&self, addr: LineAddr) -> Option<&CachedBlock> {
-        let set = self.set_of(addr);
-        self.sets[set]
-            .iter()
-            .flatten()
-            .find(|e| e.addr == addr)
-            .map(|e| &e.block)
+        let &slot = self.index.get(&addr)?;
+        let (set, way) = self.coords(slot);
+        self.sets[set][way].as_ref().map(|e| &e.block)
     }
 
     /// Mutably peeks at a block without LRU/stat side effects.
     pub fn peek_mut(&mut self, addr: LineAddr) -> Option<&mut CachedBlock> {
-        let set = self.set_of(addr);
-        self.sets[set]
-            .iter_mut()
-            .flatten()
-            .find(|e| e.addr == addr)
-            .map(|e| &mut e.block)
+        let &slot = self.index.get(&addr)?;
+        let (set, way) = self.coords(slot);
+        self.sets[set][way].as_mut().map(|e| &mut e.block)
     }
 
     /// Inserts a block, evicting the LRU non-pinned entry if the set is
@@ -223,7 +229,9 @@ impl MetadataCache {
                 block,
                 last_use: self.tick,
             });
-            return ((set * self.ways + way) as u64, None);
+            let slot = (set * self.ways + way) as u64;
+            self.index.insert(addr, slot as u32);
+            return (slot, None);
         }
         // Evict the least recently used way that is not pinned.
         let victim_way = self.sets[set]
@@ -249,6 +257,8 @@ impl MetadataCache {
             self.stats.clean_evictions += 1;
         }
         let slot = (set * self.ways + victim_way) as u64;
+        self.index.remove(&old.addr);
+        self.index.insert(addr, slot as u32);
         (
             slot,
             Some(Evicted {
@@ -261,24 +271,20 @@ impl MetadataCache {
 
     /// Removes and returns a resident block (used by flush/crash paths).
     pub fn remove(&mut self, addr: LineAddr) -> Option<CachedBlock> {
-        let set = self.set_of(addr);
-        for way in 0..self.ways {
-            if self.sets[set][way].as_ref().is_some_and(|e| e.addr == addr) {
-                return self.sets[set][way].take().map(|e| e.block);
-            }
-        }
-        None
+        let slot = self.index.remove(&addr)?;
+        let (set, way) = self.coords(slot);
+        self.sets[set][way].take().map(|e| e.block)
     }
 
-    /// Addresses of all dirty resident blocks (for orderly flush).
-    pub fn dirty_addrs(&self) -> Vec<LineAddr> {
+    /// Addresses of all dirty resident blocks (for orderly flush),
+    /// yielded in deterministic set/way order without allocating.
+    pub fn dirty_addrs(&self) -> impl Iterator<Item = LineAddr> + '_ {
         self.sets
             .iter()
             .flatten()
             .flatten()
             .filter(|e| e.block.dirty)
             .map(|e| e.addr)
-            .collect()
     }
 
     /// Drops every entry (models volatile loss at crash).
@@ -288,11 +294,12 @@ impl MetadataCache {
                 *way = None;
             }
         }
+        self.index.clear();
     }
 
     /// Number of resident blocks.
     pub fn len(&self) -> usize {
-        self.sets.iter().flatten().flatten().count()
+        self.index.len()
     }
 
     /// Returns `true` when nothing is cached.
@@ -395,7 +402,46 @@ mod tests {
         dirty.dirty = true;
         c.insert(LineAddr::new(0), dirty, &[]);
         c.insert(LineAddr::new(1), block(1, 1), &[]);
-        assert_eq!(c.dirty_addrs(), vec![LineAddr::new(0)]);
+        assert_eq!(c.dirty_addrs().collect::<Vec<_>>(), vec![LineAddr::new(0)]);
+    }
+
+    #[test]
+    fn index_consistent_through_insert_evict_remove_clear() {
+        // The tag index must agree with a linear scan of the ways after
+        // every mutation, and resolved slots must round-trip.
+        fn check(c: &MetadataCache, universe: &[LineAddr]) {
+            let mut scanned = 0usize;
+            for &addr in universe {
+                let set = (addr.index() % c.set_count() as u64) as usize;
+                let linear = (0..c.ways()).find_map(|way| {
+                    let slot = (set * c.ways() + way) as u64;
+                    c.peek(addr)?;
+                    // peek goes through the index; cross-check against
+                    // slot_of and the actual slot arithmetic.
+                    (c.slot_of(addr) == Some(slot)).then_some(slot)
+                });
+                if c.contains(addr) {
+                    assert_eq!(c.slot_of(addr), linear, "{addr}");
+                    scanned += 1;
+                } else {
+                    assert_eq!(c.slot_of(addr), None, "{addr}");
+                }
+            }
+            assert_eq!(c.len(), scanned);
+        }
+        let universe: Vec<LineAddr> = (0..12).map(LineAddr::new).collect();
+        let mut c = tiny_cache();
+        for i in 0..8u64 {
+            c.insert(LineAddr::new(i), block(1, i), &[]);
+            check(&c, &universe);
+        }
+        c.remove(LineAddr::new(6));
+        check(&c, &universe);
+        c.insert(LineAddr::new(10), block(2, 10), &[]);
+        check(&c, &universe);
+        c.clear();
+        check(&c, &universe);
+        assert!(c.is_empty());
     }
 
     #[test]

@@ -1,9 +1,32 @@
 //! AES-128 block cipher (FIPS-197), implemented from scratch.
 //!
-//! This is a straightforward table-free byte-oriented implementation: S-box
-//! lookups plus explicit `xtime` multiplication in GF(2^8). It is not meant
-//! to be side-channel hardened (it models a hardware engine inside a
-//! simulator), but it is bit-exact against the FIPS-197 vectors.
+//! Three bit-identical implementations live here:
+//!
+//! * The **hardware path** (AES-NI on x86-64, selected by a one-time
+//!   CPUID probe at key-schedule time) — one `aesenc`/`aesdec` per
+//!   round; [`Aes128::encrypt_blocks4`] pipelines four independent
+//!   blocks (the CTR pad shape) through the AES units.
+//! * The **T-table path** ([`Aes128::encrypt_block_table`] /
+//!   [`Aes128::decrypt_block_table`]) — the portable fast path and the
+//!   fallback when AES-NI is absent. SubBytes, ShiftRows and MixColumns
+//!   fuse into four compile-time 256-entry `u32` tables per direction,
+//!   so one round is 16 table lookups and 20 XORs on column words.
+//!   Decryption uses the equivalent inverse cipher with InvMixColumns
+//!   folded into the decryption round keys.
+//! * The **byte-oriented reference path**
+//!   ([`Aes128::encrypt_block_reference`] /
+//!   [`Aes128::decrypt_block_reference`]) — the original straight-line
+//!   FIPS-197 transcription (S-box lookups plus explicit `xtime`
+//!   chains). It is kept callable so equivalence is provable by test and
+//!   so the benchmark suite can report before/after speedups against it.
+//!
+//! [`Aes128::encrypt_block`] / [`Aes128::decrypt_block`] dispatch to the
+//! fastest available path; the equivalence tests pin all paths to the
+//! same bits on every machine they run on.
+//!
+//! Neither path is side-channel hardened (they model a hardware engine
+//! inside a simulator), but both are bit-exact against the FIPS-197
+//! vectors and against each other on random inputs.
 //!
 //! # Example
 //!
@@ -54,34 +77,263 @@ static INV_SBOX: [u8; 256] = {
 static RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
 
 #[inline]
-fn xtime(x: u8) -> u8 {
+const fn xtime(x: u8) -> u8 {
     (x << 1) ^ (((x >> 7) & 1).wrapping_mul(0x1b))
 }
 
-/// Multiply two bytes in GF(2^8) with the AES polynomial.
+// Constant-multiplier xtime chains for the InvMixColumns coefficients.
+// These replace `gmul(x, 0x09/0x0b/0x0d/0x0e)` in every fixed-coefficient
+// position: 3 xtime steps and 1–2 XORs instead of an 8-iteration
+// branch-per-bit loop.
+
 #[inline]
-fn gmul(mut a: u8, mut b: u8) -> u8 {
+const fn mul9(x: u8) -> u8 {
+    // 9 = 8 + 1
+    xtime(xtime(xtime(x))) ^ x
+}
+
+#[inline]
+const fn mul11(x: u8) -> u8 {
+    // 11 = 8 + 2 + 1
+    xtime(xtime(xtime(x)) ^ x) ^ x
+}
+
+#[inline]
+const fn mul13(x: u8) -> u8 {
+    // 13 = 8 + 4 + 1
+    xtime(xtime(xtime(x) ^ x)) ^ x
+}
+
+#[inline]
+const fn mul14(x: u8) -> u8 {
+    // 14 = 8 + 4 + 2
+    xtime(xtime(xtime(x) ^ x) ^ x)
+}
+
+/// Multiply two bytes in GF(2^8) with the AES polynomial. Retained as
+/// the first-principles reference for the table/chain tests; all
+/// fixed-coefficient production paths use the `xtime` chains above or
+/// the T-tables.
+#[cfg(test)]
+#[inline]
+const fn gmul(a: u8, b: u8) -> u8 {
+    let mut a = a;
+    let mut b = b;
     let mut p = 0u8;
-    for _ in 0..8 {
+    let mut i = 0;
+    while i < 8 {
         if b & 1 != 0 {
             p ^= a;
         }
         a = xtime(a);
         b >>= 1;
+        i += 1;
     }
     p
 }
 
+// ---------------------------------------------------------------------------
+// T-tables
+// ---------------------------------------------------------------------------
+//
+// Column words are little-endian: bits 0..8 hold the row-0 byte. With the
+// MixColumns matrix rows (2 3 1 1 / 1 2 3 1 / 1 1 2 3 / 3 1 1 2), the
+// contribution of the row-r input byte `x` (after SubBytes) to the output
+// column is TE_r[x]:
+//
+//   TE0[x] = 2s |  s<<8  |  s<<16 | 3s<<24      (s = SBOX[x])
+//   TE1[x] = 3s | 2s<<8  |  s<<16 |  s<<24
+//   TE2[x] =  s | 3s<<8  | 2s<<16 |  s<<24
+//   TE3[x] =  s |  s<<8  | 3s<<16 | 2s<<24
+//
+// The decryption tables fold InvSubBytes into InvMixColumns
+// (coefficients 14 11 13 9) for the equivalent inverse cipher:
+//
+//   TD0[x] = 14u |  9u<<8 | 13u<<16 | 11u<<24   (u = INV_SBOX[x])
+//   and rotations thereof.
+
+const fn te_entry(s: u8, rot: u32) -> u32 {
+    let e = (xtime(s) as u32)
+        | ((s as u32) << 8)
+        | ((s as u32) << 16)
+        | (((xtime(s) ^ s) as u32) << 24);
+    e.rotate_left(8 * rot)
+}
+
+const fn td_entry(u: u8, rot: u32) -> u32 {
+    let e = (mul14(u) as u32)
+        | ((mul9(u) as u32) << 8)
+        | ((mul13(u) as u32) << 16)
+        | ((mul11(u) as u32) << 24);
+    e.rotate_left(8 * rot)
+}
+
+const fn build_te(rot: u32) -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = te_entry(SBOX[i], rot);
+        i += 1;
+    }
+    t
+}
+
+const fn build_td(rot: u32) -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = td_entry(INV_SBOX[i], rot);
+        i += 1;
+    }
+    t
+}
+
+static TE0: [u32; 256] = build_te(0);
+static TE1: [u32; 256] = build_te(1);
+static TE2: [u32; 256] = build_te(2);
+static TE3: [u32; 256] = build_te(3);
+
+static TD0: [u32; 256] = build_td(0);
+static TD1: [u32; 256] = build_td(1);
+static TD2: [u32; 256] = build_td(2);
+static TD3: [u32; 256] = build_td(3);
+
+/// One-time CPUID probe for hardware AES; `false` off x86-64.
+fn aesni_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static AVAILABLE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *AVAILABLE.get_or_init(|| is_x86_feature_detected!("aes"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Hardware AES (AES-NI). Every function here requires the `aes` CPU
+/// feature; callers gate on [`aesni_available`].
+#[cfg(target_arch = "x86_64")]
+mod ni {
+    use core::arch::x86_64::{
+        __m128i, _mm_aesdec_si128, _mm_aesdeclast_si128, _mm_aesenc_si128, _mm_aesenclast_si128,
+        _mm_loadu_si128, _mm_storeu_si128, _mm_xor_si128,
+    };
+
+    use super::NR;
+
+    #[inline]
+    unsafe fn load(bytes: &[u8; 16]) -> __m128i {
+        // SAFETY: any 16-byte array is a valid unaligned load source.
+        unsafe { _mm_loadu_si128(bytes.as_ptr().cast()) }
+    }
+
+    #[inline]
+    unsafe fn store(v: __m128i) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        // SAFETY: `out` is 16 writable bytes.
+        unsafe { _mm_storeu_si128(out.as_mut_ptr().cast(), v) };
+        out
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AES-NI (see [`super::aesni_available`]).
+    #[target_feature(enable = "aes")]
+    pub(super) unsafe fn encrypt_block(
+        round_keys: &[[u8; 16]; NR + 1],
+        block: &[u8; 16],
+    ) -> [u8; 16] {
+        let mut b = _mm_xor_si128(load(block), load(&round_keys[0]));
+        for rk in &round_keys[1..NR] {
+            b = _mm_aesenc_si128(b, load(rk));
+        }
+        store(_mm_aesenclast_si128(b, load(&round_keys[NR])))
+    }
+
+    /// Four independent blocks interleaved: each round key is loaded
+    /// once and the four `aesenc` chains overlap in the pipelined AES
+    /// units instead of serializing.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AES-NI (see [`super::aesni_available`]).
+    #[target_feature(enable = "aes")]
+    pub(super) unsafe fn encrypt_blocks4(
+        round_keys: &[[u8; 16]; NR + 1],
+        blocks: &[[u8; 16]; 4],
+    ) -> [[u8; 16]; 4] {
+        let k0 = load(&round_keys[0]);
+        let mut b: [__m128i; 4] = [
+            _mm_xor_si128(load(&blocks[0]), k0),
+            _mm_xor_si128(load(&blocks[1]), k0),
+            _mm_xor_si128(load(&blocks[2]), k0),
+            _mm_xor_si128(load(&blocks[3]), k0),
+        ];
+        for rk in &round_keys[1..NR] {
+            let k = load(rk);
+            b = [
+                _mm_aesenc_si128(b[0], k),
+                _mm_aesenc_si128(b[1], k),
+                _mm_aesenc_si128(b[2], k),
+                _mm_aesenc_si128(b[3], k),
+            ];
+        }
+        let k = load(&round_keys[NR]);
+        [
+            store(_mm_aesenclast_si128(b[0], k)),
+            store(_mm_aesenclast_si128(b[1], k)),
+            store(_mm_aesenclast_si128(b[2], k)),
+            store(_mm_aesenclast_si128(b[3], k)),
+        ]
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AES-NI (see [`super::aesni_available`]).
+    /// `dec_round_keys` must be the equivalent-inverse schedule
+    /// (InvMixColumns applied to the interior round keys) that `aesdec`
+    /// consumes.
+    #[target_feature(enable = "aes")]
+    pub(super) unsafe fn decrypt_block(
+        dec_round_keys: &[[u8; 16]; NR + 1],
+        block: &[u8; 16],
+    ) -> [u8; 16] {
+        let mut b = _mm_xor_si128(load(block), load(&dec_round_keys[0]));
+        for rk in &dec_round_keys[1..NR] {
+            b = _mm_aesdec_si128(b, load(rk));
+        }
+        store(_mm_aesdeclast_si128(b, load(&dec_round_keys[NR])))
+    }
+}
+
 /// An AES-128 cipher with a pre-expanded key schedule.
+///
+/// `new` pre-expands the byte-wise round keys (shared by both paths),
+/// packs them into column words for the T-table encryptor, and applies
+/// InvMixColumns to rounds 1..NR-1 for the equivalent-inverse decryptor.
 #[derive(Clone)]
 pub struct Aes128 {
     round_keys: [[u8; 16]; NR + 1],
+    // Byte-wise equivalent-inverse schedule (what `aesdec` consumes);
+    // `dec_keys` is the same schedule packed into column words.
+    dec_round_keys: [[u8; 16]; NR + 1],
+    enc_keys: [[u32; 4]; NR + 1],
+    dec_keys: [[u32; 4]; NR + 1],
+    use_ni: bool,
 }
 
 impl std::fmt::Debug for Aes128 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str("Aes128(..)")
     }
+}
+
+#[inline]
+fn pack_words(rk: &[u8; 16]) -> [u32; 4] {
+    core::array::from_fn(|c| {
+        u32::from_le_bytes(rk[4 * c..4 * c + 4].try_into().expect("4 bytes"))
+    })
 }
 
 impl Aes128 {
@@ -110,11 +362,154 @@ impl Aes128 {
                 rk[4 * c..4 * c + 4].copy_from_slice(&w[r * NB + c]);
             }
         }
-        Self { round_keys }
+        let enc_keys = core::array::from_fn(|r| pack_words(&round_keys[r]));
+        // Equivalent inverse cipher: dec round r uses round key NR - r,
+        // passed through InvMixColumns for the interior rounds.
+        let mut dec_round_keys = [[0u8; 16]; NR + 1];
+        for (r, rk) in dec_round_keys.iter_mut().enumerate() {
+            *rk = round_keys[NR - r];
+            if r != 0 && r != NR {
+                inv_mix_columns(rk);
+            }
+        }
+        let dec_keys = core::array::from_fn(|r| pack_words(&dec_round_keys[r]));
+        Self {
+            round_keys,
+            dec_round_keys,
+            enc_keys,
+            dec_keys,
+            use_ni: aesni_available(),
+        }
     }
 
-    /// Encrypts one 16-byte block.
+    /// Encrypts one 16-byte block on the fastest available path.
     pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_ni {
+            // SAFETY: `use_ni` is set only after the CPUID probe in
+            // `aesni_available` confirmed the AES extension.
+            return unsafe { ni::encrypt_block(&self.round_keys, block) };
+        }
+        self.encrypt_block_table(block)
+    }
+
+    /// Decrypts one 16-byte block on the fastest available path.
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_ni {
+            // SAFETY: as in `encrypt_block`.
+            return unsafe { ni::decrypt_block(&self.dec_round_keys, block) };
+        }
+        self.decrypt_block_table(block)
+    }
+
+    /// Encrypts four independent blocks — the shape of a 64-byte CTR
+    /// pad. The hardware path interleaves them so the pipelined AES
+    /// units overlap the rounds of all four blocks.
+    pub fn encrypt_blocks4(&self, blocks: &[[u8; 16]; 4]) -> [[u8; 16]; 4] {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_ni {
+            // SAFETY: as in `encrypt_block`.
+            return unsafe { ni::encrypt_blocks4(&self.round_keys, blocks) };
+        }
+        core::array::from_fn(|i| self.encrypt_block_table(&blocks[i]))
+    }
+
+    /// Forces the portable T-table path regardless of CPU features, so
+    /// tests can pin hardware output against the software paths.
+    #[cfg(test)]
+    fn force_software(mut self) -> Self {
+        self.use_ni = false;
+        self
+    }
+
+    /// Encrypts one 16-byte block (portable T-table path).
+    pub fn encrypt_block_table(&self, block: &[u8; 16]) -> [u8; 16] {
+        let rk = &self.enc_keys;
+        let mut c: [u32; 4] = core::array::from_fn(|i| {
+            u32::from_le_bytes(block[4 * i..4 * i + 4].try_into().expect("4 bytes")) ^ rk[0][i]
+        });
+        for k in &rk[1..NR] {
+            c = [
+                TE0[(c[0] & 0xff) as usize]
+                    ^ TE1[((c[1] >> 8) & 0xff) as usize]
+                    ^ TE2[((c[2] >> 16) & 0xff) as usize]
+                    ^ TE3[(c[3] >> 24) as usize]
+                    ^ k[0],
+                TE0[(c[1] & 0xff) as usize]
+                    ^ TE1[((c[2] >> 8) & 0xff) as usize]
+                    ^ TE2[((c[3] >> 16) & 0xff) as usize]
+                    ^ TE3[(c[0] >> 24) as usize]
+                    ^ k[1],
+                TE0[(c[2] & 0xff) as usize]
+                    ^ TE1[((c[3] >> 8) & 0xff) as usize]
+                    ^ TE2[((c[0] >> 16) & 0xff) as usize]
+                    ^ TE3[(c[1] >> 24) as usize]
+                    ^ k[2],
+                TE0[(c[3] & 0xff) as usize]
+                    ^ TE1[((c[0] >> 8) & 0xff) as usize]
+                    ^ TE2[((c[1] >> 16) & 0xff) as usize]
+                    ^ TE3[(c[2] >> 24) as usize]
+                    ^ k[3],
+            ];
+        }
+        // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+        let k = &rk[NR];
+        let out: [u32; 4] = [
+            sub_word_shifted(c[0], c[1], c[2], c[3]) ^ k[0],
+            sub_word_shifted(c[1], c[2], c[3], c[0]) ^ k[1],
+            sub_word_shifted(c[2], c[3], c[0], c[1]) ^ k[2],
+            sub_word_shifted(c[3], c[0], c[1], c[2]) ^ k[3],
+        ];
+        words_to_bytes(&out)
+    }
+
+    /// Decrypts one 16-byte block (portable T-table path, equivalent
+    /// inverse cipher).
+    pub fn decrypt_block_table(&self, block: &[u8; 16]) -> [u8; 16] {
+        let rk = &self.dec_keys;
+        let mut c: [u32; 4] = core::array::from_fn(|i| {
+            u32::from_le_bytes(block[4 * i..4 * i + 4].try_into().expect("4 bytes")) ^ rk[0][i]
+        });
+        for k in &rk[1..NR] {
+            c = [
+                TD0[(c[0] & 0xff) as usize]
+                    ^ TD1[((c[3] >> 8) & 0xff) as usize]
+                    ^ TD2[((c[2] >> 16) & 0xff) as usize]
+                    ^ TD3[(c[1] >> 24) as usize]
+                    ^ k[0],
+                TD0[(c[1] & 0xff) as usize]
+                    ^ TD1[((c[0] >> 8) & 0xff) as usize]
+                    ^ TD2[((c[3] >> 16) & 0xff) as usize]
+                    ^ TD3[(c[2] >> 24) as usize]
+                    ^ k[1],
+                TD0[(c[2] & 0xff) as usize]
+                    ^ TD1[((c[1] >> 8) & 0xff) as usize]
+                    ^ TD2[((c[0] >> 16) & 0xff) as usize]
+                    ^ TD3[(c[3] >> 24) as usize]
+                    ^ k[2],
+                TD0[(c[3] & 0xff) as usize]
+                    ^ TD1[((c[2] >> 8) & 0xff) as usize]
+                    ^ TD2[((c[1] >> 16) & 0xff) as usize]
+                    ^ TD3[(c[0] >> 24) as usize]
+                    ^ k[3],
+            ];
+        }
+        // Final round: InvSubBytes + InvShiftRows + AddRoundKey.
+        let k = &rk[NR];
+        let out: [u32; 4] = [
+            inv_sub_word_shifted(c[0], c[3], c[2], c[1]) ^ k[0],
+            inv_sub_word_shifted(c[1], c[0], c[3], c[2]) ^ k[1],
+            inv_sub_word_shifted(c[2], c[1], c[0], c[3]) ^ k[2],
+            inv_sub_word_shifted(c[3], c[2], c[1], c[0]) ^ k[3],
+        ];
+        words_to_bytes(&out)
+    }
+
+    /// Encrypts one block with the original byte-oriented FIPS-197
+    /// transcription. Bit-identical to [`Aes128::encrypt_block`]; kept as
+    /// the equivalence/benchmark reference.
+    pub fn encrypt_block_reference(&self, block: &[u8; 16]) -> [u8; 16] {
         let mut state = *block;
         add_round_key(&mut state, &self.round_keys[0]);
         for round in 1..NR {
@@ -129,8 +524,9 @@ impl Aes128 {
         state
     }
 
-    /// Decrypts one 16-byte block.
-    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+    /// Decrypts one block with the byte-oriented reference path
+    /// (bit-identical to [`Aes128::decrypt_block`]).
+    pub fn decrypt_block_reference(&self, block: &[u8; 16]) -> [u8; 16] {
         let mut state = *block;
         add_round_key(&mut state, &self.round_keys[NR]);
         for round in (1..NR).rev() {
@@ -144,6 +540,33 @@ impl Aes128 {
         add_round_key(&mut state, &self.round_keys[0]);
         state
     }
+}
+
+/// Final-round helper: assembles an output column from the shifted-row
+/// source columns `(a, b, c, d)` = rows 0..3 through the S-box.
+#[inline]
+fn sub_word_shifted(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    (SBOX[(a & 0xff) as usize] as u32)
+        | ((SBOX[((b >> 8) & 0xff) as usize] as u32) << 8)
+        | ((SBOX[((c >> 16) & 0xff) as usize] as u32) << 16)
+        | ((SBOX[(d >> 24) as usize] as u32) << 24)
+}
+
+#[inline]
+fn inv_sub_word_shifted(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    (INV_SBOX[(a & 0xff) as usize] as u32)
+        | ((INV_SBOX[((b >> 8) & 0xff) as usize] as u32) << 8)
+        | ((INV_SBOX[((c >> 16) & 0xff) as usize] as u32) << 16)
+        | ((INV_SBOX[(d >> 24) as usize] as u32) << 24)
+}
+
+#[inline]
+fn words_to_bytes(words: &[u32; 4]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    for (c, w) in words.iter().enumerate() {
+        out[4 * c..4 * c + 4].copy_from_slice(&w.to_le_bytes());
+    }
+    out
 }
 
 // State layout: state[4*c + r] = byte at row r, column c (column-major as in
@@ -208,14 +631,10 @@ fn inv_mix_columns(state: &mut [u8; 16]) {
             state[4 * c + 2],
             state[4 * c + 3],
         ];
-        state[4 * c] =
-            gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
-        state[4 * c + 1] =
-            gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
-        state[4 * c + 2] =
-            gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
-        state[4 * c + 3] =
-            gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
+        state[4 * c] = mul14(col[0]) ^ mul11(col[1]) ^ mul13(col[2]) ^ mul9(col[3]);
+        state[4 * c + 1] = mul9(col[0]) ^ mul14(col[1]) ^ mul11(col[2]) ^ mul13(col[3]);
+        state[4 * c + 2] = mul13(col[0]) ^ mul9(col[1]) ^ mul14(col[2]) ^ mul11(col[3]);
+        state[4 * c + 3] = mul11(col[0]) ^ mul13(col[1]) ^ mul9(col[2]) ^ mul14(col[3]);
     }
 }
 
@@ -252,6 +671,15 @@ mod tests {
     }
 
     #[test]
+    fn fips197_vectors_on_reference_path() {
+        let cipher = Aes128::new(hex16("000102030405060708090a0b0c0d0e0f"));
+        let pt = hex16("00112233445566778899aabbccddeeff");
+        let ct = cipher.encrypt_block_reference(&pt);
+        assert_eq!(ct, hex16("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        assert_eq!(cipher.decrypt_block_reference(&ct), pt);
+    }
+
+    #[test]
     fn nist_sp800_38a_ecb_vectors() {
         // SP 800-38A F.1.1 ECB-AES128.Encrypt, all four blocks.
         let cipher = Aes128::new(hex16("2b7e151628aed2a6abf7158809cf4f3c"));
@@ -275,6 +703,65 @@ mod tests {
         ];
         for (pt, ct) in cases {
             assert_eq!(cipher.encrypt_block(&hex16(pt)), hex16(ct));
+        }
+    }
+
+    #[test]
+    fn ttable_matches_reference_on_random_blocks() {
+        // Equivalence proof: the dispatched path (hardware where the CPU
+        // has it), the T-table path, and the byte-oriented reference must
+        // agree bit-for-bit — both directions, chained blocks so
+        // differences propagate.
+        let mut key = [0x9cu8; 16];
+        for trial in 0..32u8 {
+            key[0] = trial.wrapping_mul(41);
+            key[7] ^= trial;
+            let cipher = Aes128::new(key);
+            let mut block: [u8; 16] = core::array::from_fn(|i| (i as u8) ^ trial);
+            for _ in 0..64 {
+                let fast = cipher.encrypt_block(&block);
+                assert_eq!(fast, cipher.encrypt_block_table(&block));
+                assert_eq!(fast, cipher.encrypt_block_reference(&block));
+                assert_eq!(
+                    cipher.decrypt_block(&fast),
+                    cipher.decrypt_block_reference(&fast)
+                );
+                assert_eq!(cipher.decrypt_block(&fast), cipher.decrypt_block_table(&fast));
+                assert_eq!(cipher.decrypt_block(&fast), block);
+                block = fast;
+            }
+        }
+    }
+
+    #[test]
+    fn four_block_batch_matches_single_blocks_on_all_paths() {
+        let cipher = Aes128::new([0x5d; 16]);
+        let soft = cipher.clone().force_software();
+        for trial in 0..16u8 {
+            let blocks: [[u8; 16]; 4] = core::array::from_fn(|c| {
+                core::array::from_fn(|i| (i as u8).wrapping_mul(29) ^ trial ^ (c as u8) << 6)
+            });
+            let batched = cipher.encrypt_blocks4(&blocks);
+            for (c, b) in blocks.iter().enumerate() {
+                assert_eq!(batched[c], cipher.encrypt_block(b));
+                assert_eq!(batched[c], cipher.encrypt_block_reference(b));
+            }
+            // The forced-software cipher must produce the same bits the
+            // dispatched (possibly hardware) cipher does.
+            assert_eq!(soft.encrypt_blocks4(&blocks), batched);
+        }
+    }
+
+    #[test]
+    fn forced_software_matches_dispatched_paths() {
+        let cipher = Aes128::new([0xa1; 16]);
+        let soft = cipher.clone().force_software();
+        let mut block = [0x11u8; 16];
+        for _ in 0..32 {
+            let ct = cipher.encrypt_block(&block);
+            assert_eq!(ct, soft.encrypt_block(&block));
+            assert_eq!(soft.decrypt_block(&ct), block);
+            block = ct;
         }
     }
 
@@ -304,6 +791,40 @@ mod tests {
         assert_eq!(gmul(0x57, 0x13), 0xfe);
         assert_eq!(gmul(1, 0xab), 0xab);
         assert_eq!(gmul(0, 0xff), 0);
+    }
+
+    #[test]
+    fn xtime_chains_match_gmul() {
+        for x in 0..=255u8 {
+            assert_eq!(mul9(x), gmul(x, 0x09), "x={x:#x}");
+            assert_eq!(mul11(x), gmul(x, 0x0b), "x={x:#x}");
+            assert_eq!(mul13(x), gmul(x, 0x0d), "x={x:#x}");
+            assert_eq!(mul14(x), gmul(x, 0x0e), "x={x:#x}");
+        }
+    }
+
+    #[test]
+    fn te_td_tables_match_first_principles() {
+        for x in 0..=255usize {
+            let s = SBOX[x];
+            let expect_te = (gmul(s, 2) as u32)
+                | ((s as u32) << 8)
+                | ((s as u32) << 16)
+                | ((gmul(s, 3) as u32) << 24);
+            assert_eq!(TE0[x], expect_te);
+            assert_eq!(TE1[x], expect_te.rotate_left(8));
+            assert_eq!(TE2[x], expect_te.rotate_left(16));
+            assert_eq!(TE3[x], expect_te.rotate_left(24));
+            let u = INV_SBOX[x];
+            let expect_td = (gmul(u, 14) as u32)
+                | ((gmul(u, 9) as u32) << 8)
+                | ((gmul(u, 13) as u32) << 16)
+                | ((gmul(u, 11) as u32) << 24);
+            assert_eq!(TD0[x], expect_td);
+            assert_eq!(TD1[x], expect_td.rotate_left(8));
+            assert_eq!(TD2[x], expect_td.rotate_left(16));
+            assert_eq!(TD3[x], expect_td.rotate_left(24));
+        }
     }
 
     #[test]

@@ -24,11 +24,15 @@
 
 use crate::aes::Aes128;
 
-/// Multiplies two 128-bit blocks in GHASH's GF(2^128).
+// Bit-reflected convention of SP 800-38D: bit 0 is the x^0
+// coefficient when blocks are read MSB-first; R = 0xe1 || 0^120.
+const R: u128 = 0xe100_0000_0000_0000_0000_0000_0000_0000;
+
+/// Multiplies two 128-bit blocks in GHASH's GF(2^128), one bit at a time.
+///
+/// This is the first-principles reference; the GHASH hot path uses the
+/// Shoup 4-bit table method ([`AesGcm::gf128_mul_h`]) built from it.
 fn gf128_mul(x: u128, y: u128) -> u128 {
-    // Bit-reflected convention of SP 800-38D: bit 0 is the x^0
-    // coefficient when blocks are read MSB-first; R = 0xe1 || 0^120.
-    const R: u128 = 0xe100_0000_0000_0000_0000_0000_0000_0000;
     let mut z: u128 = 0;
     let mut v = y;
     for i in (0..128).rev() {
@@ -44,6 +48,36 @@ fn gf128_mul(x: u128, y: u128) -> u128 {
     z
 }
 
+/// Multiplies by the field generator α (a one-bit right shift with
+/// reduction, in the reflected convention).
+const fn mul_alpha(v: u128) -> u128 {
+    let shifted = v >> 1;
+    if v & 1 == 1 {
+        shifted ^ R
+    } else {
+        shifted
+    }
+}
+
+/// Reduction table for the Shoup 4-bit GHASH method: `RED[n] = n · α^4`
+/// for the four low-order bits `n` that a 4-bit shift pushes out. Key
+/// independent, so built at compile time.
+static RED: [u128; 16] = {
+    let mut table = [0u128; 16];
+    let mut n = 0;
+    while n < 16 {
+        let mut v = n as u128;
+        let mut step = 0;
+        while step < 4 {
+            v = mul_alpha(v);
+            step += 1;
+        }
+        table[n] = v;
+        n += 1;
+    }
+    table
+};
+
 fn block_to_u128(b: &[u8]) -> u128 {
     let mut buf = [0u8; 16];
     buf[..b.len()].copy_from_slice(b);
@@ -54,7 +88,15 @@ fn block_to_u128(b: &[u8]) -> u128 {
 #[derive(Clone, Debug)]
 pub struct AesGcm {
     aes: Aes128,
-    h: u128, // hash subkey E_K(0)
+    // Hash subkey E_K(0). The hot path only reads the derived `ht`
+    // table; the raw subkey is kept for the table-vs-reference
+    // equivalence tests.
+    #[cfg_attr(not(test), allow(dead_code))]
+    h: u128,
+    // Shoup table: ht[n] = (n << 124) · H, one entry per 4-bit nibble
+    // value. Built once per key; every GHASH block is then 32 table
+    // lookups instead of a 128-iteration branchy loop.
+    ht: [u128; 16],
 }
 
 impl AesGcm {
@@ -62,19 +104,36 @@ impl AesGcm {
     pub fn new(key: [u8; 16]) -> Self {
         let aes = Aes128::new(key);
         let h = u128::from_be_bytes(aes.encrypt_block(&[0u8; 16]));
-        Self { aes, h }
+        let ht = core::array::from_fn(|n| gf128_mul((n as u128) << 124, h));
+        Self { aes, h, ht }
+    }
+
+    /// Multiplies `x` by the hash subkey `H` using the 4-bit table method
+    /// (bit-identical to `gf128_mul(x, self.h)`). Processes `x` lowest
+    /// nibble first; each step multiplies the accumulator by α^4 via the
+    /// compile-time [`RED`] table and folds in the next nibble's
+    /// precomputed product.
+    fn gf128_mul_h(&self, x: u128) -> u128 {
+        let mut z: u128 = 0;
+        let mut x = x;
+        for _ in 0..32 {
+            z = (z >> 4) ^ RED[(z & 0xf) as usize];
+            z ^= self.ht[(x & 0xf) as usize];
+            x >>= 4;
+        }
+        z
     }
 
     fn ghash(&self, aad: &[u8], ct: &[u8]) -> u128 {
         let mut y: u128 = 0;
         for chunk in aad.chunks(16) {
-            y = gf128_mul(y ^ block_to_u128(chunk), self.h);
+            y = self.gf128_mul_h(y ^ block_to_u128(chunk));
         }
         for chunk in ct.chunks(16) {
-            y = gf128_mul(y ^ block_to_u128(chunk), self.h);
+            y = self.gf128_mul_h(y ^ block_to_u128(chunk));
         }
         let lengths = ((aad.len() as u128 * 8) << 64) | (ct.len() as u128 * 8);
-        gf128_mul(y ^ lengths, self.h)
+        self.gf128_mul_h(y ^ lengths)
     }
 
     fn counter_block(nonce: &[u8; 12], counter: u32) -> [u8; 16] {
@@ -233,6 +292,39 @@ mod tests {
         assert_ne!(t, gcm.line_tag(128, &line, 7));
         assert_ne!(t, gcm.line_tag(64, &line, 8));
         assert_eq!(t, gcm.line_tag(64, &line, 7));
+    }
+
+    #[test]
+    fn table_ghash_matches_bitwise_reference() {
+        // Equivalence proof: the Shoup 4-bit path must equal the bitwise
+        // gf128_mul for the instance's H on structured and pseudo-random
+        // operands.
+        let gcm = AesGcm::new([0x42u8; 16]);
+        let mut x = 0x0123_4567_89ab_cdef_0011_2233_4455_6677u128;
+        for i in 0..200u32 {
+            assert_eq!(gcm.gf128_mul_h(x), gf128_mul(x, gcm.h), "iter {i}");
+            // xorshift-style scramble to vary every nibble.
+            x ^= x << 13;
+            x ^= x >> 61;
+            x = x.wrapping_mul(0x2545_f491_4f6c_dd1d_0123_4567_89ab_cdefu128) ^ i as u128;
+        }
+        for x in [0u128, 1, 1 << 127, u128::MAX, R] {
+            assert_eq!(gcm.gf128_mul_h(x), gf128_mul(x, gcm.h));
+        }
+    }
+
+    #[test]
+    fn red_table_matches_alpha_powers() {
+        for n in 0..16u128 {
+            let mut v = n;
+            for _ in 0..4 {
+                v = mul_alpha(v);
+            }
+            assert_eq!(RED[n as usize], v);
+            // And against the bitwise multiply: α^4 is (1 << 123) in the
+            // reflected convention (bit 127 is α^0).
+            assert_eq!(RED[n as usize], gf128_mul(n, 1u128 << 123));
+        }
     }
 
     #[test]

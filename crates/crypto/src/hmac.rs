@@ -27,10 +27,17 @@ pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
 ///
 /// Useful when a MAC covers several discontiguous fields (address, payload,
 /// binding counter) without concatenating them into a scratch buffer.
+///
+/// Both the inner (`key ^ ipad`) and outer (`key ^ opad`) block are
+/// compressed eagerly in [`HmacSha256::new`], so the struct holds two
+/// SHA-256 **midstates**. Cloning a keyed instance therefore restarts a
+/// MAC without redoing either key compression — [`crate::mac::MacEngine`]
+/// relies on this to amortize the key schedule across millions of
+/// per-line tags.
 #[derive(Clone, Debug)]
 pub struct HmacSha256 {
     inner: Sha256,
-    opad_key: [u8; BLOCK],
+    outer: Sha256,
 }
 
 impl HmacSha256 {
@@ -50,7 +57,9 @@ impl HmacSha256 {
         }
         let mut inner = Sha256::new();
         inner.update(&ipad_key);
-        Self { inner, opad_key }
+        let mut outer = Sha256::new();
+        outer.update(&opad_key);
+        Self { inner, outer }
     }
 
     /// Feeds more message bytes.
@@ -61,8 +70,7 @@ impl HmacSha256 {
     /// Completes the computation and returns the 32-byte tag.
     pub fn finalize(self) -> [u8; 32] {
         let inner_digest = self.inner.finalize();
-        let mut outer = Sha256::new();
-        outer.update(&self.opad_key);
+        let mut outer = self.outer;
         outer.update(&inner_digest);
         outer.finalize()
     }

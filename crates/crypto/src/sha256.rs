@@ -89,13 +89,25 @@ impl Sha256 {
     }
 
     /// Completes the hash and returns the 32-byte digest.
+    ///
+    /// Padding is written directly into the block buffer (one or two
+    /// compressions, depending on where the length words land) instead of
+    /// dribbling zero bytes through `update` one at a time — for the
+    /// fixed-size MAC inputs in this codebase the whole padded tail is a
+    /// single pre-laid-out compression.
     pub fn finalize(mut self) -> [u8; 32] {
         let bit_len = self.total_len.wrapping_mul(8);
-        self.update(&[0x80]);
-        while self.buffer_len != 56 {
-            self.update(&[0]);
+        self.buffer[self.buffer_len] = 0x80;
+        if self.buffer_len >= 56 {
+            // No room for the length words: pad this block out and
+            // compress, then the length goes in an all-padding block.
+            self.buffer[self.buffer_len + 1..].fill(0);
+            let block = self.buffer;
+            self.compress(&block);
+            self.buffer = [0u8; 64];
+        } else {
+            self.buffer[self.buffer_len + 1..56].fill(0);
         }
-        // Manual length append: bypass update's total_len bookkeeping.
         self.buffer[56..64].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buffer;
         self.compress(&block);

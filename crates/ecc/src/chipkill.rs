@@ -178,14 +178,17 @@ impl LineCodec for ChipkillCodec {
     }
 
     fn encode_line(&self, line: &[u8; 64]) -> Vec<u8> {
-        let mut stored = Vec::with_capacity(self.codeword_bytes());
+        // One stored buffer for the whole line; each beat encodes in
+        // place into its slice (no per-beat codeword allocation).
+        let mut stored = vec![0u8; self.codeword_bytes()];
         for beat in 0..self.beats {
             let data = &line[beat * self.data_chips..(beat + 1) * self.data_chips];
-            let cw = self
-                .rs
-                .encode(data)
+            self.rs
+                .encode_into(
+                    data,
+                    &mut stored[beat * self.total_chips..(beat + 1) * self.total_chips],
+                )
                 .expect("encode length is k by construction");
-            stored.extend_from_slice(&cw);
         }
         stored
     }

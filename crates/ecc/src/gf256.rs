@@ -2,7 +2,11 @@
 //! `x^8 + x^4 + x^3 + x^2 + 1` (0x11d) and generator α = 0x02.
 //!
 //! This is the field underlying the Reed–Solomon codes in [`crate::rs`].
-//! Log/antilog tables are built at first use.
+//! Log/antilog tables are built at **compile time** — every `mul`/`div`
+//! is a fused pair of table lookups (the [`EXP`] table is doubled to 512
+//! entries so `exp[log a + log b]` needs no mod-255 reduction and no
+//! branch-per-bit loop), and the tables are plain `static` data with no
+//! lazy-init check on the hot path.
 //!
 //! # Example
 //!
@@ -15,35 +19,62 @@
 //! ```
 
 use std::ops::{Add, Div, Mul, Sub};
-use std::sync::OnceLock;
 
 const POLY: u16 = 0x11d;
 
-struct Tables {
-    exp: [u8; 512], // doubled so exp[i + j] works without modular reduction
-    log: [u8; 256],
-}
+/// Antilog table: `EXP[i] = α^i`, doubled so `EXP[log a + log b]` works
+/// without a mod-255 reduction. `pub(crate)` so the Reed–Solomon hot
+/// loops can run Horner's rule directly in the log domain.
+pub(crate) static EXP: [u8; 512] = {
+    let mut exp = [0u8; 512];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    while i < 512 {
+        exp[i] = exp[i - 255];
+        i += 1;
+    }
+    exp
+};
 
-fn tables() -> &'static Tables {
-    static TABLES: OnceLock<Tables> = OnceLock::new();
-    TABLES.get_or_init(|| {
-        let mut exp = [0u8; 512];
-        let mut log = [0u8; 256];
-        let mut x: u16 = 1;
-        for (i, e) in exp.iter_mut().enumerate().take(255) {
-            *e = x as u8;
-            log[x as usize] = i as u8;
-            x <<= 1;
-            if x & 0x100 != 0 {
-                x ^= POLY;
-            }
+/// Log table: `LOG[α^i] = i` for nonzero bytes (`LOG[0]` is unused, 0).
+pub(crate) static LOG: [u8; 256] = {
+    let mut log = [0u8; 256];
+    let mut i = 0;
+    while i < 255 {
+        log[EXP[i] as usize] = i as u8;
+        i += 1;
+    }
+    log
+};
+
+/// Multiply-by-constant tables: `ALPHA_MUL[p][x] = x · α^p`, one
+/// 256-byte row per power of the generator (64 KiB total, compile-time
+/// built). A syndrome scan becomes one table load and one XOR per
+/// codeword byte with **no loop-carried multiply** — the accumulations
+/// are independent, so the CPU overlaps them instead of serializing a
+/// log/antilog chain.
+pub(crate) static ALPHA_MUL: [[u8; 256]; 255] = {
+    let mut t = [[0u8; 256]; 255];
+    let mut p = 0;
+    while p < 255 {
+        let mut x = 1;
+        while x < 256 {
+            // LOG[x] + p <= 254 + 254, inside the doubled EXP table.
+            t[p][x] = EXP[LOG[x] as usize + p];
+            x += 1;
         }
-        for i in 255..512 {
-            exp[i] = exp[i - 255];
-        }
-        Tables { exp, log }
-    })
-}
+        p += 1;
+    }
+    t
+};
 
 /// An element of GF(2^8).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -69,7 +100,7 @@ impl Gf256 {
 
     /// Returns α^`power` (power taken mod 255).
     pub fn alpha_pow(power: usize) -> Self {
-        Gf256(tables().exp[power % 255])
+        Gf256(EXP[power % 255])
     }
 
     /// Returns the multiplicative inverse.
@@ -79,8 +110,7 @@ impl Gf256 {
     /// Panics if `self` is zero, which has no inverse.
     pub fn inverse(self) -> Self {
         assert!(self.0 != 0, "zero has no multiplicative inverse in GF(256)");
-        let t = tables();
-        Gf256(t.exp[255 - t.log[self.0 as usize] as usize])
+        Gf256(EXP[255 - LOG[self.0 as usize] as usize])
     }
 
     /// Returns `self` raised to `power`.
@@ -88,9 +118,8 @@ impl Gf256 {
         if self.0 == 0 {
             return if power == 0 { Gf256::ONE } else { Gf256::ZERO };
         }
-        let t = tables();
-        let log = t.log[self.0 as usize] as usize;
-        Gf256(t.exp[(log * power) % 255])
+        let log = LOG[self.0 as usize] as usize;
+        Gf256(EXP[(log * power) % 255])
     }
 
     /// Returns the discrete log base α, or `None` for zero.
@@ -98,7 +127,7 @@ impl Gf256 {
         if self.0 == 0 {
             None
         } else {
-            Some(tables().log[self.0 as usize])
+            Some(LOG[self.0 as usize])
         }
     }
 
@@ -145,8 +174,7 @@ impl Mul for Gf256 {
         if self.0 == 0 || rhs.0 == 0 {
             return Gf256::ZERO;
         }
-        let t = tables();
-        Gf256(t.exp[t.log[self.0 as usize] as usize + t.log[rhs.0 as usize] as usize])
+        Gf256(EXP[LOG[self.0 as usize] as usize + LOG[rhs.0 as usize] as usize])
     }
 }
 
@@ -157,7 +185,13 @@ impl Div for Gf256 {
     /// Panics on division by zero.
     #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Gf256) -> Gf256 {
-        self * rhs.inverse()
+        assert!(rhs.0 != 0, "division by zero in GF(256)");
+        if self.0 == 0 {
+            return Gf256::ZERO;
+        }
+        // Fused quotient: exp[255 + log a - log b], one lookup instead of
+        // a separate inverse + multiply.
+        Gf256(EXP[255 + LOG[self.0 as usize] as usize - LOG[rhs.0 as usize] as usize])
     }
 }
 

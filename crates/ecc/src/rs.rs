@@ -24,8 +24,12 @@
 //! # Ok::<(), soteria_ecc::rs::RsError>(())
 //! ```
 
-use crate::gf256::{poly_eval, poly_mul, Gf256};
+use crate::gf256::{poly_eval, poly_mul, Gf256, ALPHA_MUL, EXP, LOG};
 use crate::CorrectionOutcome;
+
+/// Sentinel in [`ReedSolomon::gen_log`] for a zero generator coefficient
+/// (zero has no discrete log).
+const ZERO_LOG: u16 = u16::MAX;
 
 /// Errors returned by [`ReedSolomon`] operations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,11 +70,25 @@ impl std::fmt::Display for RsError {
 impl std::error::Error for RsError {}
 
 /// A systematic Reed–Solomon encoder/decoder over GF(2^8).
+///
+/// The generator coefficients and syndrome evaluation run in the **log
+/// domain**: [`ReedSolomon::new`] precomputes the discrete logs of every
+/// generator coefficient, so the encoder's inner loop is one antilog
+/// lookup per coefficient (no per-symbol zero checks on the multiplier)
+/// and the syndrome scan is a branch-light Horner pass over the raw
+/// bytes.
 #[derive(Clone, Debug)]
 pub struct ReedSolomon {
     n: usize,
     k: usize,
-    generator: Vec<Gf256>, // lowest-degree-first, degree = n - k
+    // Discrete logs of the lowest-degree-first generator polynomial
+    // coefficients ([`ZERO_LOG`] for a zero coefficient).
+    gen_log: Vec<u16>,
+    // One multiply-by-constant table row per (syndrome, position):
+    // `syn_rows[(i-1)*n + j] = &ALPHA_MUL[(i·(n-1-j)) mod 255]`, so the
+    // syndrome scan is `acc ^= row[c]` — a `u8` index needs no bounds
+    // check and there is no loop-carried multiply.
+    syn_rows: Vec<&'static [u8; 256]>,
 }
 
 impl ReedSolomon {
@@ -88,7 +106,22 @@ impl ReedSolomon {
         for i in 1..=(n - k) {
             generator = poly_mul(&generator, &[Gf256::alpha_pow(i), Gf256::ONE]);
         }
-        Ok(Self { n, k, generator })
+        let gen_log = generator
+            .iter()
+            .map(|g| g.log().map_or(ZERO_LOG, u16::from))
+            .collect();
+        let mut syn_rows = Vec::with_capacity((n - k) * n);
+        for i in 1..=(n - k) {
+            for j in 0..n {
+                syn_rows.push(&ALPHA_MUL[(i * (n - 1 - j)) % 255]);
+            }
+        }
+        Ok(Self {
+            n,
+            k,
+            gen_log,
+            syn_rows,
+        })
     }
 
     /// Codeword length in symbols.
@@ -118,35 +151,121 @@ impl ReedSolomon {
     ///
     /// Returns [`RsError::LengthMismatch`] if `data.len() != k`.
     pub fn encode(&self, data: &[u8]) -> Result<Vec<u8>, RsError> {
+        let mut cw = vec![0u8; self.n];
+        self.encode_into(data, &mut cw)?;
+        Ok(cw)
+    }
+
+    /// Encodes `data` into a caller-provided codeword buffer of length
+    /// `n` (data symbols first, parity appended) without allocating —
+    /// the parity remainder is accumulated in place in `cw[k..]`.
+    /// [`crate::chipkill`] uses this to stripe four beats into one stored
+    /// buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::LengthMismatch`] if `data.len() != k` or
+    /// `cw.len() != n`.
+    pub fn encode_into(&self, data: &[u8], cw: &mut [u8]) -> Result<(), RsError> {
         if data.len() != self.k {
             return Err(RsError::LengthMismatch {
                 expected: self.k,
                 got: data.len(),
             });
         }
+        if cw.len() != self.n {
+            return Err(RsError::LengthMismatch {
+                expected: self.n,
+                got: cw.len(),
+            });
+        }
         // Systematic encoding: c(x) = m(x)*x^(2t) + (m(x)*x^(2t) mod g(x)).
         // Polynomial coefficient i corresponds to codeword position i
         // counted from the END (lowest degree = last parity symbol).
-        let parity_len = self.n - self.k;
-        let mut rem = vec![Gf256::ZERO; parity_len];
+        let (data_out, rem) = cw.split_at_mut(self.k);
+        data_out.copy_from_slice(data);
+        rem.fill(0);
+        let parity_len = rem.len();
         // Synthetic division of m(x) * x^(2t) by g(x), feeding data
-        // highest-degree-first (i.e. data[0] is the highest coefficient).
+        // highest-degree-first (data[0] is the highest coefficient). The
+        // feedback's log is taken once per data symbol; each coefficient
+        // multiply is then a single antilog lookup.
         for &d in data {
-            let feedback = Gf256::new(d) + rem[parity_len - 1];
-            for j in (1..parity_len).rev() {
-                rem[j] = rem[j - 1] + feedback * self.generator[j];
+            let feedback = d ^ rem[parity_len - 1];
+            if feedback == 0 {
+                rem.copy_within(0..parity_len - 1, 1);
+                rem[0] = 0;
+            } else {
+                let fl = LOG[feedback as usize] as usize;
+                for j in (1..parity_len).rev() {
+                    let g = self.gen_log[j];
+                    let term = if g == ZERO_LOG {
+                        0
+                    } else {
+                        EXP[fl + g as usize]
+                    };
+                    rem[j] = rem[j - 1] ^ term;
+                }
+                let g0 = self.gen_log[0];
+                rem[0] = if g0 == ZERO_LOG {
+                    0
+                } else {
+                    EXP[fl + g0 as usize]
+                };
             }
-            rem[0] = feedback * self.generator[0];
         }
-        let mut cw = Vec::with_capacity(self.n);
-        cw.extend_from_slice(data);
-        // rem is lowest-degree-first; codeword stores highest-degree-first.
-        cw.extend(rem.iter().rev().map(|g| g.value()));
-        Ok(cw)
+        // rem is lowest-degree-first; the codeword stores parity
+        // highest-degree-first.
+        rem.reverse();
+        Ok(())
     }
 
-    fn syndromes(&self, cw: &[u8]) -> Vec<Gf256> {
-        // Treat cw[0] as the highest-degree coefficient (degree n-1).
+    /// Computes the 2t syndromes `S_i = C(α^i)`, `i = 1..=n-k`, straight
+    /// over the raw codeword bytes: `S_i = Σ_j cw[j] · α^(i·deg(j))` with
+    /// each product a single [`ALPHA_MUL`] load through the row pointers
+    /// precomputed in [`ReedSolomon::new`]. Unlike a Horner scan there is
+    /// no loop-carried multiply — the per-byte lookups are independent and
+    /// only meet in an XOR — and because the table index is a `u8` the
+    /// inner loop has no bounds checks or exponent arithmetic at all.
+    pub fn syndromes(&self, cw: &[u8]) -> Vec<Gf256> {
+        if cw.len() != self.n {
+            // Off-geometry inputs (shortened/padded probes in tests) take
+            // the generic evaluator; the hot path is always full-length.
+            return self.syndromes_reference(cw);
+        }
+        let parity = self.n - self.k;
+        let mut out = vec![Gf256::ZERO; parity];
+        // Two syndrome rows per pass share the codeword loads and loop
+        // control; their accumulators are independent, so the lookups
+        // overlap in flight.
+        let mut row = 0;
+        while row + 1 < parity {
+            let r0 = &self.syn_rows[row * self.n..(row + 1) * self.n];
+            let r1 = &self.syn_rows[(row + 1) * self.n..(row + 2) * self.n];
+            let (mut a0, mut a1) = (0u8, 0u8);
+            for ((&c, t0), t1) in cw.iter().zip(r0).zip(r1) {
+                a0 ^= t0[c as usize];
+                a1 ^= t1[c as usize];
+            }
+            out[row] = Gf256::new(a0);
+            out[row + 1] = Gf256::new(a1);
+            row += 2;
+        }
+        if row < parity {
+            let rows = &self.syn_rows[row * self.n..(row + 1) * self.n];
+            let mut acc = 0u8;
+            for (&c, table) in cw.iter().zip(rows) {
+                acc ^= table[c as usize];
+            }
+            out[row] = Gf256::new(acc);
+        }
+        out
+    }
+
+    /// The original generic-polynomial syndrome computation (reversed
+    /// coefficient buffer + [`poly_eval`]), kept as the benchmark and
+    /// equivalence reference for [`ReedSolomon::syndromes`].
+    pub fn syndromes_reference(&self, cw: &[u8]) -> Vec<Gf256> {
         let coeffs: Vec<Gf256> = cw.iter().rev().map(|&b| Gf256::new(b)).collect();
         (1..=(self.n - self.k))
             .map(|i| poly_eval(&coeffs, Gf256::alpha_pow(i)))
@@ -518,6 +637,52 @@ mod tests {
             }
         }
         assert!(flagged >= total - 1, "flagged {flagged}/{total}");
+    }
+
+    #[test]
+    fn log_domain_syndromes_match_reference() {
+        // Equivalence proof for the Horner syndrome scan: identical to
+        // the generic poly_eval path on clean, corrupted, and
+        // pseudo-random words, for both code geometries in use.
+        for (n, k) in [(18usize, 16usize), (20, 16), (255, 223)] {
+            let rs = ReedSolomon::new(n, k).unwrap();
+            let data: Vec<u8> = (0..k).map(|i| (i * 89 + 7) as u8).collect();
+            let mut cw = rs.encode(&data).unwrap();
+            assert_eq!(rs.syndromes(&cw), rs.syndromes_reference(&cw));
+            for pos in [0, k / 2, n - 1] {
+                cw[pos] ^= 0x5f;
+                assert_eq!(
+                    rs.syndromes(&cw),
+                    rs.syndromes_reference(&cw),
+                    "n={n} k={k} pos={pos}"
+                );
+            }
+            let noise: Vec<u8> = (0..n).map(|i| (i * 151 + 13) as u8).collect();
+            assert_eq!(rs.syndromes(&noise), rs.syndromes_reference(&noise));
+        }
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_checks_lengths() {
+        let rs = ReedSolomon::new(18, 16).unwrap();
+        let data: Vec<u8> = (0..16u8).map(|i| i.wrapping_mul(201)).collect();
+        let mut cw = [0xffu8; 18];
+        rs.encode_into(&data, &mut cw).unwrap();
+        assert_eq!(cw.to_vec(), rs.encode(&data).unwrap());
+        assert_eq!(
+            rs.encode_into(&data, &mut [0u8; 17]),
+            Err(RsError::LengthMismatch {
+                expected: 18,
+                got: 17
+            })
+        );
+        assert_eq!(
+            rs.encode_into(&[0u8; 15], &mut cw),
+            Err(RsError::LengthMismatch {
+                expected: 16,
+                got: 15
+            })
+        );
     }
 
     #[test]

@@ -223,6 +223,21 @@ pub fn sample_fault_history(
     hours: f64,
 ) -> Vec<TimedFault> {
     let mut out = Vec::new();
+    sample_fault_history_into(rng, geometry, rates, hours, &mut out);
+    out
+}
+
+/// Draws one DIMM's fault history into a reused buffer (cleared first).
+/// The Monte Carlo loop calls this once per iteration, so reusing the
+/// vector's capacity removes the dominant per-iteration allocation.
+pub fn sample_fault_history_into(
+    rng: &mut StdRng,
+    geometry: &DimmGeometry,
+    rates: &FitRates,
+    hours: f64,
+    out: &mut Vec<TimedFault>,
+) {
+    out.clear();
     let mut push = |rng: &mut StdRng, record: FaultRecord| {
         let start_hours = rng.random::<f64>() * hours;
         out.push(TimedFault {
@@ -249,7 +264,6 @@ pub fn sample_fault_history(
         }
     }
     out.sort_by(|a, b| a.start_hours.total_cmp(&b.start_hours));
-    out
 }
 
 /// Draws a fault set with **exactly** `large_count` bank-scale-or-larger
@@ -378,58 +392,107 @@ pub const ITERATION_BLOCK: u64 = 64;
 
 /// Simulates one Monte Carlo iteration into `acc`.
 #[allow(clippy::too_many_arguments)]
+/// Per-worker scratch buffers reused across Monte Carlo iterations.
+///
+/// The campaign hot loop used to allocate a fresh fault history, a
+/// `Vec<Vec<FaultRecord>>` of co-active sets, a chip-dedup vector, and a
+/// per-policy worst-UDR vector on every iteration. Keeping those buffers
+/// alive per worker removes the steady-state allocation churn without
+/// changing the order of any floating-point accumulation.
+struct IterScratch {
+    history: Vec<TimedFault>,
+    live: Vec<FaultRecord>,
+    chips: Vec<u32>,
+    worst_udr: Vec<f64>,
+}
+
+impl IterScratch {
+    fn new(policies: usize) -> Self {
+        Self {
+            history: Vec::new(),
+            live: Vec::new(),
+            chips: Vec::new(),
+            worst_udr: vec![0.0; policies],
+        }
+    }
+}
+
+/// Everything an iteration reads but never writes — shared by all of a
+/// worker's iterations.
+struct WorkerCtx<'a> {
+    config: &'a CampaignConfig,
+    layout: &'a MemoryLayout,
+    geometry: &'a DimmGeometry,
+    rates: &'a FitRates,
+    model: &'a ResilienceModel<'a>,
+    policy_refs: &'a [&'a CloningPolicy],
+}
+
 fn simulate_iteration(
     rng: &mut StdRng,
-    config: &CampaignConfig,
-    layout: &MemoryLayout,
-    geometry: &DimmGeometry,
-    rates: &FitRates,
-    model: &ResilienceModel,
-    policy_refs: &[&CloningPolicy],
+    ctx: &WorkerCtx<'_>,
+    scratch: &mut IterScratch,
     acc: &mut Accumulator,
 ) {
-    let history = sample_fault_history(rng, geometry, rates, config.hours);
-    if history.is_empty() {
+    let WorkerCtx {
+        config,
+        layout,
+        geometry,
+        rates,
+        model,
+        policy_refs,
+    } = *ctx;
+    sample_fault_history_into(rng, geometry, rates, config.hours, &mut scratch.history);
+    if scratch.history.is_empty() {
         return;
     }
     acc.iterations_with_faults += 1;
+    let mut worst_error = 0.0f64;
+    scratch.worst_udr.fill(0.0);
+    let mut any_ue = false;
     // Without scrubbing every fault stays live to the end; with
     // scrubbing, evaluate the co-active set at each arrival instant and
     // keep the worst outcome (UE corruption is latched into the cells
-    // until repaired, so the worst co-active set bounds the loss).
-    let fault_sets: Vec<Vec<FaultRecord>> = match config.scrub_interval_hours {
-        None => {
-            vec![history.iter().map(|t| t.record.clone()).collect()]
-        }
-        Some(_) => history
-            .iter()
-            .map(|event| {
-                history
-                    .iter()
-                    .filter(|t| t.live_at(event.start_hours, config.scrub_interval_hours))
-                    .map(|t| t.record.clone())
-                    .collect()
-            })
-            .collect(),
+    // until repaired, so the worst co-active set bounds the loss). Each
+    // co-active set streams through the reused `live` buffer in the same
+    // order the old materialized Vec<Vec<_>> produced, so every max/sum
+    // below sees identical operands in identical order and results stay
+    // bit-identical across thread counts.
+    let set_count = match config.scrub_interval_hours {
+        None => 1,
+        Some(_) => scratch.history.len(),
     };
-    let mut worst_error = 0.0f64;
-    let mut worst_udr = vec![0.0f64; policy_refs.len()];
-    let mut any_ue = false;
-    for faults in &fault_sets {
+    for set_idx in 0..set_count {
+        scratch.live.clear();
+        match config.scrub_interval_hours {
+            None => scratch
+                .live
+                .extend(scratch.history.iter().map(|t| t.record.clone())),
+            Some(_) => {
+                let event_time = scratch.history[set_idx].start_hours;
+                scratch.live.extend(
+                    scratch
+                        .history
+                        .iter()
+                        .filter(|t| t.live_at(event_time, config.scrub_interval_hours))
+                        .map(|t| t.record.clone()),
+                );
+            }
+        }
         // Cheap pre-check: defeating an ECC that corrects k chips needs
         // more than k distinct faulty chips.
-        let mut chips: Vec<u32> = Vec::new();
-        for f in faults {
+        scratch.chips.clear();
+        for f in &scratch.live {
             for &c in &f.chips {
-                if !chips.contains(&c) {
-                    chips.push(c);
+                if !scratch.chips.contains(&c) {
+                    scratch.chips.push(c);
                 }
             }
         }
-        if chips.len() <= config.correctable_chips {
+        if scratch.chips.len() <= config.correctable_chips {
             continue;
         }
-        let assessments = model.assess_many(faults, policy_refs);
+        let assessments = model.assess_many(&scratch.live, policy_refs);
         for (i, a) in assessments.iter().enumerate() {
             if a.error_data_lines > 0 || a.unverifiable_data_lines > 0 {
                 any_ue = true;
@@ -437,11 +500,11 @@ fn simulate_iteration(
             if i == 0 {
                 worst_error = worst_error.max(a.error_ratio(layout.data_lines()));
             }
-            worst_udr[i] = worst_udr[i].max(a.udr(layout.data_lines()));
+            scratch.worst_udr[i] = scratch.worst_udr[i].max(a.udr(layout.data_lines()));
         }
     }
     acc.error_ratio_sum += worst_error;
-    for (i, &udr) in worst_udr.iter().enumerate() {
+    for (i, &udr) in scratch.worst_udr.iter().enumerate() {
         if udr > 0.0 {
             acc.per_policy_udr_sum[i] += udr;
             acc.per_policy_udr_hits[i] += 1;
@@ -472,6 +535,15 @@ pub fn run_campaign(config: &CampaignConfig, policies: &[CloningPolicy]) -> Vec<
             .with_correctable_chips(config.correctable_chips)
             .with_tree(config.tree);
         let policy_refs: Vec<&CloningPolicy> = policies.iter().collect();
+        let ctx = WorkerCtx {
+            config,
+            layout: &layout,
+            geometry: &geometry,
+            rates: &rates,
+            model: &model,
+            policy_refs: &policy_refs,
+        };
+        let mut scratch = IterScratch::new(policies.len());
         let mut out = Vec::new();
         let mut block = t as u64;
         while block < blocks {
@@ -480,16 +552,7 @@ pub fn run_campaign(config: &CampaignConfig, policies: &[CloningPolicy]) -> Vec<
             let mut acc = Accumulator::new(policies.len());
             for iter in lo..hi {
                 let mut rng = StdRng::seed_from_u64(stream_seed(config.seed, iter));
-                simulate_iteration(
-                    &mut rng,
-                    config,
-                    &layout,
-                    &geometry,
-                    &rates,
-                    &model,
-                    &policy_refs,
-                    &mut acc,
-                );
+                simulate_iteration(&mut rng, &ctx, &mut scratch, &mut acc);
             }
             out.push((block, acc));
             block += workers as u64;
@@ -539,6 +602,44 @@ mod tests {
         c.iterations = 500;
         c.threads = 2;
         c
+    }
+
+    /// Pinned outcome of one fixed campaign (seed, geometry, FIT all
+    /// frozen). Guards the whole sampling + assessment + merge pipeline
+    /// against silent behavioural drift: any change to the RNG stream,
+    /// fault sampling order, or accumulation order shows up here as a
+    /// hard failure. Integer fields are exact; f64 means allow a tiny
+    /// relative tolerance so a platform libm difference in the Poisson
+    /// sampler does not trip the pin.
+    #[test]
+    fn golden_seed_campaign_result_is_pinned() {
+        fn close(actual: f64, expected: f64) -> bool {
+            if expected == 0.0 {
+                return actual == 0.0;
+            }
+            ((actual - expected) / expected).abs() <= 1e-12
+        }
+        let mut c = small_config(1500.0);
+        c.iterations = 256;
+        c.threads = 3;
+        let r = run_campaign(&c, &[CloningPolicy::None, CloningPolicy::Aggressive]);
+        assert_eq!(r.len(), 2);
+
+        assert_eq!(r[0].policy, CloningPolicy::None);
+        assert_eq!(r[0].iterations, 256);
+        assert_eq!(r[0].iterations_with_faults, 157);
+        assert_eq!(r[0].iterations_with_ue, 4);
+        assert_eq!(r[0].iterations_with_udr, 4);
+        assert!(close(r[0].mean_error_ratio, 0.000_976_562_5), "{}", r[0].mean_error_ratio);
+        assert!(close(r[0].mean_udr, 0.000_976_562_5), "{}", r[0].mean_udr);
+
+        assert_eq!(r[1].policy, CloningPolicy::Aggressive);
+        assert_eq!(r[1].iterations, 256);
+        assert_eq!(r[1].iterations_with_faults, 157);
+        assert_eq!(r[1].iterations_with_ue, 4);
+        assert_eq!(r[1].iterations_with_udr, 0);
+        assert!(close(r[1].mean_error_ratio, 0.000_976_562_5), "{}", r[1].mean_error_ratio);
+        assert_eq!(r[1].mean_udr, 0.0);
     }
 
     #[test]

@@ -17,12 +17,15 @@
 //!   results come back in task order (deterministic reductions).
 //! * [`mod@bench`] — a wall-clock micro-benchmark harness (calibrated
 //!   batches, warmup, median/p95).
+//! * [`json`] — a minimal order-preserving JSON value, parser, and
+//!   writer for machine-readable artifacts (benchmark baselines).
 //!
 //! Policy: **no crate in this workspace may depend on anything outside
 //! the workspace.** CI builds with `--offline` against an empty registry
 //! cache, so a reintroduced external dependency fails the build.
 
 pub mod bench;
+pub mod json;
 pub mod prop;
 pub mod rng;
 pub mod thread;

@@ -17,6 +17,7 @@ use soteria_suite::soteria::{DataAddr, SecureMemoryConfig, SecureMemoryControlle
 use soteria_suite::soteria_crypto::ctr::CounterModeCipher;
 use soteria_suite::soteria_crypto::EncryptionKey;
 use soteria_suite::soteria_ecc::chipkill::{ChipkillCodec, LineCodec};
+use soteria_suite::soteria_ecc::gf256::Gf256;
 use soteria_suite::soteria_ecc::hamming::SecDed72;
 use soteria_suite::soteria_ecc::rs::ReedSolomon;
 use soteria_suite::soteria_ecc::CorrectionOutcome;
@@ -448,6 +449,46 @@ fn crash_recovery_preserves_all_writes() {
             prop_assert!(report.is_complete());
             for (line, data) in &reference {
                 prop_assert_eq!(memory.read(DataAddr::new(*line)).unwrap(), *data);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn gf256_table_mul_div_match_bitwise_reference() {
+    // The production Gf256 multiply/divide are fused exp/log table
+    // lookups; check them against a branch-per-bit carryless multiply in
+    // the same field (x^8 + x^4 + x^3 + x^2 + 1).
+    fn slow_mul(mut a: u16, mut b: u16) -> u8 {
+        let mut p: u16 = 0;
+        while b != 0 {
+            if b & 1 != 0 {
+                p ^= a;
+            }
+            a <<= 1;
+            if a & 0x100 != 0 {
+                a ^= 0x11d;
+            }
+            b >>= 1;
+        }
+        p as u8
+    }
+    check(
+        "gf256_table_mul_div_match_bitwise_reference",
+        &cfg(512),
+        &(any::<u8>(), any::<u8>()),
+        |&(a, b)| {
+            let prod = Gf256::new(a) * Gf256::new(b);
+            prop_assert_eq!(prod.value(), slow_mul(a as u16, b as u16));
+            if b != 0 {
+                // Division is the exact inverse of the table multiply.
+                prop_assert_eq!(prod / Gf256::new(b), Gf256::new(a));
+                let q = Gf256::new(a) / Gf256::new(b);
+                prop_assert_eq!(q.value(), slow_mul(
+                    a as u16,
+                    Gf256::new(b).inverse().value() as u16
+                ));
             }
             Ok(())
         },
