@@ -196,6 +196,57 @@ fn bench_controller(c: &mut Harness) {
     }
 }
 
+fn bench_obs(c: &mut Harness) {
+    use soteria_rt::obs::{Metrics, TraceBuffer};
+    use soteria_rt::obs_fields;
+    // The contract the instrumented hot paths rely on: a disabled buffer
+    // costs one predictable branch, field construction included — the
+    // closure must not run.
+    let mut off = TraceBuffer::disabled();
+    let mut x = 0u64;
+    c.bench_function("obs_emit_disabled", |b| {
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            off.emit_with("ctl", "bench", || obs_fields![("x", x), ("y", 2u64)]);
+            black_box(off.len())
+        })
+    });
+    // Steady-state enabled cost (ring at capacity: one pop + one push).
+    let mut on = TraceBuffer::with_capacity(1024);
+    c.bench_function("obs_emit_enabled", |b| {
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            on.emit_with("ctl", "bench", || obs_fields![("x", x), ("y", 2u64)]);
+            black_box(on.len())
+        })
+    });
+    let mut metrics = Metrics::enabled();
+    metrics.inc("bench.counter", 1);
+    metrics.observe("bench.histogram", 1);
+    c.bench_function("obs_counter_inc", |b| {
+        b.iter(|| metrics.inc(black_box("bench.counter"), 1))
+    });
+    c.bench_function("obs_histogram_observe", |b| {
+        b.iter(|| {
+            x = x.wrapping_add(0x9e37);
+            metrics.observe(black_box("bench.histogram"), x & 0xffff)
+        })
+    });
+    // The end-to-end overhead question the ISSUE's gate asks: the
+    // controller write path with tracing compiled in and *enabled*
+    // (disabled cost is already covered by controller_write_* above).
+    let mut ctrl = controller(Fidelity::Functional, CloningPolicy::Aggressive);
+    ctrl.enable_obs();
+    let mut i = 0u64;
+    c.bench_function("controller_write_functional_traced", |b| {
+        b.iter(|| {
+            i = (i + 64) % ctrl.layout().data_lines();
+            ctrl.write(DataAddr::new(i), black_box(&[9u8; 64]))
+                .expect("write")
+        })
+    });
+}
+
 fn bench_faultsim(c: &mut Harness) {
     let mut config = CampaignConfig::table4(80.0);
     config.iterations = 200;
@@ -256,6 +307,7 @@ fn main() {
     bench_rs(&mut harness);
     bench_mdcache(&mut harness);
     bench_controller(&mut harness);
+    bench_obs(&mut harness);
     bench_faultsim(&mut harness);
     let stats = harness.finish();
     let path = std::env::var("SOTERIA_BENCH_JSON").unwrap_or_else(|_| "BENCH_kernels.json".into());

@@ -17,7 +17,10 @@ use soteria::analysis::{ExpectedLossModel, TreeKind};
 use soteria::clone::CloningPolicy;
 use soteria::recovery::recover;
 use soteria::{DataAddr, SecureMemoryConfig, SecureMemoryController};
-use soteria_faultsim::{cluster_mtbf_hours, estimate_clone_udr, run_campaign, CampaignConfig};
+use soteria_faultsim::{
+    cluster_mtbf_hours, estimate_clone_udr, run_campaign_traced, CampaignConfig,
+};
+use soteria_rt::json::Json;
 use soteria_simcpu::{System, SystemConfig};
 use soteria_workloads::{standard_suite, SuiteConfig, Workload};
 
@@ -39,6 +42,10 @@ COMMANDS:
       --ecc E                  secded | chipkill | double (default chipkill)
       --tree T                 toc | bmt (default toc)
       --scrub HOURS            patrol-scrub interval (default: off)
+      --threads N              worker threads (result & trace are identical
+                               for any N; default: all cores)
+      --trace PATH             write a deterministic NDJSON event trace
+      --json PATH              write results + metrics snapshot as JSON
   rare                         rare-event clone-UDR estimate
       --fit F                  FIT per chip (default 80)
       --samples N              samples per conditioned k (default 3000)
@@ -49,10 +56,13 @@ COMMANDS:
   crash-demo                   write, crash, optionally break metadata, recover
       --scheme S               baseline | src | sac (default src)
       --fault                  inject a 2-chip fault into a counter block
+      --trace PATH             write the controller/recovery event trace
+  trace-validate               check an NDJSON trace for shape & ordering
+      --file PATH              trace file to validate
   help                         this text
 
   perf also accepts --trace PATH to replay a recorded trace instead of a
-  suite workload.
+  suite workload, and --metrics to print a controller metrics snapshot.
 ";
 
 fn scheme_of(name: &str) -> Result<CloningPolicy, String> {
@@ -132,6 +142,9 @@ fn cmd_perf(args: &Args) -> Result<(), String> {
             .collect()
     };
     let mut system = System::with_cores(SystemConfig::table3(policy, 64 << 20), cores);
+    if args.has_flag("metrics") {
+        system.controller_mut().enable_obs();
+    }
     let r = {
         let mut refs: Vec<&mut dyn Workload> = instances
             .iter_mut()
@@ -159,6 +172,12 @@ fn cmd_perf(args: &Args) -> Result<(), String> {
         stats.writes.clone,
         stats.writes.reencrypt,
     );
+    if args.has_flag("metrics") {
+        println!(
+            "metrics snapshot:\n{}",
+            system.controller().metrics_snapshot().to_pretty_string()
+        );
+    }
     Ok(())
 }
 
@@ -184,11 +203,21 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         config.scrub_interval_hours =
             Some(s.parse().map_err(|_| format!("bad scrub interval '{s}'"))?);
     }
+    if let Some(t) = args.get("threads") {
+        config.threads = t
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("bad thread count '{t}'"))?;
+    }
+    let trace_path = args.get("trace").map(str::to_string);
+    let json_path = args.get("json").map(str::to_string);
+    config.trace = trace_path.is_some() || json_path.is_some();
     println!(
         "FIT {fit}/chip -> 20k-node cluster MTBF {:.1} h | {iters} iterations | 5 years",
         cluster_mtbf_hours(fit, 20_000, 4, 18)
     );
-    let results = run_campaign(
+    let (results, trace) = run_campaign_traced(
         &config,
         &[
             CloningPolicy::None,
@@ -214,7 +243,99 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         "({} of {} iterations saw faults; {} defeated the ECC somewhere)",
         results[0].iterations_with_faults, results[0].iterations, results[0].iterations_with_ue
     );
+    if let Some(path) = &trace_path {
+        std::fs::write(path, trace.export_ndjson())
+            .map_err(|e| format!("writing trace '{path}': {e}"))?;
+        println!(
+            "trace: {} events to {path}{}",
+            trace.len(),
+            if trace.dropped() > 0 {
+                format!(" ({} dropped by the ring)", trace.dropped())
+            } else {
+                String::new()
+            }
+        );
+    }
+    if let Some(path) = &json_path {
+        let doc = campaign_json(&config, &results, &trace);
+        std::fs::write(path, doc.to_pretty_string())
+            .map_err(|e| format!("writing json '{path}': {e}"))?;
+        println!("results + metrics snapshot to {path}");
+    }
     Ok(())
+}
+
+/// The campaign's machine-readable artifact: config echo, per-policy
+/// results, and a metrics snapshot derived from the event trace.
+fn campaign_json(
+    config: &CampaignConfig,
+    results: &[soteria_faultsim::PolicyResult],
+    trace: &soteria_rt::obs::TraceBuffer,
+) -> Json {
+    let mut event_counts: Vec<(String, u64)> = Vec::new();
+    for ev in trace.events() {
+        match event_counts.iter_mut().find(|(n, _)| n == ev.name) {
+            Some((_, c)) => *c += 1,
+            None => event_counts.push((ev.name.to_string(), 1)),
+        }
+    }
+    Json::Obj(vec![
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("seed".into(), Json::Str(format!("{:#018x}", config.seed))),
+                ("iterations".into(), Json::Num(config.iterations as f64)),
+                ("fit_per_chip".into(), Json::Num(config.fit_per_chip)),
+                (
+                    "capacity_bytes".into(),
+                    Json::Num(config.capacity_bytes as f64),
+                ),
+            ]),
+        ),
+        (
+            "results".into(),
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("policy".into(), Json::Str(r.policy.name().into())),
+                            (
+                                "iterations_with_faults".into(),
+                                Json::Num(r.iterations_with_faults as f64),
+                            ),
+                            (
+                                "iterations_with_ue".into(),
+                                Json::Num(r.iterations_with_ue as f64),
+                            ),
+                            (
+                                "iterations_with_udr".into(),
+                                Json::Num(r.iterations_with_udr as f64),
+                            ),
+                            ("mean_error_ratio".into(), Json::Num(r.mean_error_ratio)),
+                            ("mean_udr".into(), Json::Num(r.mean_udr)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "metrics".into(),
+            Json::Obj(vec![
+                ("trace_events".into(), Json::Num(trace.len() as f64)),
+                ("trace_dropped".into(), Json::Num(trace.dropped() as f64)),
+                (
+                    "events_by_name".into(),
+                    Json::Obj(
+                        event_counts
+                            .into_iter()
+                            .map(|(n, c)| (n, Json::Num(c as f64)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ])
 }
 
 fn cmd_rare(args: &Args) -> Result<(), String> {
@@ -249,6 +370,10 @@ fn cmd_crash_demo(args: &Args) -> Result<(), String> {
         .build()
         .map_err(|e| e.to_string())?;
     let mut memory = SecureMemoryController::new(config);
+    let trace_path = args.get("trace").map(str::to_string);
+    if trace_path.is_some() {
+        memory.enable_obs();
+    }
     println!("writing 128 lines under {} ...", policy.name());
     for i in 0..128u64 {
         memory
@@ -311,6 +436,36 @@ fn cmd_crash_demo(args: &Args) -> Result<(), String> {
     if inject && policy == CloningPolicy::None {
         println!("(the baseline loses the faulted block's coverage; rerun with --scheme src)");
     }
+    if let Some(path) = &trace_path {
+        // The trace survives the crash with the controller, so this one
+        // file spans pre-crash writes, recovery, and readback.
+        let ndjson = memory.export_trace_ndjson();
+        let events = ndjson.lines().count();
+        std::fs::write(path, ndjson).map_err(|e| format!("writing trace '{path}': {e}"))?;
+        println!("trace: {events} events to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_trace_validate(args: &Args) -> Result<(), String> {
+    let path = args
+        .get("file")
+        .ok_or("trace-validate needs --file PATH")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading '{path}': {e}"))?;
+    let events = soteria_rt::obs::parse_ndjson(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut domains: Vec<(&str, u64)> = Vec::new();
+    for ev in &events {
+        let d = ev.get("domain").and_then(Json::as_str).unwrap_or("?");
+        match domains.iter_mut().find(|(n, _)| *n == d) {
+            Some((_, c)) => *c += 1,
+            None => domains.push((d, 1)),
+        }
+    }
+    println!("{path}: {} events, valid NDJSON, per-domain seq monotonic", events.len());
+    for (d, c) in domains {
+        println!("  {d:>10}: {c} events");
+    }
     Ok(())
 }
 
@@ -347,6 +502,7 @@ fn run() -> Result<(), String> {
         Some("campaign") => cmd_campaign(&args),
         Some("rare") => cmd_rare(&args),
         Some("crash-demo") => cmd_crash_demo(&args),
+        Some("trace-validate") => cmd_trace_validate(&args),
         Some(other) => Err(format!("unknown command '{other}'; see `soteria help`")),
     }
 }

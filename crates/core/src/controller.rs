@@ -27,6 +27,9 @@
 use soteria_crypto::ctr::CounterModeCipher;
 use soteria_crypto::mac::MacEngine;
 use soteria_ecc::CorrectionOutcome;
+use soteria_rt::json::Json;
+use soteria_rt::obs::Obs;
+use soteria_rt::obs_fields;
 use soteria_nvm::device::NvmDimm;
 use soteria_nvm::geometry::DimmGeometry;
 use soteria_nvm::timing::AccessKind;
@@ -87,6 +90,7 @@ pub struct SecureMemoryController {
     pub(crate) shadow_root: [u8; 32],
     stats: ControllerStats,
     trace: Vec<(LineAddr, AccessKind)>,
+    obs: Obs,
 }
 
 impl std::fmt::Debug for SecureMemoryController {
@@ -135,6 +139,7 @@ impl SecureMemoryController {
             shadow_root,
             stats: ControllerStats::default(),
             trace: Vec::new(),
+            obs: Obs::disabled(),
             layout,
             device,
             config,
@@ -177,6 +182,53 @@ impl SecureMemoryController {
         &self.trace
     }
 
+    /// The controller's observability handle (trace domain `"ctl"`).
+    /// Disabled by default; see [`Self::enable_obs`].
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Mutable access to the controller's observability handle.
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.obs
+    }
+
+    /// Enables tracing and metrics on the controller **and** its backing
+    /// device. Events carry only logical facts (addresses, levels,
+    /// counters), so a trace of a deterministic run is byte-identical
+    /// across replays.
+    pub fn enable_obs(&mut self) {
+        self.obs.enable();
+        self.device.obs_mut().enable();
+    }
+
+    /// Exports the full trace as NDJSON: controller (`"ctl"`) events
+    /// first, then device (`"dev"`) events. Each domain keeps its own
+    /// monotonic sequence, so the concatenation validates with
+    /// [`soteria_rt::obs::parse_ndjson`].
+    pub fn export_trace_ndjson(&self) -> String {
+        let mut out = self.obs.trace.export_ndjson();
+        out.push_str(&self.device.obs().trace.export_ndjson());
+        out
+    }
+
+    /// A deterministic metrics snapshot merging controller counters,
+    /// metadata-cache statistics, WPQ statistics and device counters.
+    pub fn metrics_snapshot(&self) -> Json {
+        let mut merged = soteria_rt::obs::Metrics::enabled();
+        merged.merge(&self.obs.metrics);
+        merged.merge(&self.device.obs().metrics);
+        let cs = self.cache.stats();
+        merged.inc("mdcache.hits", cs.hits);
+        merged.inc("mdcache.misses", cs.misses);
+        merged.inc("mdcache.dirty_evictions", cs.dirty_evictions);
+        merged.inc("mdcache.clean_evictions", cs.clean_evictions);
+        merged.inc("wpq.accepted", self.wpq.accepted());
+        merged.inc("wpq.stalls", self.wpq.stalls());
+        merged.inc("wpq.drains", self.wpq.drains());
+        merged.snapshot_json(false)
+    }
+
     fn functional(&self) -> bool {
         self.config.fidelity() == Fidelity::Functional
     }
@@ -203,6 +255,7 @@ impl SecureMemoryController {
         self.trace.push((addr, AccessKind::Write));
         self.stats.nvm_writes += 1;
         self.stats.writes.record(category);
+        let drains_before = self.wpq.drains();
         self.wpq.push(
             PendingWrite {
                 addr,
@@ -210,6 +263,7 @@ impl SecureMemoryController {
             },
             &mut self.device,
         );
+        self.note_wpq(drains_before);
     }
 
     fn nvm_write_group(&mut self, writes: Vec<(LineAddr, [u8; 64], WriteCategory)>) {
@@ -223,9 +277,30 @@ impl SecureMemoryController {
                 data: Box::new(data),
             });
         }
+        let drains_before = self.wpq.drains();
         self.wpq
             .push_atomic(group, &mut self.device)
             .expect("clone depth validated against WPQ capacity at config time");
+        self.note_wpq(drains_before);
+    }
+
+    /// Records WPQ activity after a push: occupancy into the metrics
+    /// histogram, and a `wpq_drain` trace event when the push stall-drained
+    /// entries to media. The cumulative `drains` field is the crash-point
+    /// clock the crash-sweep test enumerates.
+    #[inline]
+    fn note_wpq(&mut self, drains_before: u64) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        self.obs.metrics.observe("wpq.occupancy", self.wpq.len() as u64);
+        let drained = self.wpq.drains() - drains_before;
+        if drained > 0 {
+            let drains = self.wpq.drains();
+            self.obs.trace.emit_with("ctl", "wpq_drain", || {
+                obs_fields![("steps", drained), ("drains", drains)]
+            });
+        }
     }
 
     // ----- MAC helpers -----
@@ -312,16 +387,24 @@ impl SecureMemoryController {
         let addr = self.layout.meta_addr(meta);
         let parent_counter = self.parent_counter(meta);
         let (bytes, outcome) = self.nvm_read(addr);
-        let healthy = match outcome {
-            CorrectionOutcome::Uncorrectable => {
-                self.stats.metadata_ue += 1;
-                false
-            }
-            _ => self.verify_meta(meta, &bytes, parent_counter),
+        let ue = outcome == CorrectionOutcome::Uncorrectable;
+        let healthy = if ue {
+            self.stats.metadata_ue += 1;
+            self.obs.metrics.inc("ctl.metadata_ue", 1);
+            false
+        } else {
+            self.verify_meta(meta, &bytes, parent_counter)
         };
         if healthy {
             return Ok(bytes);
         }
+        self.obs.trace.emit_with("ctl", "meta_fault", || {
+            obs_fields![
+                ("level", meta.level),
+                ("index", meta.index),
+                ("cause", if ue { "ue" } else { "mac_mismatch" }),
+            ]
+        });
         // Step 4 of Fig. 9: bring all clones and attempt repair.
         let extra = self
             .config
@@ -344,6 +427,14 @@ impl SecureMemoryController {
                     }
                 }
                 self.stats.clone_repairs += 1;
+                self.obs.metrics.inc("ctl.clone_repairs", 1);
+                self.obs.trace.emit_with("ctl", "clone_repair", || {
+                    obs_fields![
+                        ("level", meta.level),
+                        ("index", meta.index),
+                        ("survivor", clone_no),
+                    ]
+                });
                 return Ok(cb);
             }
         }
@@ -352,6 +443,13 @@ impl SecureMemoryController {
         } else {
             MetadataClass::TreeNode
         };
+        self.obs.trace.emit_with("ctl", "meta_unverifiable", || {
+            obs_fields![
+                ("level", meta.level),
+                ("index", meta.index),
+                ("clones_scanned", extra),
+            ]
+        });
         Err(MemoryError::MetadataUnverifiable {
             meta,
             class,
@@ -365,11 +463,16 @@ impl SecureMemoryController {
     fn fetch_meta(&mut self, meta: MetaId, pinned: &mut Vec<LineAddr>) -> Result<(), MemoryError> {
         let addr = self.layout.meta_addr(meta);
         if self.cache.lookup(addr).is_some() {
+            self.obs.metrics.inc("ctl.meta_hits", 1);
             if !pinned.contains(&addr) {
                 pinned.push(addr);
             }
             return Ok(());
         }
+        self.obs.metrics.inc("ctl.meta_misses", 1);
+        self.obs.trace.emit_with("ctl", "meta_miss", || {
+            obs_fields![("level", meta.level), ("index", meta.index)]
+        });
         if let Some(p) = self.layout.parent_of(meta) {
             self.fetch_meta(p, pinned)?;
             // The parent fetch can evict a dirty block whose writeback
@@ -405,6 +508,7 @@ impl SecureMemoryController {
         let record = self.build_shadow_record(meta, bytes);
         let entry = encode_entry(&record, self.config.shadow_mode());
         let saddr = self.layout.shadow_slot_addr(slot);
+        self.obs.metrics.inc("ctl.shadow_writes", 1);
         self.nvm_write(saddr, entry, WriteCategory::Shadow);
         if let Some(tree) = &mut self.shadow_tree {
             tree.update(slot, &entry);
@@ -505,6 +609,14 @@ impl SecureMemoryController {
         for c in 1..=extra {
             group.push((self.layout.clone_addr(meta, c), bytes, WriteCategory::Clone));
         }
+        self.obs.trace.emit_with("ctl", "writeback", || {
+            obs_fields![
+                ("level", meta.level),
+                ("index", meta.index),
+                ("clones", extra),
+            ]
+        });
+        self.obs.metrics.inc("ctl.writebacks", 1);
         self.nvm_write_group(group);
         Ok(bytes)
     }
@@ -518,6 +630,10 @@ impl SecureMemoryController {
             return Ok(());
         }
         self.stats.record_eviction(ev.block.meta.level);
+        let meta = ev.block.meta;
+        self.obs.trace.emit_with("ctl", "evict", || {
+            obs_fields![("level", meta.level), ("index", meta.index)]
+        });
         self.writeback_block(ev.block.meta, ev.block.data, pinned)?;
         Ok(())
     }
@@ -532,6 +648,10 @@ impl SecureMemoryController {
     ) -> Result<(), MemoryError> {
         let _ = pinned;
         self.stats.page_reencryptions += 1;
+        self.obs.metrics.inc("ctl.page_reencryptions", 1);
+        self.obs.trace.emit_with("ctl", "page_reencrypt", || {
+            obs_fields![("leaf", leaf.index), ("major", old.major())]
+        });
         let new_major = old.major() + 1;
         for slot in 0..COUNTERS_PER_BLOCK as usize {
             let daddr = DataAddr::new(leaf.index * COUNTERS_PER_BLOCK + slot as u64);
@@ -657,6 +777,10 @@ impl SecureMemoryController {
                 self.shadow_write(cache_slot, leaf, &leaf_bytes);
                 if do_osiris_writeback {
                     self.stats.osiris_writebacks += 1;
+                    self.obs.metrics.inc("ctl.osiris_writebacks", 1);
+                    self.obs.trace.emit_with("ctl", "osiris_writeback", || {
+                        obs_fields![("leaf", leaf.index)]
+                    });
                     let bytes = self.writeback_block(leaf, leaf_bytes, &mut pinned)?;
                     let blk = self.cache.peek_mut(leaf_addr).expect("leaf resident");
                     blk.data = bytes;
@@ -776,6 +900,9 @@ impl SecureMemoryController {
                 let blk = self.cache.peek(addr).expect("listed as dirty");
                 (blk.meta, blk.data)
             };
+            self.obs.trace.emit_with("ctl", "persist_block", || {
+                obs_fields![("level", meta.level), ("index", meta.index)]
+            });
             let mut pinned = vec![addr];
             let written = self.writeback_block(meta, bytes, &mut pinned)?;
             let blk = self.cache.peek_mut(addr).expect("still resident");
@@ -783,7 +910,11 @@ impl SecureMemoryController {
             blk.dirty = false;
             blk.slot_updates = [0; 64];
         }
+        let pending = self.wpq.len();
         self.wpq.flush(&mut self.device);
+        self.obs.trace.emit_with("ctl", "wpq_flush", || {
+            obs_fields![("drained", pending)]
+        });
         Ok(())
     }
 
@@ -918,6 +1049,13 @@ impl SecureMemoryController {
 
         let reads = self.stats.nvm_reads - reads_before;
         let writes = self.stats.nvm_writes - writes_before;
+        self.obs.trace.emit_with("ctl", "key_rotation", || {
+            obs_fields![
+                ("lines_reencrypted", lines_reencrypted),
+                ("nvm_reads", reads),
+                ("nvm_writes", writes),
+            ]
+        });
         Ok(KeyRotationReport {
             lines_reencrypted,
             nvm_reads: reads,
@@ -930,8 +1068,14 @@ impl SecureMemoryController {
     /// and only the persistent register file (ToC root, shadow root)
     /// survives. Returns the crash image to [`crate::recovery::recover`].
     pub fn crash(mut self) -> crate::recovery::CrashImage {
+        let pending = self.wpq.len();
+        let drains = self.wpq.drains();
+        self.obs.trace.emit_with("ctl", "crash", || {
+            obs_fields![("adr_drained", pending), ("drains_at_crash", drains)]
+        });
         self.wpq.flush(&mut self.device);
         crate::recovery::CrashImage::new(self.config, self.device, self.root, self.shadow_root)
+            .with_obs(self.obs)
     }
 }
 

@@ -276,8 +276,16 @@ impl MetadataCache {
         self.sets[set][way].take().map(|e| e.block)
     }
 
-    /// Addresses of all dirty resident blocks (for orderly flush),
-    /// yielded in deterministic set/way order without allocating.
+    /// Addresses of all dirty resident blocks (for orderly flush).
+    ///
+    /// **Order contract**: addresses are yielded in **set-major,
+    /// way-minor** order — a linear walk of the physical cache arrays,
+    /// never the hash-based tag index — so the sequence is a pure
+    /// function of the insert/evict history. Same operation history ⇒
+    /// same iteration order, on every run and platform. The persist
+    /// fixpoint loop, persist-path trace events and the crash-sweep test
+    /// all rely on this stability; do not reimplement this over
+    /// `self.index` (HashMap iteration order would leak into traces).
     pub fn dirty_addrs(&self) -> impl Iterator<Item = LineAddr> + '_ {
         self.sets
             .iter()
@@ -403,6 +411,27 @@ mod tests {
         c.insert(LineAddr::new(0), dirty, &[]);
         c.insert(LineAddr::new(1), block(1, 1), &[]);
         assert_eq!(c.dirty_addrs().collect::<Vec<_>>(), vec![LineAddr::new(0)]);
+    }
+
+    #[test]
+    fn dirty_addrs_order_is_set_major_way_minor() {
+        // The documented order contract: a linear walk of the physical
+        // arrays, independent of insertion order across sets and of the
+        // hash index. With 2 sets x 2 ways, odd addresses land in set 1
+        // and even in set 0; inserting set-1 blocks first must not let
+        // them lead the iteration.
+        let mut c = tiny_cache();
+        for (addr, idx) in [(5u64, 0u64), (1, 1), (4, 2), (0, 3)] {
+            let mut blk = block(1, idx);
+            blk.dirty = true;
+            c.insert(LineAddr::new(addr), blk, &[]);
+        }
+        let order: Vec<u64> = c.dirty_addrs().map(|a| a.index()).collect();
+        // Set 0 filled way 0 with 4 then way 1 with 0; set 1 filled way 0
+        // with 5 then way 1 with 1.
+        assert_eq!(order, vec![4, 0, 5, 1]);
+        // Stable across repeated iteration (no interior mutation).
+        assert_eq!(order, c.dirty_addrs().map(|a| a.index()).collect::<Vec<_>>());
     }
 
     #[test]

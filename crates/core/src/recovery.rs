@@ -24,6 +24,8 @@ use soteria_crypto::ctr::CounterModeCipher;
 use soteria_crypto::mac::MacEngine;
 use soteria_ecc::CorrectionOutcome;
 use soteria_nvm::device::NvmDimm;
+use soteria_rt::obs::Obs;
+use soteria_rt::obs_fields;
 
 use crate::config::{Fidelity, SecureMemoryConfig};
 use crate::controller::SecureMemoryController;
@@ -40,6 +42,11 @@ pub struct CrashImage {
     device: NvmDimm,
     root: TocNode,
     shadow_root: [u8; 32],
+    /// The crashed controller's observability handle, carried across the
+    /// power loss so recovery events (`"rec"` domain) extend the same
+    /// trace. Trace state is volatile in real hardware; keeping it here
+    /// is a debugging convenience, not an architectural claim.
+    obs: Obs,
 }
 
 impl std::fmt::Debug for CrashImage {
@@ -62,7 +69,18 @@ impl CrashImage {
             device,
             root,
             shadow_root,
+            obs: Obs::disabled(),
         }
+    }
+
+    pub(crate) fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The observability handle carried from the crashed controller.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The powered-off device — inject faults here to model errors that
@@ -437,6 +455,14 @@ pub fn recover(mut image: CrashImage) -> (SecureMemoryController, RecoveryReport
     }
     let rebuilt = ShadowTree::from_region(region.iter());
     let shadow_root_intact = !any_shadow_ue && rebuilt.root() == image.shadow_root;
+    let mut obs = std::mem::take(&mut image.obs);
+    obs.trace.emit_with("rec", "start", || {
+        obs_fields![
+            ("mode", "anubis"),
+            ("shadow_root_intact", shadow_root_intact),
+            ("shadow_slots", slots),
+        ]
+    });
 
     // Step 2: decode entries, order parents before children.
     let mut records: Vec<Vec<ShadowRecord>> = region
@@ -470,8 +496,12 @@ pub fn recover(mut image: CrashImage) -> (SecureMemoryController, RecoveryReport
                 break;
             }
         }
-        if !done {
-            let meta = candidates[0].meta;
+        let meta = candidates[0].meta;
+        if done {
+            obs.trace.emit_with("rec", "restored", || {
+                obs_fields![("level", meta.level), ("index", meta.index)]
+            });
+        } else {
             let in_bounds = meta.level >= 1
                 && meta.level <= layout.levels()
                 && meta.index < layout.level_count(meta.level);
@@ -479,6 +509,9 @@ pub fn recover(mut image: CrashImage) -> (SecureMemoryController, RecoveryReport
                 // A superseded entry from a reused cache slot: the block's
                 // current state is already durable and verifiable.
                 rec.report.stale_entries += 1;
+                obs.trace.emit_with("rec", "stale_entry", || {
+                    obs_fields![("level", meta.level), ("index", meta.index)]
+                });
                 continue;
             }
             let covered = if in_bounds {
@@ -486,6 +519,13 @@ pub fn recover(mut image: CrashImage) -> (SecureMemoryController, RecoveryReport
             } else {
                 0
             };
+            obs.trace.emit_with("rec", "unverifiable", || {
+                obs_fields![
+                    ("level", meta.level),
+                    ("index", meta.index),
+                    ("covered_lines", covered),
+                ]
+            });
             rec.report.unverifiable.push((meta, covered));
         }
     }
@@ -493,10 +533,12 @@ pub fn recover(mut image: CrashImage) -> (SecureMemoryController, RecoveryReport
     let stats_after = image.device.stats();
     report.nvm_reads = stats_after.reads - stats_before.reads;
     report.nvm_writes = stats_after.writes - stats_before.writes;
+    emit_rec_done(&mut obs, &report);
 
     // Step 3: hand back a live controller over the recovered device.
     let mut controller = SecureMemoryController::with_device(image.config, image.device);
     controller.root = root;
+    *controller.obs_mut() = obs;
     // Adopt the (now authoritative) shadow region state.
     if let Some(tree) = &mut controller.shadow_tree {
         for (slot, bytes) in region.iter().enumerate() {
@@ -505,6 +547,32 @@ pub fn recover(mut image: CrashImage) -> (SecureMemoryController, RecoveryReport
         controller.shadow_root = tree.root();
     }
     (controller, report)
+}
+
+/// Emits the recovery-summary event shared by both recovery paths.
+fn emit_rec_done(obs: &mut Obs, report: &RecoveryReport) {
+    let unverifiable_lines = report.unverifiable_lines();
+    let (restored, recovered, clones, stale, reads, writes) = (
+        report.blocks_restored,
+        report.counters_recovered,
+        report.clone_repairs,
+        report.stale_entries,
+        report.nvm_reads,
+        report.nvm_writes,
+    );
+    obs.trace.emit_with("rec", "done", || {
+        obs_fields![
+            ("blocks_restored", restored),
+            ("counters_recovered", recovered),
+            ("clone_repairs", clones),
+            ("stale_entries", stale),
+            ("unverifiable_lines", unverifiable_lines),
+            ("nvm_reads", reads),
+            ("nvm_writes", writes),
+        ]
+    });
+    obs.metrics.inc("rec.blocks_restored", restored);
+    obs.metrics.inc("rec.unverifiable_lines", unverifiable_lines);
 }
 
 /// Recovers a crashed secure memory **without** the Anubis shadow table:
@@ -531,6 +599,9 @@ pub fn recover_exhaustive(mut image: CrashImage) -> (SecureMemoryController, Rec
     let cipher = CounterModeCipher::new(image.config.encryption_key());
     let stats_before = image.device.stats();
     let root = image.root;
+    let mut obs = std::mem::take(&mut image.obs);
+    obs.trace
+        .emit_with("rec", "start", || obs_fields![("mode", "exhaustive")]);
     let mut rec = Recoverer {
         layout: &layout,
         config: &image.config,
@@ -608,8 +679,10 @@ pub fn recover_exhaustive(mut image: CrashImage) -> (SecureMemoryController, Rec
     let stats_after = image.device.stats();
     report.nvm_reads = stats_after.reads - stats_before.reads;
     report.nvm_writes = stats_after.writes - stats_before.writes;
+    emit_rec_done(&mut obs, &report);
     let mut controller = SecureMemoryController::with_device(image.config, image.device);
     controller.root = root;
+    *controller.obs_mut() = obs;
     (controller, report)
 }
 

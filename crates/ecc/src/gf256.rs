@@ -3,7 +3,7 @@
 //!
 //! This is the field underlying the Reed–Solomon codes in [`crate::rs`].
 //! Log/antilog tables are built at **compile time** — every `mul`/`div`
-//! is a fused pair of table lookups (the [`EXP`] table is doubled to 512
+//! is a fused pair of table lookups (the `EXP` table is doubled to 512
 //! entries so `exp[log a + log b]` needs no mod-255 reduction and no
 //! branch-per-bit loop), and the tables are plain `static` data with no
 //! lazy-init check on the hot path.

@@ -222,7 +222,7 @@ impl ReedSolomon {
 
     /// Computes the 2t syndromes `S_i = C(α^i)`, `i = 1..=n-k`, straight
     /// over the raw codeword bytes: `S_i = Σ_j cw[j] · α^(i·deg(j))` with
-    /// each product a single [`ALPHA_MUL`] load through the row pointers
+    /// each product a single `ALPHA_MUL` load through the row pointers
     /// precomputed in [`ReedSolomon::new`]. Unlike a Horner scan there is
     /// no loop-carried multiply — the per-byte lookups are independent and
     /// only meet in an XOR — and because the table index is a `u8` the

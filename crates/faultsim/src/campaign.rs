@@ -14,6 +14,8 @@
 //! worker produced them — so the same seed yields bit-identical
 //! [`PolicyResult`]s whether the campaign ran on one thread or sixteen.
 
+use soteria_rt::obs::{Field, TraceBuffer, TraceEvent};
+use soteria_rt::obs_fields;
 use soteria_rt::rng::{stream_seed, StdRng};
 use soteria_rt::thread::fan_out;
 
@@ -54,6 +56,10 @@ pub struct CampaignConfig {
     /// live. `None` disables scrubbing (faults accumulate for the whole
     /// campaign — the conservative default).
     pub scrub_interval_hours: Option<f64>,
+    /// Record per-iteration trace events (`"campaign"` domain). Events
+    /// are merged in block order, so the trace is byte-identical for a
+    /// seed at any thread count — exactly like the numeric results.
+    pub trace: bool,
 }
 
 impl CampaignConfig {
@@ -72,6 +78,7 @@ impl CampaignConfig {
             correctable_chips: 1,
             tree: TreeKind::Toc,
             scrub_interval_hours: None,
+            trace: false,
         }
     }
 
@@ -428,11 +435,23 @@ struct WorkerCtx<'a> {
     policy_refs: &'a [&'a CloningPolicy],
 }
 
+/// Short label for a cloning policy in trace events.
+fn policy_label(policy: &CloningPolicy) -> &'static str {
+    match policy {
+        CloningPolicy::None => "baseline",
+        CloningPolicy::Relaxed => "src",
+        CloningPolicy::Aggressive => "sac",
+        CloningPolicy::Custom(_) => "custom",
+    }
+}
+
 fn simulate_iteration(
     rng: &mut StdRng,
     ctx: &WorkerCtx<'_>,
     scratch: &mut IterScratch,
     acc: &mut Accumulator,
+    iter: u64,
+    events: Option<&mut Vec<TraceEvent>>,
 ) {
     let WorkerCtx {
         config,
@@ -513,6 +532,33 @@ fn simulate_iteration(
     if any_ue {
         acc.iterations_with_ue += 1;
     }
+    if let Some(events) = events {
+        // Seed provenance: the exact RNG stream this iteration drew from,
+        // so any single iteration can be replayed in isolation.
+        events.push(TraceEvent::new(
+            "campaign",
+            "iteration",
+            obs_fields![
+                ("iter", iter),
+                ("seed", Field::Hex(stream_seed(config.seed, iter))),
+                ("faults", scratch.history.len()),
+                ("ue", any_ue),
+            ],
+        ));
+        for (i, &udr) in scratch.worst_udr.iter().enumerate() {
+            if udr > 0.0 {
+                events.push(TraceEvent::new(
+                    "campaign",
+                    "policy_udr",
+                    obs_fields![
+                        ("iter", iter),
+                        ("policy", policy_label(policy_refs[i])),
+                        ("udr", udr),
+                    ],
+                ));
+            }
+        }
+    }
 }
 
 /// Runs a campaign, evaluating every policy against identical fault sets.
@@ -521,6 +567,21 @@ fn simulate_iteration(
 /// `config.seed` the results are bit-identical for **any**
 /// `config.threads` value.
 pub fn run_campaign(config: &CampaignConfig, policies: &[CloningPolicy]) -> Vec<PolicyResult> {
+    run_campaign_traced(config, policies).0
+}
+
+/// Runs a campaign like [`run_campaign`], additionally returning the
+/// trace stream when `config.trace` is set (a disabled, empty buffer
+/// otherwise).
+///
+/// Workers collect their blocks' events locally; after the fan-in the
+/// per-block event lists are concatenated **in block order** and only
+/// then sequenced — the trace analogue of the fixed-block floating-point
+/// merge. Same seed ⇒ byte-identical NDJSON at any `config.threads`.
+pub fn run_campaign_traced(
+    config: &CampaignConfig,
+    policies: &[CloningPolicy],
+) -> (Vec<PolicyResult>, TraceBuffer) {
     let layout = config.build_layout();
     let geometry = config.build_geometry(&layout);
     let rates = config.rates.scaled_to(config.fit_per_chip);
@@ -530,7 +591,7 @@ pub fn run_campaign(config: &CampaignConfig, policies: &[CloningPolicy]) -> Vec<
     // Each worker claims blocks workers-strided (worker t gets blocks
     // t, t+workers, …), tags every accumulator with its block index, and
     // the merge below folds them back in block order.
-    let per_worker: Vec<Vec<(u64, Accumulator)>> = fan_out(workers, |t| {
+    let per_worker: Vec<Vec<(u64, Accumulator, Vec<TraceEvent>)>> = fan_out(workers, |t| {
         let model = ResilienceModel::new(&layout, &geometry)
             .with_correctable_chips(config.correctable_chips)
             .with_tree(config.tree);
@@ -550,25 +611,49 @@ pub fn run_campaign(config: &CampaignConfig, policies: &[CloningPolicy]) -> Vec<
             let lo = block * ITERATION_BLOCK;
             let hi = (lo + ITERATION_BLOCK).min(config.iterations);
             let mut acc = Accumulator::new(policies.len());
+            let mut events = Vec::new();
             for iter in lo..hi {
                 let mut rng = StdRng::seed_from_u64(stream_seed(config.seed, iter));
-                simulate_iteration(&mut rng, &ctx, &mut scratch, &mut acc);
+                simulate_iteration(
+                    &mut rng,
+                    &ctx,
+                    &mut scratch,
+                    &mut acc,
+                    iter,
+                    config.trace.then_some(&mut events),
+                );
             }
-            out.push((block, acc));
+            out.push((block, acc, events));
             block += workers as u64;
         }
         out
     });
 
-    let mut tagged: Vec<(u64, Accumulator)> = per_worker.into_iter().flatten().collect();
-    tagged.sort_by_key(|&(block, _)| block);
+    let mut tagged: Vec<(u64, Accumulator, Vec<TraceEvent>)> =
+        per_worker.into_iter().flatten().collect();
+    tagged.sort_by_key(|&(block, _, _)| block);
+
+    let mut trace = if config.trace {
+        TraceBuffer::with_capacity(CAMPAIGN_TRACE_CAPACITY)
+    } else {
+        TraceBuffer::disabled()
+    };
+    trace.emit_with("campaign", "config", || {
+        obs_fields![
+            ("seed", Field::Hex(config.seed)),
+            ("iterations", config.iterations),
+            ("fit_per_chip", config.fit_per_chip),
+            ("capacity_bytes", config.capacity_bytes),
+            ("policies", policies.len()),
+        ]
+    });
 
     let mut iterations_with_faults = 0;
     let mut iterations_with_ue = 0;
     let mut error_ratio_sum = 0.0;
     let mut udr_sum = vec![0.0; policies.len()];
     let mut udr_hits = vec![0u64; policies.len()];
-    for (_, acc) in tagged {
+    for (_, acc, events) in tagged {
         iterations_with_faults += acc.iterations_with_faults;
         iterations_with_ue += acc.iterations_with_ue;
         error_ratio_sum += acc.error_ratio_sum;
@@ -576,8 +661,9 @@ pub fn run_campaign(config: &CampaignConfig, policies: &[CloningPolicy]) -> Vec<
             udr_sum[i] += acc.per_policy_udr_sum[i];
             udr_hits[i] += acc.per_policy_udr_hits[i];
         }
+        trace.absorb(events);
     }
-    policies
+    let results: Vec<PolicyResult> = policies
         .iter()
         .enumerate()
         .map(|(i, policy)| PolicyResult {
@@ -589,8 +675,27 @@ pub fn run_campaign(config: &CampaignConfig, policies: &[CloningPolicy]) -> Vec<
             mean_error_ratio: error_ratio_sum / config.iterations as f64,
             mean_udr: udr_sum[i] / config.iterations as f64,
         })
-        .collect()
+        .collect();
+    for r in &results {
+        let label = policy_label(&r.policy);
+        trace.emit_with("campaign", "result", || {
+            obs_fields![
+                ("policy", label),
+                ("iterations_with_faults", r.iterations_with_faults),
+                ("iterations_with_ue", r.iterations_with_ue),
+                ("iterations_with_udr", r.iterations_with_udr),
+                ("mean_error_ratio", r.mean_error_ratio),
+                ("mean_udr", r.mean_udr),
+            ]
+        });
+    }
+    (results, trace)
 }
+
+/// Ring capacity for campaign traces: a 10^6-iteration Table 4 campaign
+/// at FIT 80 sees far fewer fault iterations than this, so no real run
+/// drops events; pathological configs degrade to keeping the newest.
+const CAMPAIGN_TRACE_CAPACITY: usize = 1 << 20;
 
 #[cfg(test)]
 mod tests {
@@ -717,6 +822,43 @@ mod tests {
                 "thread count {threads} diverged from single-threaded run"
             );
         }
+    }
+
+    #[test]
+    fn campaign_trace_is_byte_identical_across_thread_counts() {
+        // The tentpole determinism contract extended to observability:
+        // same seed ⇒ byte-identical NDJSON for any worker count.
+        let mut base = small_config(2000.0);
+        base.iterations = 300; // not a multiple of ITERATION_BLOCK
+        base.trace = true;
+        let policies = [CloningPolicy::None, CloningPolicy::Aggressive];
+        base.threads = 1;
+        let (_, trace1) = run_campaign_traced(&base, &policies);
+        let ndjson1 = trace1.export_ndjson();
+        assert!(
+            trace1.len() > 10,
+            "high-FIT campaign must record events, got {}",
+            trace1.len()
+        );
+        soteria_rt::obs::parse_ndjson(&ndjson1).expect("trace must validate");
+        for threads in [2, 4, 7] {
+            let mut c = base.clone();
+            c.threads = threads;
+            let (_, trace_n) = run_campaign_traced(&c, &policies);
+            assert_eq!(
+                trace_n.export_ndjson(),
+                ndjson1,
+                "thread count {threads} changed the trace bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn untraced_campaign_returns_empty_disabled_buffer() {
+        let c = small_config(2000.0);
+        let (results, trace) = run_campaign_traced(&c, &[CloningPolicy::None]);
+        assert!(trace.is_empty() && !trace.enabled());
+        assert_eq!(results, run_campaign(&c, &[CloningPolicy::None]));
     }
 
     #[test]

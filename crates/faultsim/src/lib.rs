@@ -31,7 +31,8 @@ pub mod rare;
 pub mod rates;
 
 pub use campaign::{
-    run_campaign, sample_fault_history, sample_fault_set, CampaignConfig, PolicyResult, TimedFault,
+    run_campaign, run_campaign_traced, sample_fault_history, sample_fault_set, CampaignConfig,
+    PolicyResult, TimedFault,
 };
 pub use rare::{estimate_clone_udr, RareEventResult};
 pub use rates::{FaultMode, FitRates};

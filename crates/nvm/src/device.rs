@@ -19,6 +19,8 @@ use std::collections::HashMap;
 use soteria_ecc::chipkill::{ChipkillCodec, LineCodec, SecDedCodec};
 use soteria_ecc::ecp::EcpBlock;
 use soteria_ecc::CorrectionOutcome;
+use soteria_rt::obs::{Field, Obs};
+use soteria_rt::obs_fields;
 
 use crate::fault::{FaultKind, FaultRecord};
 use crate::geometry::DimmGeometry;
@@ -68,6 +70,8 @@ pub struct NvmDimm {
     ecp_repaired_bits: u64,
     // Chips marked dead (chip marking / sparing): decoded as erasures.
     marked_chips: Vec<u32>,
+    // Observability (disabled by default: one branch per event site).
+    obs: Obs,
 }
 
 impl std::fmt::Debug for NvmDimm {
@@ -117,6 +121,7 @@ impl NvmDimm {
             ecp: None,
             ecp_repaired_bits: 0,
             marked_chips: Vec::new(),
+            obs: Obs::disabled(),
         }
     }
 
@@ -138,6 +143,7 @@ impl NvmDimm {
             ecp: None,
             ecp_repaired_bits: 0,
             marked_chips: Vec::new(),
+            obs: Obs::disabled(),
         }
     }
 
@@ -258,6 +264,18 @@ impl NvmDimm {
         self.stats
     }
 
+    /// The device's observability handle (trace domain `"dev"`:
+    /// `fault_injected`, `ue`, `remap`). Disabled by default.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Mutable access to the observability handle (enable it, drain the
+    /// trace, merge metrics).
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.obs
+    }
+
     /// Wear-tracking data.
     pub fn wear(&self) -> &WearTracker {
         &self.wear
@@ -273,6 +291,21 @@ impl NvmDimm {
     pub fn inject_fault(&mut self, mut fault: FaultRecord) {
         fault.onset_epoch = self.write_epoch;
         fault.seed ^= 0x5eed_0000 ^ self.faults.len() as u64;
+        self.obs.trace.emit_with("dev", "fault_injected", || {
+            obs_fields![
+                (
+                    "kind",
+                    match fault.kind {
+                        FaultKind::Permanent => "permanent",
+                        FaultKind::Transient => "transient",
+                    }
+                ),
+                ("chips", fault.chips.len()),
+                ("onset_epoch", fault.onset_epoch),
+                ("seed", Field::Hex(fault.seed)),
+            ]
+        });
+        self.obs.metrics.inc("dev.faults_injected", 1);
         self.faults.push(fault);
     }
 
@@ -292,6 +325,10 @@ impl NvmDimm {
         if let Some(l) = &mut self.leveler {
             if let Some((from, to)) = l.record_write() {
                 self.move_physical_line(from, to);
+                self.obs.trace.emit_with("dev", "remap", || {
+                    obs_fields![("from", from), ("to", to)]
+                });
+                self.obs.metrics.inc("dev.remaps", 1);
             }
         }
         let phys = self.translate(addr);
@@ -469,8 +506,18 @@ impl NvmDimm {
             }
         };
         match outcome_and_line.1 {
-            CorrectionOutcome::Corrected { .. } => self.stats.corrected_reads += 1,
-            CorrectionOutcome::Uncorrectable => self.stats.uncorrectable_reads += 1,
+            CorrectionOutcome::Corrected { symbols } => {
+                self.stats.corrected_reads += 1;
+                self.obs.metrics.inc("dev.corrected_reads", 1);
+                self.obs.metrics.observe("dev.corrected_symbols", symbols as u64);
+            }
+            CorrectionOutcome::Uncorrectable => {
+                self.stats.uncorrectable_reads += 1;
+                self.obs.trace.emit_with("dev", "ue", || {
+                    obs_fields![("addr", addr.index()), ("phys", phys.index())]
+                });
+                self.obs.metrics.inc("dev.ue_reads", 1);
+            }
             CorrectionOutcome::Clean => {}
         }
         outcome_and_line

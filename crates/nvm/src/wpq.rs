@@ -99,6 +99,15 @@ impl WritePendingQueue {
         self.stalls
     }
 
+    /// Total entries drained from the queue to the media over its
+    /// lifetime (stall-forced drains plus `flush`). The drain counter is
+    /// the crash-point clock: every drain moves exactly one write out of
+    /// the ADR domain onto media, so "cut power after drain step k" is a
+    /// complete enumeration of media states a crash can expose.
+    pub fn drains(&self) -> u64 {
+        self.drains
+    }
+
     /// Pushes one write, draining the oldest entry to `device` first if
     /// the queue is full.
     pub fn push(&mut self, write: PendingWrite, device: &mut NvmDimm) {

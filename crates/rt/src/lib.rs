@@ -19,6 +19,10 @@
 //!   batches, warmup, median/p95).
 //! * [`json`] — a minimal order-preserving JSON value, parser, and
 //!   writer for machine-readable artifacts (benchmark baselines).
+//! * [`obs`] — deterministic observability: structured trace events
+//!   (ring-buffered, NDJSON export), typed counters, log2 histograms,
+//!   and scoped timers that are no-ops unless enabled. Same seed ⇒
+//!   byte-identical trace, at any thread count.
 //!
 //! Policy: **no crate in this workspace may depend on anything outside
 //! the workspace.** CI builds with `--offline` against an empty registry
@@ -26,6 +30,7 @@
 
 pub mod bench;
 pub mod json;
+pub mod obs;
 pub mod prop;
 pub mod rng;
 pub mod thread;

@@ -222,6 +222,12 @@ impl System {
         &self.controller
     }
 
+    /// Mutable access to the controller (e.g. to enable observability
+    /// before a run).
+    pub fn controller_mut(&mut self) -> &mut SecureMemoryController {
+        &mut self.controller
+    }
+
     /// Current simulated time in cycles (max over cores).
     pub fn now_cycles(&self) -> u64 {
         self.cores.iter().map(|c| c.now_cycles).max().unwrap_or(0)

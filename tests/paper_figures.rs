@@ -1,0 +1,88 @@
+//! Paper-figure regression tests: pin the *shape* of the headline
+//! results so a silent breakage of the cloning machinery fails
+//! `cargo test -q` instead of quietly flattening a figure.
+//!
+//! The key qualitative claim (§5, Figs. 11/12): under the Table 4 fault
+//! model, metadata cloning strictly reduces the Unverifiable Data Ratio —
+//! the baseline loses verifiability where Selective Relaxed Cloning (SRC)
+//! and Selective Aggressive Cloning (SAC) do not, while the directly
+//! lost fraction `L_error` is identical for all three (cloning protects
+//! metadata, it cannot resurrect data the ECC already lost).
+
+use soteria_suite::soteria::clone::CloningPolicy;
+use soteria_suite::soteria_faultsim::{run_campaign, CampaignConfig};
+
+/// A small fixed-seed campaign: high FIT so a few hundred iterations are
+/// enough to defeat Chipkill a handful of times, small capacity so each
+/// iteration is cheap. Single-threaded results are identical to any
+/// thread count, so the pinned numbers are stable everywhere.
+fn figure_campaign() -> Vec<soteria_suite::soteria_faultsim::PolicyResult> {
+    let mut config = CampaignConfig::table4(1500.0);
+    config.iterations = 256;
+    config.capacity_bytes = 64 << 20;
+    config.seed = 0x5072_1a5e;
+    run_campaign(
+        &config,
+        &[
+            CloningPolicy::None,
+            CloningPolicy::Relaxed,
+            CloningPolicy::Aggressive,
+        ],
+    )
+}
+
+#[test]
+fn udr_ordering_matches_fig11() {
+    let results = figure_campaign();
+    let (baseline, src, sac) = (&results[0], &results[1], &results[2]);
+
+    // Cloning monotonically reduces unverifiable data ...
+    assert!(
+        baseline.mean_udr >= src.mean_udr,
+        "baseline UDR {:.3e} < SRC UDR {:.3e}",
+        baseline.mean_udr,
+        src.mean_udr
+    );
+    assert!(
+        src.mean_udr >= sac.mean_udr,
+        "SRC UDR {:.3e} < SAC UDR {:.3e}",
+        src.mean_udr,
+        sac.mean_udr
+    );
+    // ... and strictly: at this FIT the baseline must lose verifiability
+    // somewhere that aggressive cloning does not. If cloning silently
+    // stops working, baseline == sac == 0 or baseline == sac > 0 — both
+    // fail here.
+    assert!(
+        baseline.mean_udr > sac.mean_udr,
+        "cloning made no difference (baseline {:.3e}, SAC {:.3e}) — \
+         the cloning machinery is likely broken",
+        baseline.mean_udr,
+        sac.mean_udr
+    );
+    assert!(
+        baseline.iterations_with_udr > 0,
+        "campaign too quiet to exercise UDR at all"
+    );
+}
+
+#[test]
+fn error_ratio_is_policy_independent() {
+    let results = figure_campaign();
+    // L_error is what the ECC already lost — cloning cannot change it.
+    let e0 = results[0].mean_error_ratio;
+    for r in &results[1..] {
+        assert!(
+            (r.mean_error_ratio - e0).abs() < 1e-12,
+            "{}: L_error {:.6e} != baseline {:.6e}",
+            r.policy.name(),
+            r.mean_error_ratio,
+            e0
+        );
+    }
+    // And every policy sees the same fault streams.
+    for r in &results {
+        assert_eq!(r.iterations_with_faults, results[0].iterations_with_faults);
+        assert_eq!(r.iterations_with_ue, results[0].iterations_with_ue);
+    }
+}

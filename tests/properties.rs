@@ -496,6 +496,69 @@ fn gf256_table_mul_div_match_bitwise_reference() {
 }
 
 #[test]
+fn start_gap_full_rotation_is_a_full_permutation() {
+    // Start-gap wear leveling (Qureshi et al., MICRO 2009): over one full
+    // rotation period — `lines * (lines + 1)` gap movements — every
+    // logical line's data must visit every physical slot (including the
+    // spare) exactly once and return to where it started. This is the
+    // whole point of the scheme: a hot logical line spreads its writes
+    // uniformly over all physical lines.
+    use soteria_suite::soteria_nvm::wear::StartGapLeveler;
+    check(
+        "start_gap_full_rotation_is_a_full_permutation",
+        &cfg(24),
+        &(2u64..=16, 1u64..=3),
+        |&(lines, interval)| {
+            let mut lv = StartGapLeveler::new(lines, interval);
+            // positions[l]: the sequence of distinct physical slots line
+            // l's data occupies, starting from the identity mapping.
+            let mut positions: Vec<Vec<u64>> =
+                (0..lines).map(|l| vec![lv.translate(l)]).collect();
+            let rotation_moves = lines * (lines + 1);
+            while lv.total_moves() < rotation_moves {
+                if lv.record_write().is_some() {
+                    for (l, visited) in positions.iter_mut().enumerate() {
+                        let p = lv.translate(l as u64);
+                        if *visited.last().unwrap() != p {
+                            visited.push(p);
+                        }
+                    }
+                }
+            }
+            for (l, visited) in positions.iter().enumerate() {
+                // Back to the identity mapping ...
+                prop_assert_eq!(
+                    *visited.last().unwrap(),
+                    l as u64,
+                    "line {} did not return home after a full rotation",
+                    l
+                );
+                // ... having entered each of the `lines + 1` physical
+                // slots exactly once (the home slot is re-entered at the
+                // end, closing the cycle).
+                prop_assert_eq!(
+                    visited.len() as u64,
+                    lines + 2,
+                    "line {} made {} slot visits, want {}",
+                    l,
+                    visited.len(),
+                    lines + 2
+                );
+                let distinct: std::collections::BTreeSet<u64> =
+                    visited.iter().copied().collect();
+                prop_assert_eq!(
+                    distinct,
+                    (0..=lines).collect::<std::collections::BTreeSet<u64>>(),
+                    "line {} missed a physical slot",
+                    l
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
 fn line_addr_sanity() {
     // Anchor for the property file: plain unit check that the shared
     // newtypes interoperate.
