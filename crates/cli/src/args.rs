@@ -38,7 +38,10 @@ impl std::fmt::Display for ArgsError {
             } => {
                 write!(f, "option --{key}: '{value}' is not a valid {expected}")
             }
-            ArgsError::UnexpectedPositional(p) => write!(f, "unexpected argument '{p}'"),
+            ArgsError::UnexpectedPositional(p) => write!(
+                f,
+                "unexpected argument '{p}' (one command, then --key value options; see `soteria help`)"
+            ),
         }
     }
 }
@@ -160,5 +163,25 @@ mod tests {
     fn unexpected_positional_rejected() {
         let e = Args::parse(["perf".into(), "extra".into()]).unwrap_err();
         assert!(matches!(e, ArgsError::UnexpectedPositional(_)));
+    }
+
+    /// Every parse failure prints an actionable one-liner; the exact
+    /// strings are part of the CLI's contract.
+    #[test]
+    fn error_display_strings_are_pinned() {
+        let bad = ArgsError::BadValue {
+            key: "ops".into(),
+            value: "banana".into(),
+            expected: "u64",
+        };
+        assert_eq!(
+            bad.to_string(),
+            "option --ops: 'banana' is not a valid u64"
+        );
+        let positional = ArgsError::UnexpectedPositional("extra".into());
+        assert_eq!(
+            positional.to_string(),
+            "unexpected argument 'extra' (one command, then --key value options; see `soteria help`)"
+        );
     }
 }

@@ -13,57 +13,118 @@ mod args;
 use std::process::ExitCode;
 
 use args::Args;
-use soteria::analysis::{ExpectedLossModel, TreeKind};
+use soteria::analysis::ExpectedLossModel;
 use soteria::clone::CloningPolicy;
 use soteria::recovery::recover;
 use soteria::{DataAddr, SecureMemoryConfig, SecureMemoryController};
 use soteria_faultsim::{
-    cluster_mtbf_hours, estimate_clone_udr, run_campaign_traced, CampaignConfig,
+    cluster_mtbf_hours, estimate_clone_udr, report_json, run_campaign_traced, CampaignConfig,
+    STANDARD_POLICIES,
 };
+use soteria_faultsim::job::{parse_ecc, parse_tree};
 use soteria_rt::json::Json;
+use soteria_svc::http::ReadLimits;
+use soteria_svc::{client, submit_burst, Server, ServerConfig};
 use soteria_simcpu::{System, SystemConfig};
 use soteria_workloads::{standard_suite, SuiteConfig, Workload};
 
-const USAGE: &str = "\
-soteria — resilient integrity-protected & encrypted NVM simulator (MICRO'21 reproduction)
+/// Every subcommand with its one-line description — the single source
+/// behind `help`, `--help`, and the unknown-command listing. The
+/// dispatcher in [`run`] must have an arm per entry (a unit test cross
+/// checks the usage text against this table).
+const COMMANDS: &[(&str, &str)] = &[
+    ("info", "print configurations and layout math"),
+    ("perf", "run a workload through the simulated system"),
+    ("campaign", "Monte Carlo fault campaign (FaultSim-style)"),
+    ("rare", "rare-event clone-UDR estimate"),
+    ("record", "capture a workload's memory trace to a file"),
+    ("crash-demo", "write, crash, optionally break metadata, recover"),
+    ("trace-validate", "check an NDJSON trace for shape & ordering"),
+    ("serve", "run the campaign service (HTTP API over a job queue)"),
+    ("submit", "send a campaign to a server and fetch its artifacts"),
+    ("http", "one-shot HTTP request against a running server"),
+    ("loadgen", "concurrent submission burst to exercise backpressure"),
+    ("help", "show this command listing"),
+];
 
-USAGE: soteria <command> [--option value ...]
+/// The `COMMANDS:` block shown by help and after an unknown command.
+fn command_listing() -> String {
+    let mut out = String::from("COMMANDS:\n");
+    for (name, one_liner) in COMMANDS {
+        out.push_str(&format!("  {name:<15}{one_liner}\n"));
+    }
+    out
+}
 
-COMMANDS:
-  info                         print configurations and layout math
-  perf                         run a workload through the simulated system
+const OPTION_DETAILS: &str = "\
+OPTIONS (by command):
+  perf
       --workload NAME          suite workload (default sps; try `soteria info`)
       --ops N                  memory operations per core (default 100000)
       --scheme S               baseline | src | sac (default src)
       --cores N                co-running copies (default 1)
-  campaign                     Monte Carlo fault campaign (FaultSim-style)
+      --trace PATH             replay a recorded trace instead of a workload
+      --metrics                print a controller metrics snapshot
+  campaign
       --fit F                  FIT per chip (default 80)
       --iters N                iterations (default 100000)
       --ecc E                  secded | chipkill | double (default chipkill)
       --tree T                 toc | bmt (default toc)
       --scrub HOURS            patrol-scrub interval (default: off)
+      --seed S                 RNG seed, decimal or 0x-hex (default Table 4)
+      --capacity BYTES         protected capacity (default 16 GiB)
       --threads N              worker threads (result & trace are identical
                                for any N; default: all cores)
       --trace PATH             write a deterministic NDJSON event trace
       --json PATH              write results + metrics snapshot as JSON
-  rare                         rare-event clone-UDR estimate
+  rare
       --fit F                  FIT per chip (default 80)
       --samples N              samples per conditioned k (default 3000)
-  record                       capture a workload's memory trace to a file
+  record
       --workload NAME          suite workload (default sps)
       --ops N                  operations to record (default 100000)
       --out PATH               output file (default workload.trace)
-  crash-demo                   write, crash, optionally break metadata, recover
+  crash-demo
       --scheme S               baseline | src | sac (default src)
       --fault                  inject a 2-chip fault into a counter block
       --trace PATH             write the controller/recovery event trace
-  trace-validate               check an NDJSON trace for shape & ordering
+  trace-validate
       --file PATH              trace file to validate
-  help                         this text
-
-  perf also accepts --trace PATH to replay a recorded trace instead of a
-  suite workload, and --metrics to print a controller metrics snapshot.
+  serve
+      --addr A                 listen address (default 127.0.0.1:7787; port 0
+                               picks an ephemeral port)
+      --workers N              campaign worker threads (default 2)
+      --queue N                queued-job capacity before 429 (default 8)
+      --max-body BYTES         request body limit (default 1048576)
+      --read-timeout-ms N      per-connection read timeout (default 5000)
+      --port-file PATH         write the bound address for scripts
+  submit                       (campaign options: --fit --iters --ecc --tree
+                                --scrub --seed --threads --capacity; the
+                                server's defaults are Table 4 with 10000
+                                iterations)
+      --addr A                 server address (default 127.0.0.1:7787)
+      --out PATH               write the result JSON (default: stdout)
+      --trace-out PATH         also fetch and write the NDJSON trace
+      --poll-ms N              status poll interval (default 50)
+      --timeout-s N            give up after this long (default 600)
+  http
+      --addr A                 server address (default 127.0.0.1:7787)
+      --method M               request method (default GET)
+      --path P                 request path (default /healthz)
+      --body JSON              request body (sent as application/json)
+  loadgen                      (campaign options as for submit)
+      --addr A                 server address (default 127.0.0.1:7787)
+      --clients N              concurrent submitters (default 16)
 ";
+
+fn usage() -> String {
+    format!(
+        "soteria — resilient integrity-protected & encrypted NVM simulator (MICRO'21 reproduction)\n\
+         \nUSAGE: soteria <command> [--option value ...]\n\n{}\n{}",
+        command_listing(),
+        OPTION_DETAILS
+    )
+}
 
 fn scheme_of(name: &str) -> Result<CloningPolicy, String> {
     match name {
@@ -188,21 +249,18 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let mut config = CampaignConfig::table4(fit);
     config.iterations = iters;
-    config.correctable_chips = match args.get_or("ecc", "chipkill") {
-        "secded" => 0,
-        "chipkill" => 1,
-        "double" => 2,
-        other => return Err(format!("unknown ecc '{other}' (secded|chipkill|double)")),
-    };
-    config.tree = match args.get_or("tree", "toc") {
-        "toc" => TreeKind::Toc,
-        "bmt" => TreeKind::Bmt,
-        other => return Err(format!("unknown tree '{other}' (toc|bmt)")),
-    };
+    config.correctable_chips = parse_ecc(args.get_or("ecc", "chipkill"))?;
+    config.tree = parse_tree(args.get_or("tree", "toc"))?;
     if let Some(s) = args.get("scrub") {
         config.scrub_interval_hours =
             Some(s.parse().map_err(|_| format!("bad scrub interval '{s}'"))?);
     }
+    if let Some(s) = args.get("seed") {
+        config.seed = parse_seed(s)?;
+    }
+    config.capacity_bytes = args
+        .get_num("capacity", config.capacity_bytes)
+        .map_err(|e| e.to_string())?;
     if let Some(t) = args.get("threads") {
         config.threads = t
             .parse::<usize>()
@@ -217,14 +275,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         "FIT {fit}/chip -> 20k-node cluster MTBF {:.1} h | {iters} iterations | 5 years",
         cluster_mtbf_hours(fit, 20_000, 4, 18)
     );
-    let (results, trace) = run_campaign_traced(
-        &config,
-        &[
-            CloningPolicy::None,
-            CloningPolicy::Relaxed,
-            CloningPolicy::Aggressive,
-        ],
-    );
+    let (results, trace) = run_campaign_traced(&config, &STANDARD_POLICIES);
     println!(
         "{:>9} | {:>12} | {:>12} | {:>14}",
         "scheme", "mean UDR", "L_error", "iters w/ UDR"
@@ -257,85 +308,14 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         );
     }
     if let Some(path) = &json_path {
-        let doc = campaign_json(&config, &results, &trace);
+        // `report_json` is shared with the service, so these bytes are
+        // identical to `GET /v1/jobs/{id}/result` for the same config.
+        let doc = report_json(&config, &results, &trace);
         std::fs::write(path, doc.to_pretty_string())
             .map_err(|e| format!("writing json '{path}': {e}"))?;
         println!("results + metrics snapshot to {path}");
     }
     Ok(())
-}
-
-/// The campaign's machine-readable artifact: config echo, per-policy
-/// results, and a metrics snapshot derived from the event trace.
-fn campaign_json(
-    config: &CampaignConfig,
-    results: &[soteria_faultsim::PolicyResult],
-    trace: &soteria_rt::obs::TraceBuffer,
-) -> Json {
-    let mut event_counts: Vec<(String, u64)> = Vec::new();
-    for ev in trace.events() {
-        match event_counts.iter_mut().find(|(n, _)| n == ev.name) {
-            Some((_, c)) => *c += 1,
-            None => event_counts.push((ev.name.to_string(), 1)),
-        }
-    }
-    Json::Obj(vec![
-        (
-            "config".into(),
-            Json::Obj(vec![
-                ("seed".into(), Json::Str(format!("{:#018x}", config.seed))),
-                ("iterations".into(), Json::Num(config.iterations as f64)),
-                ("fit_per_chip".into(), Json::Num(config.fit_per_chip)),
-                (
-                    "capacity_bytes".into(),
-                    Json::Num(config.capacity_bytes as f64),
-                ),
-            ]),
-        ),
-        (
-            "results".into(),
-            Json::Arr(
-                results
-                    .iter()
-                    .map(|r| {
-                        Json::Obj(vec![
-                            ("policy".into(), Json::Str(r.policy.name().into())),
-                            (
-                                "iterations_with_faults".into(),
-                                Json::Num(r.iterations_with_faults as f64),
-                            ),
-                            (
-                                "iterations_with_ue".into(),
-                                Json::Num(r.iterations_with_ue as f64),
-                            ),
-                            (
-                                "iterations_with_udr".into(),
-                                Json::Num(r.iterations_with_udr as f64),
-                            ),
-                            ("mean_error_ratio".into(), Json::Num(r.mean_error_ratio)),
-                            ("mean_udr".into(), Json::Num(r.mean_udr)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-        (
-            "metrics".into(),
-            Json::Obj(vec![
-                ("trace_events".into(), Json::Num(trace.len() as f64)),
-                ("trace_dropped".into(), Json::Num(trace.dropped() as f64)),
-                (
-                    "events_by_name".into(),
-                    Json::Obj(
-                        event_counts
-                            .into_iter()
-                            .map(|(n, c)| (n, Json::Num(c as f64)))
-                            .collect(),
-                    ),
-                ),
-            ]),
-        ),
-    ])
 }
 
 fn cmd_rare(args: &Args) -> Result<(), String> {
@@ -469,11 +449,214 @@ fn cmd_trace_validate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a seed given as decimal or `0x`-prefixed hex.
+fn parse_seed(s: &str) -> Result<u64, String> {
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    }
+    .map_err(|_| format!("bad seed '{s}' (decimal or 0x-hex)"))
+}
+
+/// Builds a `/v1/campaigns` request body from the campaign flags the
+/// user actually passed — unset fields fall to the server's Table-4
+/// defaults, mirroring `soteria campaign`.
+fn campaign_body(args: &Args) -> Result<Json, String> {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    let push_num = |key: &str, field: &str, fields: &mut Vec<(String, Json)>| {
+        if let Some(v) = args.get(key) {
+            let n: f64 = v
+                .parse()
+                .map_err(|_| format!("option --{key}: '{v}' is not a valid number"))?;
+            fields.push((field.into(), Json::Num(n)));
+        }
+        Ok::<(), String>(())
+    };
+    push_num("fit", "fit", &mut fields)?;
+    push_num("iters", "iterations", &mut fields)?;
+    push_num("scrub", "scrub_hours", &mut fields)?;
+    push_num("threads", "threads", &mut fields)?;
+    push_num("capacity", "capacity_bytes", &mut fields)?;
+    if let Some(e) = args.get("ecc") {
+        parse_ecc(e)?; // fail here, not server-side
+        fields.push(("ecc".into(), Json::Str(e.into())));
+    }
+    if let Some(t) = args.get("tree") {
+        parse_tree(t)?;
+        fields.push(("tree".into(), Json::Str(t.into())));
+    }
+    if let Some(s) = args.get("seed") {
+        fields.push(("seed".into(), Json::Num(parse_seed(s)? as f64)));
+    }
+    Ok(Json::Obj(fields))
+}
+
+/// Renders a non-2xx response as the server's one-line error message.
+fn http_failure(resp: &client::HttpResponse) -> String {
+    let detail = resp
+        .json()
+        .ok()
+        .and_then(|doc| doc.get("error").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or_else(|| resp.text().trim().to_string());
+    format!("server said HTTP {}: {detail}", resp.status)
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let addr = args.get_or("addr", "127.0.0.1:7787").to_string();
+    let workers = args.get_num("workers", 2usize).map_err(|e| e.to_string())?;
+    let queue = args.get_num("queue", 8usize).map_err(|e| e.to_string())?;
+    let max_body = args
+        .get_num("max-body", 1024 * 1024usize)
+        .map_err(|e| e.to_string())?;
+    let read_timeout_ms = args
+        .get_num("read-timeout-ms", 5000u64)
+        .map_err(|e| e.to_string())?;
+    let config = ServerConfig {
+        workers,
+        queue_capacity: queue,
+        retry_after_secs: 1,
+        read_timeout: std::time::Duration::from_millis(read_timeout_ms),
+        limits: ReadLimits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: max_body,
+        },
+    };
+    let server = Server::bind(&*addr, config).map_err(|e| format!("binding '{addr}': {e}"))?;
+    let local = server.local_addr();
+    if let Some(path) = args.get("port-file") {
+        std::fs::write(path, format!("{local}\n"))
+            .map_err(|e| format!("writing port file '{path}': {e}"))?;
+    }
+    println!("soteria-svc listening on {local} ({workers} workers, queue capacity {queue})");
+    println!("POST /v1/shutdown (or `soteria http --method POST --path /v1/shutdown`) drains and exits");
+    let handle = server.handle();
+    server.serve();
+    println!("drained: {} job(s) accepted over this run", handle.job_count());
+    Ok(())
+}
+
+fn cmd_submit(args: &Args) -> Result<(), String> {
+    let addr = args.get_or("addr", "127.0.0.1:7787").to_string();
+    let body = campaign_body(args)?;
+    let resp = client::post_json(&*addr, "/v1/campaigns", &body)
+        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    if resp.status != 202 {
+        return Err(http_failure(&resp));
+    }
+    let id = resp
+        .json()?
+        .get("job")
+        .and_then(Json::as_f64)
+        .ok_or("submit response missing 'job' id")? as u64;
+    let poll = args.get_num("poll-ms", 50u64).map_err(|e| e.to_string())?;
+    let timeout = args.get_num("timeout-s", 600u64).map_err(|e| e.to_string())?;
+    eprintln!("job {id} accepted by {addr}; polling every {poll} ms");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(timeout);
+    loop {
+        let status = client::get(&*addr, &format!("/v1/jobs/{id}"))
+            .map_err(|e| format!("polling {addr}: {e}"))?;
+        if status.status != 200 {
+            return Err(http_failure(&status));
+        }
+        let doc = status.json()?;
+        match doc.get("status").and_then(Json::as_str) {
+            Some("done") => break,
+            Some("failed") => {
+                let why = doc
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("campaign panicked");
+                return Err(format!("job {id} failed: {why}"));
+            }
+            _ => {
+                if std::time::Instant::now() > deadline {
+                    return Err(format!("job {id} still not done after {timeout}s"));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(poll));
+            }
+        }
+    }
+    let result = client::get(&*addr, &format!("/v1/jobs/{id}/result"))
+        .map_err(|e| format!("fetching result: {e}"))?;
+    if result.status != 200 {
+        return Err(http_failure(&result));
+    }
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &result.body)
+                .map_err(|e| format!("writing result '{path}': {e}"))?;
+            eprintln!("result to {path}");
+        }
+        None => print!("{}", result.text()),
+    }
+    if let Some(path) = args.get("trace-out") {
+        let trace = client::get(&*addr, &format!("/v1/jobs/{id}/trace"))
+            .map_err(|e| format!("fetching trace: {e}"))?;
+        if trace.status != 200 {
+            return Err(http_failure(&trace));
+        }
+        std::fs::write(path, &trace.body)
+            .map_err(|e| format!("writing trace '{path}': {e}"))?;
+        eprintln!("trace to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_http(args: &Args) -> Result<(), String> {
+    let addr = args.get_or("addr", "127.0.0.1:7787");
+    let method = args.get_or("method", "GET");
+    let path = args.get_or("path", "/healthz");
+    let body = args
+        .get("body")
+        .map(|b| ("application/json", b.as_bytes()));
+    let resp = client::request(addr, method, path, body)
+        .map_err(|e| format!("{method} {addr}{path}: {e}"))?;
+    eprintln!("HTTP {} {}", resp.status, resp.reason);
+    use std::io::Write as _;
+    std::io::stdout()
+        .write_all(&resp.body)
+        .map_err(|e| e.to_string())?;
+    if resp.status >= 400 {
+        return Err(http_failure(&resp));
+    }
+    Ok(())
+}
+
+fn cmd_loadgen(args: &Args) -> Result<(), String> {
+    use std::net::ToSocketAddrs;
+    let addr = args.get_or("addr", "127.0.0.1:7787");
+    let clients = args.get_num("clients", 16usize).map_err(|e| e.to_string())?;
+    let body = campaign_body(args)?;
+    let sockaddr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolving '{addr}': {e}"))?
+        .next()
+        .ok_or_else(|| format!("'{addr}' resolves to no address"))?;
+    let report = submit_burst(sockaddr, &body, clients);
+    println!("{}", report.summary());
+    let mut counts: Vec<(u16, usize)> = Vec::new();
+    for outcome in &report.outcomes {
+        match counts.iter_mut().find(|(s, _)| *s == outcome.status) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((outcome.status, 1)),
+        }
+    }
+    counts.sort_unstable();
+    for (status, n) in counts {
+        println!("  HTTP {status}: {n}");
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = Args::parse(std::env::args().skip(1)).map_err(|e| e.to_string())?;
+    if args.has_flag("help") {
+        println!("{}", usage());
+        return Ok(());
+    }
     match args.command() {
         None | Some("help") => {
-            println!("{USAGE}");
+            println!("{}", usage());
             Ok(())
         }
         Some("info") => {
@@ -503,7 +686,11 @@ fn run() -> Result<(), String> {
         Some("rare") => cmd_rare(&args),
         Some("crash-demo") => cmd_crash_demo(&args),
         Some("trace-validate") => cmd_trace_validate(&args),
-        Some(other) => Err(format!("unknown command '{other}'; see `soteria help`")),
+        Some("serve") => cmd_serve(&args),
+        Some("submit") => cmd_submit(&args),
+        Some("http") => cmd_http(&args),
+        Some("loadgen") => cmd_loadgen(&args),
+        Some(other) => Err(format!("unknown command '{other}'\n\n{}", command_listing())),
     }
 }
 
@@ -514,5 +701,62 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_command_is_listed_once_with_a_description() {
+        let listing = command_listing();
+        let text = usage();
+        for (name, one_liner) in COMMANDS {
+            assert!(!one_liner.is_empty(), "{name} needs a description");
+            assert_eq!(
+                listing.matches(&format!("\n  {name} ")).count(),
+                1,
+                "{name} must appear exactly once in the listing"
+            );
+            assert!(text.contains(one_liner), "usage must carry {name}'s one-liner");
+        }
+        let names: Vec<&str> = COMMANDS.iter().map(|(n, _)| *n).collect();
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "duplicate command names");
+    }
+
+    #[test]
+    fn seed_parsing_accepts_both_radixes() {
+        assert_eq!(parse_seed("42").unwrap(), 42);
+        assert_eq!(parse_seed("0xdead").unwrap(), 0xdead);
+        assert!(parse_seed("0xzz").unwrap_err().contains("0xzz"));
+    }
+
+    #[test]
+    fn campaign_body_maps_flags_to_service_fields() {
+        let args = Args::parse(
+            "submit --fit 1500 --iters 200 --ecc double --tree bmt --seed 0x7 --capacity 67108864"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        let body = campaign_body(&args).unwrap();
+        assert_eq!(body.get("fit").and_then(Json::as_f64), Some(1500.0));
+        assert_eq!(body.get("iterations").and_then(Json::as_f64), Some(200.0));
+        assert_eq!(body.get("ecc").and_then(Json::as_str), Some("double"));
+        assert_eq!(body.get("tree").and_then(Json::as_str), Some("bmt"));
+        assert_eq!(body.get("seed").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(
+            body.get("capacity_bytes").and_then(Json::as_f64),
+            Some(67108864.0)
+        );
+        // Unset flags stay unset so the server's defaults apply.
+        assert!(body.get("threads").is_none());
+        // And bad values fail locally with the option name.
+        let bad = Args::parse(["submit".into(), "--ecc".into(), "raid".into()]).unwrap();
+        assert!(campaign_body(&bad).unwrap_err().contains("unknown ecc 'raid'"));
     }
 }

@@ -6,13 +6,49 @@ fn soteria() -> Command {
     Command::new(env!("CARGO_BIN_EXE_soteria"))
 }
 
+/// Every subcommand the binary dispatches, with a listing entry.
+const ALL_COMMANDS: &[&str] = &[
+    "info",
+    "perf",
+    "campaign",
+    "rare",
+    "record",
+    "crash-demo",
+    "trace-validate",
+    "serve",
+    "submit",
+    "http",
+    "loadgen",
+    "help",
+];
+
 #[test]
-fn help_prints_usage() {
+fn help_prints_usage_with_every_command() {
     let out = soteria().arg("help").output().expect("spawn");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("USAGE"));
-    assert!(text.contains("crash-demo"));
+    for name in ALL_COMMANDS {
+        assert!(
+            text.contains(&format!("\n  {name} ")),
+            "help must list {name}"
+        );
+    }
+}
+
+#[test]
+fn help_flag_matches_help_command() {
+    let flag = soteria().arg("--help").output().expect("spawn");
+    let command = soteria().arg("help").output().expect("spawn");
+    assert!(flag.status.success());
+    assert_eq!(flag.stdout, command.stdout);
+    // And the flag wins even with a command present.
+    let mixed = soteria()
+        .args(["campaign", "--help"])
+        .output()
+        .expect("spawn");
+    assert!(mixed.status.success());
+    assert_eq!(mixed.stdout, command.stdout);
 }
 
 #[test]
@@ -26,11 +62,18 @@ fn info_lists_workloads_and_tables() {
 }
 
 #[test]
-fn unknown_command_fails_with_message() {
+fn unknown_command_fails_with_the_listing() {
     let out = soteria().arg("frobnicate").output().expect("spawn");
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.contains("unknown command"));
+    assert!(err.contains("unknown command 'frobnicate'"));
+    assert!(err.contains("COMMANDS:"), "stderr must carry the listing");
+    for name in ALL_COMMANDS {
+        assert!(
+            err.contains(&format!("\n  {name} ")),
+            "listing after an unknown command must include {name}"
+        );
+    }
 }
 
 #[test]
@@ -77,6 +120,90 @@ fn campaign_small_run_prints_schemes() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Baseline"));
     assert!(text.contains("SAC"));
+}
+
+/// Kills the server child even when an assert unwinds mid-test.
+struct KillOnDrop(std::process::Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// The determinism contract end-to-end at the binary level: `soteria
+/// serve` + `soteria submit` produce byte-identical result JSON and
+/// NDJSON trace to `soteria campaign --json/--trace` at the same seed,
+/// and a `POST /v1/shutdown` drains the server to a clean exit.
+#[test]
+fn serve_submit_matches_campaign_bytes() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let path = |name: &str| dir.join(format!("cli_svc_{pid}_{name}"));
+    let port_file = path("addr");
+    let serve = soteria()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "1", "--queue", "4", "--port-file"])
+        .arg(&port_file)
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+    let mut serve = KillOnDrop(serve);
+    let mut addr = String::new();
+    for _ in 0..400 {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            if text.ends_with('\n') {
+                addr = text.trim().to_string();
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert!(!addr.is_empty(), "server never wrote its port file");
+
+    let campaign_flags = [
+        "--fit", "1500", "--iters", "300", "--capacity", "67108864", "--seed", "0xabc",
+    ];
+    let out = soteria()
+        .args(["submit", "--addr", &addr])
+        .args(campaign_flags)
+        .args(["--out"])
+        .arg(path("http.json"))
+        .arg("--trace-out")
+        .arg(path("http.ndjson"))
+        .output()
+        .expect("spawn submit");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = soteria()
+        .arg("campaign")
+        .args(campaign_flags)
+        .args(["--threads", "2", "--json"])
+        .arg(path("cli.json"))
+        .arg("--trace")
+        .arg(path("cli.ndjson"))
+        .output()
+        .expect("spawn campaign");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    for name in ["json", "ndjson"] {
+        let http = std::fs::read(path(&format!("http.{name}"))).expect("http artifact");
+        let cli = std::fs::read(path(&format!("cli.{name}"))).expect("cli artifact");
+        assert!(!http.is_empty());
+        assert_eq!(http, cli, "HTTP and CLI {name} artifacts must match byte-for-byte");
+    }
+
+    let out = soteria()
+        .args(["http", "--addr", &addr, "--method", "POST", "--path", "/v1/shutdown"])
+        .output()
+        .expect("spawn http");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let status = serve.0.wait().expect("serve exits after drain");
+    assert!(status.success(), "serve must exit cleanly after the drain");
+
+    for name in ["addr", "http.json", "http.ndjson", "cli.json", "cli.ndjson"] {
+        std::fs::remove_file(path(name)).ok();
+    }
 }
 
 #[test]

@@ -646,6 +646,83 @@ impl Metrics {
         }
     }
 
+    /// The registry in Prometheus text exposition format, every metric
+    /// name prefixed with `prefix_`.
+    ///
+    /// * Counters render as `counter` metrics.
+    /// * Histograms and timer histograms render as `histogram` metrics:
+    ///   cumulative `_bucket{le="…"}` lines at each nonempty log2 bucket's
+    ///   inclusive upper edge (`2^i − 1`), a `+Inf` bucket, `_sum`, and
+    ///   `_count`.
+    /// * A metric name may carry its own label set in curly braces
+    ///   (e.g. `http_latency_ns{endpoint="healthz"}`); the labels are
+    ///   spliced into every emitted sample (`le` is appended for
+    ///   buckets), and `# TYPE` headers are emitted once per base name.
+    pub fn to_prometheus(&self, prefix: &str) -> String {
+        // Splits `latency{endpoint="x"}` into ("latency", `endpoint="x"`).
+        fn split_labels(name: &str) -> (&str, Option<&str>) {
+            match name.split_once('{') {
+                Some((base, rest)) => (base, rest.strip_suffix('}')),
+                None => (name, None),
+            }
+        }
+        // `{existing,extra}` / `{existing}` / `{extra}` / `` as available.
+        fn braces(labels: Option<&str>, extra: Option<&str>) -> String {
+            match (labels, extra) {
+                (Some(l), Some(e)) => format!("{{{l},{e}}}"),
+                (Some(l), None) => format!("{{{l}}}"),
+                (None, Some(e)) => format!("{{{e}}}"),
+                (None, None) => String::new(),
+            }
+        }
+        let mut out = String::new();
+        let mut typed: Vec<String> = Vec::new();
+        let mut type_line = |out: &mut String, full: &str, kind: &str| {
+            if !typed.iter().any(|t| t == full) {
+                out.push_str(&format!("# TYPE {full} {kind}\n"));
+                typed.push(full.to_string());
+            }
+        };
+        for &(name, v) in &self.counters {
+            let (base, labels) = split_labels(name);
+            let full = format!("{prefix}_{base}");
+            type_line(&mut out, &full, "counter");
+            out.push_str(&format!("{full}{} {v}\n", braces(labels, None)));
+        }
+        for (name, h) in self.histograms.iter().chain(self.timers.iter()) {
+            let (base, labels) = split_labels(name);
+            let full = format!("{prefix}_{base}");
+            type_line(&mut out, &full, "histogram");
+            let mut cumulative = 0u64;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                // Log2 bucket `i` holds values of bit length `i`, so its
+                // inclusive upper edge is `2^i − 1`.
+                let upper = if i == 0 { 0 } else { ((1u128 << i) - 1) as u64 };
+                let le = format!("le=\"{upper}\"");
+                out.push_str(&format!(
+                    "{full}_bucket{} {cumulative}\n",
+                    braces(labels, Some(&le))
+                ));
+            }
+            out.push_str(&format!(
+                "{full}_bucket{} {}\n",
+                braces(labels, Some("le=\"+Inf\"")),
+                h.count
+            ));
+            out.push_str(&format!("{full}_sum{} {}\n", braces(labels, None), h.sum));
+            out.push_str(&format!(
+                "{full}_count{} {}\n",
+                braces(labels, None),
+                h.count
+            ));
+        }
+        out
+    }
+
     /// The registry as a JSON object: `counters` and `histograms` in
     /// registration order — deterministic for a seed. Set
     /// `include_timers` to append the wall-clock `timers` section
@@ -890,6 +967,49 @@ mod tests {
             with.get("timers").unwrap().entries().unwrap()[0].0,
             "span"
         );
+    }
+
+    #[test]
+    fn prometheus_rendering_counters_and_histograms() {
+        let mut m = Metrics::enabled();
+        m.inc("requests", 3);
+        m.inc("rejected{code=\"429\"}", 2);
+        m.observe("queue_wait", 0);
+        m.observe("queue_wait", 5);
+        m.observe("queue_wait", 5);
+        let text = m.to_prometheus("svc");
+        assert!(text.contains("# TYPE svc_requests counter\n"));
+        assert!(text.contains("svc_requests 3\n"));
+        // Labels embedded in the metric name pass through.
+        assert!(text.contains("# TYPE svc_rejected counter\n"));
+        assert!(text.contains("svc_rejected{code=\"429\"} 2\n"));
+        // Histogram: 0 lands in bucket le="0", the 5s in le="7"; buckets
+        // are cumulative and close with +Inf, sum, count.
+        assert!(text.contains("# TYPE svc_queue_wait histogram\n"));
+        assert!(text.contains("svc_queue_wait_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("svc_queue_wait_bucket{le=\"7\"} 3\n"));
+        assert!(text.contains("svc_queue_wait_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("svc_queue_wait_sum 10\n"));
+        assert!(text.contains("svc_queue_wait_count 3\n"));
+    }
+
+    #[test]
+    fn prometheus_labelled_histogram_merges_le_into_labels() {
+        let mut m = Metrics::enabled();
+        let t = m.timer();
+        m.observe_timer("latency_ns{endpoint=\"healthz\"}", t);
+        let text = m.to_prometheus("svc");
+        assert!(text.contains("# TYPE svc_latency_ns histogram\n"));
+        assert!(
+            text.contains("svc_latency_ns_bucket{endpoint=\"healthz\",le=\"+Inf\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("svc_latency_ns_count{endpoint=\"healthz\"} 1\n"));
+        // One TYPE header per base name even with several label sets.
+        let t2 = m.timer();
+        m.observe_timer("latency_ns{endpoint=\"metrics\"}", t2);
+        let text = m.to_prometheus("svc");
+        assert_eq!(text.matches("# TYPE svc_latency_ns histogram").count(), 1);
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! A minimal HTTP/1.1 wire layer over [`std::net::TcpStream`].
+//!
+//! Only the subset the campaign service needs: one request per
+//! connection (`Connection: close`), `Content-Length` bodies, hard
+//! limits on header-section and body size, and a read timeout mapped to
+//! [`SvcError::RequestTimeout`]. Anything outside that subset is a
+//! [`SvcError::BadRequest`].
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use crate::error::SvcError;
+
+/// Size limits applied while reading a request.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadLimits {
+    /// Maximum bytes for the request line + headers (incl. `\r\n\r\n`).
+    pub max_head_bytes: usize,
+    /// Maximum bytes for the body (`Content-Length` is checked before
+    /// the body is read).
+    pub max_body_bytes: usize,
+}
+
+impl Default for ReadLimits {
+    fn default() -> Self {
+        Self {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// A parsed request: method, path, lower-cased header names, raw body.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The request method, upper-case as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target, e.g. `/v1/jobs/3/trace` (query strings are
+    /// kept verbatim; the service does not use them).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The raw request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn timeout_kind(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+fn map_io(err: io::Error) -> SvcError {
+    if timeout_kind(err.kind()) {
+        SvcError::RequestTimeout
+    } else {
+        SvcError::BadRequest(format!("connection error while reading request: {err}"))
+    }
+}
+
+/// Reads and parses one request from `stream`, enforcing `limits`.
+///
+/// The caller sets the stream's read timeout; a timeout while bytes are
+/// still owed maps to [`SvcError::RequestTimeout`], an oversized head or
+/// body to [`SvcError::PayloadTooLarge`], and malformed framing to
+/// [`SvcError::BadRequest`].
+pub fn read_request(stream: &mut TcpStream, limits: &ReadLimits) -> Result<Request, SvcError> {
+    // Read byte-at-a-time until the blank line; request heads are tiny
+    // and this keeps the code free of buffer-stitching bugs.
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= limits.max_head_bytes {
+            return Err(SvcError::PayloadTooLarge {
+                what: "header section",
+                limit: limits.max_head_bytes,
+            });
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Err(SvcError::BadRequest(
+                    "connection closed before the request was complete".into(),
+                ))
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(map_io(e)),
+        }
+    }
+    let head = String::from_utf8(head)
+        .map_err(|_| SvcError::BadRequest("request head is not valid UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(SvcError::BadRequest(format!(
+                "malformed request line '{request_line}'"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(SvcError::BadRequest(format!(
+            "unsupported protocol '{version}' (use HTTP/1.1)"
+        )));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| {
+            SvcError::BadRequest(format!("malformed header line '{line}'"))
+        })?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    if request.header("transfer-encoding").is_some() {
+        return Err(SvcError::BadRequest(
+            "chunked bodies are not supported; send Content-Length".into(),
+        ));
+    }
+    if let Some(len) = request.header("content-length") {
+        let len: usize = len.parse().map_err(|_| {
+            SvcError::BadRequest(format!("invalid Content-Length '{len}'"))
+        })?;
+        if len > limits.max_body_bytes {
+            // Best-effort drain (bounded) so closing the socket after the
+            // 413 doesn't RST the connection before the client reads it.
+            let mut sink = [0u8; 4096];
+            let mut left = len.min(1 << 20);
+            while left > 0 {
+                let take = sink.len().min(left);
+                match stream.read(&mut sink[..take]) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => left -= n,
+                }
+            }
+            return Err(SvcError::PayloadTooLarge {
+                what: "body",
+                limit: limits.max_body_bytes,
+            });
+        }
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body).map_err(map_io)?;
+        request.body = body;
+    }
+    Ok(request)
+}
+
+/// Writes one `Connection: close` response and flushes it.
+///
+/// `extra_headers` come after the standard set; `Content-Length` is
+/// always derived from `body`.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes the error response for `err`: a JSON body with the pinned
+/// one-line message, plus `Retry-After` for queue-full rejections.
+pub fn write_error(stream: &mut TcpStream, err: &SvcError) -> io::Result<()> {
+    let (status, reason) = err.status();
+    let body = soteria_rt::json::Json::Obj(vec![(
+        "error".into(),
+        soteria_rt::json::Json::Str(err.to_string()),
+    )])
+    .to_pretty_string();
+    let mut extra: Vec<(&str, String)> = Vec::new();
+    if let SvcError::QueueFull { retry_after_secs } = err {
+        extra.push(("Retry-After", retry_after_secs.to_string()));
+    }
+    write_response(
+        stream,
+        status,
+        reason,
+        "application/json",
+        &extra,
+        body.as_bytes(),
+    )
+}

@@ -23,7 +23,9 @@ use soteria_suite::soteria_ecc::rs::ReedSolomon;
 use soteria_suite::soteria_ecc::CorrectionOutcome;
 use soteria_suite::soteria_nvm::LineAddr;
 
-use soteria_suite::soteria_rt::prop::{any, array, btree_set, check, vec, Config};
+use soteria_suite::soteria_rt::json::Json;
+use soteria_suite::soteria_rt::prop::{any, array, btree_set, check, vec, Config, Strategy};
+use soteria_suite::soteria_rt::rng::StdRng;
 use soteria_suite::soteria_rt::{prop_assert, prop_assert_eq};
 
 /// Shared config: `cases` novel cases plus replay of the corpus.
@@ -553,6 +555,168 @@ fn start_gap_full_rotation_is_a_full_permutation() {
                     l
                 );
             }
+            Ok(())
+        },
+    );
+}
+
+/// Fuzz-style generator for arbitrary JSON documents: depth-bounded
+/// nesting, finite numbers drawn from the full `f64` bit space, and
+/// strings biased toward everything the escaper must handle (quotes,
+/// backslashes, control bytes, astral-plane scalars).
+struct JsonStrategy {
+    depth: u32,
+}
+
+impl JsonStrategy {
+    /// Characters the writer must escape or pass through verbatim.
+    const CHAR_POOL: &'static [char] = &[
+        'a', 'Z', '0', ' ', '/', '"', '\\', '\n', '\r', '\t', '\u{08}', '\u{0c}', '\u{00}',
+        '\u{1f}', 'é', 'λ', '漢', '\u{2028}', '😀', '\u{10fffd}',
+    ];
+
+    fn gen_string(rng: &mut StdRng) -> String {
+        let len = rng.bounded_u64(8) as usize;
+        (0..len)
+            .map(|_| {
+                if rng.bounded_u64(4) == 0 {
+                    // Any scalar value (from_u32 rejects surrogates).
+                    char::from_u32(rng.bounded_u64(0x110000) as u32).unwrap_or('\u{fffd}')
+                } else {
+                    Self::CHAR_POOL[rng.bounded_u64(Self::CHAR_POOL.len() as u64) as usize]
+                }
+            })
+            .collect()
+    }
+
+    fn gen_number(rng: &mut StdRng) -> f64 {
+        match rng.bounded_u64(4) {
+            0 => rng.bounded_u64(2_001) as f64 - 1_000.0,
+            1 => (rng.next_u64() >> 11) as f64, // 53-bit integers
+            2 => rng.uniform_f64() * 2e15 - 1e15,
+            _ => {
+                // Arbitrary bit patterns; JSON has no Inf/NaN, so keep
+                // resampling the exponent until the value is finite.
+                let mut v = f64::from_bits(rng.next_u64());
+                while !v.is_finite() {
+                    v = f64::from_bits(rng.next_u64());
+                }
+                v
+            }
+        }
+    }
+
+    fn gen_value(&self, rng: &mut StdRng, depth: u32) -> Json {
+        let kinds = if depth == 0 { 4 } else { 6 };
+        match rng.bounded_u64(kinds) {
+            0 => Json::Null,
+            1 => Json::Bool(rng.bounded_u64(2) == 1),
+            2 => Json::Num(Self::gen_number(rng)),
+            3 => Json::Str(Self::gen_string(rng)),
+            4 => {
+                let len = rng.bounded_u64(4) as usize;
+                Json::Arr((0..len).map(|_| self.gen_value(rng, depth - 1)).collect())
+            }
+            _ => {
+                let len = rng.bounded_u64(4) as usize;
+                Json::Obj(
+                    (0..len)
+                        .map(|_| (Self::gen_string(rng), self.gen_value(rng, depth - 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+impl Strategy for JsonStrategy {
+    type Value = Json;
+
+    fn generate(&self, rng: &mut StdRng) -> Json {
+        self.gen_value(rng, self.depth)
+    }
+
+    fn shrink(&self, value: &Json) -> Vec<Json> {
+        let mut out = Vec::new();
+        if *value != Json::Null {
+            out.push(Json::Null);
+        }
+        match value {
+            Json::Bool(true) => out.push(Json::Bool(false)),
+            Json::Num(n) if *n != 0.0 => {
+                out.push(Json::Num(0.0));
+                if n.trunc() != *n {
+                    out.push(Json::Num(n.trunc()));
+                }
+            }
+            Json::Str(s) if !s.is_empty() => {
+                out.push(Json::Str(String::new()));
+                // Drop one character at a time, from the end.
+                let shorter: String = s.chars().take(s.chars().count() - 1).collect();
+                out.push(Json::Str(shorter));
+            }
+            Json::Arr(items) if !items.is_empty() => {
+                out.push(Json::Arr(Vec::new()));
+                for i in 0..items.len() {
+                    let mut fewer = items.clone();
+                    fewer.remove(i);
+                    out.push(Json::Arr(fewer));
+                }
+                for (i, item) in items.iter().enumerate() {
+                    for candidate in self.shrink(item) {
+                        let mut next = items.clone();
+                        next[i] = candidate;
+                        out.push(Json::Arr(next));
+                    }
+                }
+            }
+            Json::Obj(entries) if !entries.is_empty() => {
+                out.push(Json::Obj(Vec::new()));
+                for i in 0..entries.len() {
+                    let mut fewer = entries.clone();
+                    fewer.remove(i);
+                    out.push(Json::Obj(fewer));
+                }
+                for (i, (key, item)) in entries.iter().enumerate() {
+                    if !key.is_empty() {
+                        let mut next = entries.clone();
+                        next[i].0 = String::new();
+                        out.push(Json::Obj(next));
+                    }
+                    for candidate in self.shrink(item) {
+                        let mut next = entries.clone();
+                        next[i].1 = candidate;
+                        out.push(Json::Obj(next));
+                    }
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+}
+
+#[test]
+fn json_documents_roundtrip_through_both_serializers() {
+    // rt::json is the interchange format for every committed artifact
+    // (campaign reports, baselines, service bodies): any document the
+    // writer emits must reparse to the identical value via both the
+    // compact and pretty forms, and rewriting the reparse must be
+    // byte-stable.
+    check(
+        "json_documents_roundtrip_through_both_serializers",
+        &cfg(256),
+        &JsonStrategy { depth: 3 },
+        |doc| {
+            let compact = doc.to_string();
+            let back = Json::parse(&compact)
+                .map_err(|e| format!("compact form failed to reparse: {e}\n{compact}"))?;
+            prop_assert_eq!(&back, doc);
+            let pretty = doc.to_pretty_string();
+            let back = Json::parse(&pretty)
+                .map_err(|e| format!("pretty form failed to reparse: {e}\n{pretty}"))?;
+            prop_assert_eq!(&back, doc);
+            prop_assert_eq!(back.to_pretty_string(), pretty);
             Ok(())
         },
     );
