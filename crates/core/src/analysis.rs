@@ -16,8 +16,6 @@
 //!   covered by metadata whose **every copy** — original and all Soteria
 //!   clones — fell inside uncorrectable regions).
 
-use std::collections::HashSet;
-
 use soteria_nvm::fault::{FaultFootprint, FaultRecord};
 use soteria_nvm::geometry::DimmGeometry;
 use soteria_nvm::LineAddr;
@@ -47,10 +45,11 @@ impl ExpectedLossModel {
     pub fn new(capacity_bytes: u64) -> Self {
         let data_lines = capacity_bytes / 64;
         assert!(data_lines > 0 && data_lines.is_multiple_of(COUNTERS_PER_BLOCK));
-        let mut level_counts = vec![data_lines / COUNTERS_PER_BLOCK];
-        while *level_counts.last().expect("nonempty") > TREE_ARITY {
-            let next = level_counts.last().unwrap().div_ceil(TREE_ARITY);
-            level_counts.push(next);
+        let mut level = data_lines / COUNTERS_PER_BLOCK;
+        let mut level_counts = vec![level];
+        while level > TREE_ARITY {
+            level = level.div_ceil(TREE_ARITY);
+            level_counts.push(level);
         }
         Self {
             data_lines,
@@ -558,9 +557,8 @@ impl<'a> ResilienceModel<'a> {
 
     /// Assesses one fault set under one policy.
     pub fn assess(&self, faults: &[FaultRecord], policy: &CloningPolicy) -> LossAssessment {
-        self.assess_many(faults, &[policy])
-            .pop()
-            .expect("one policy in, one result out")
+        // One policy in, one assessment out; the fallback is unreachable.
+        self.assess_many(faults, &[policy]).pop().unwrap_or_default()
     }
 
     /// Assesses one fault set under several policies at once; the UE
@@ -606,13 +604,16 @@ impl<'a> ResilienceModel<'a> {
                 .map(|r| self.count_lines_in(r, 0, data_lines))
                 .sum();
             if approx <= 1 << 17 {
-                // Small enough to count the union exactly.
-                let mut counted: HashSet<u64> = HashSet::new();
+                // Small enough to count the union exactly (sort + dedup
+                // keeps this hot path deterministic and allocation-light).
+                let mut counted: Vec<u64> = Vec::with_capacity(approx as usize);
                 for r in &regions {
                     self.for_each_line_in(r, 0, data_lines, &mut |line| {
-                        counted.insert(line);
+                        counted.push(line);
                     });
                 }
+                counted.sort_unstable();
+                counted.dedup();
                 error_lines = counted.len() as u64;
             } else {
                 error_lines = approx.min(data_lines);
@@ -634,7 +635,9 @@ impl<'a> ResilienceModel<'a> {
             .meta_addr(MetaId::new(top, self.layout.level_count(top) - 1))
             .index()
             + 1;
-        let mut lost: Vec<HashSet<MetaId>> = vec![HashSet::new(); policies.len()];
+        // Collected as plain vectors (a meta can repeat only when regions
+        // overlap, which is rare); sort + dedup below canonicalizes.
+        let mut lost: Vec<Vec<MetaId>> = vec![Vec::new(); policies.len()];
         for r in &regions {
             self.for_each_line_in(r, meta_start, meta_end, &mut |line| {
                 let Region::Meta(meta) = self.layout.classify(LineAddr::new(line)) else {
@@ -646,23 +649,22 @@ impl<'a> ResilienceModel<'a> {
                     return;
                 }
                 for (p, policy) in policies.iter().enumerate() {
-                    if lost[p].contains(&meta) {
-                        continue;
-                    }
                     let extra = policy.extra_clones(meta.level, self.layout.levels());
                     let all_clones_dead = (1..=extra).all(|c| {
                         let ca = self.layout.clone_addr(meta, c).index();
                         self.any_region_contains(&regions, ca)
                     });
                     if all_clones_dead {
-                        lost[p].insert(meta);
+                        lost[p].push(meta);
                     }
                 }
             });
         }
 
         lost.into_iter()
-            .map(|set| {
+            .map(|mut set| {
+                set.sort_unstable();
+                set.dedup();
                 // Union of covered data ranges (a lost L2 node covers its
                 // lost leaves' ranges too).
                 let mut ranges: Vec<(u64, u64)> = set
@@ -682,12 +684,10 @@ impl<'a> ResilienceModel<'a> {
                         cursor = e;
                     }
                 }
-                let mut lost_vec: Vec<MetaId> = set.into_iter().collect();
-                lost_vec.sort();
                 LossAssessment {
                     error_data_lines: error_lines,
                     unverifiable_data_lines: unverifiable,
-                    lost_meta_blocks: lost_vec,
+                    lost_meta_blocks: set,
                 }
             })
             .collect()

@@ -280,7 +280,8 @@ impl SecureMemoryController {
         let drains_before = self.wpq.drains();
         self.wpq
             .push_atomic(group, &mut self.device)
-            .expect("clone depth validated against WPQ capacity at config time");
+            // lint:allow(P1, clone depth is validated against WPQ capacity at config time)
+            .expect("clone depth fits the WPQ");
         self.note_wpq(drains_before);
     }
 
@@ -303,6 +304,44 @@ impl SecureMemoryController {
         }
     }
 
+    // ----- residency and fidelity invariants -----
+    //
+    // `fetch_meta` pins every block the datapath touches into the cache
+    // before the helpers below run, and the functional-fidelity paths
+    // only execute when the cipher/MAC engines were constructed. A miss
+    // here is a controller bug, not a recoverable condition, so these
+    // are the single audited panic sites for those invariants.
+
+    /// Immutable view of a block `fetch_meta` made resident.
+    fn resident(&self, addr: LineAddr) -> &CachedBlock {
+        // lint:allow(P1, fetch_meta pinned the block before this call)
+        self.cache.peek(addr).expect("block resident")
+    }
+
+    /// Mutable view of a block `fetch_meta` made resident.
+    fn resident_mut(&mut self, addr: LineAddr) -> &mut CachedBlock {
+        // lint:allow(P1, fetch_meta pinned the block before this call)
+        self.cache.peek_mut(addr).expect("block resident")
+    }
+
+    /// Shadow slot of a block `fetch_meta` made resident.
+    fn resident_slot(&self, addr: LineAddr) -> u64 {
+        // lint:allow(P1, fetch_meta pinned the block before this call)
+        self.cache.slot_of(addr).expect("block resident")
+    }
+
+    /// The cipher engine; callers are on the functional-fidelity path.
+    fn functional_cipher(&self) -> &CounterModeCipher {
+        // lint:allow(P1, functional fidelity constructs the cipher engine)
+        self.cipher.as_ref().expect("functional mode")
+    }
+
+    /// The MAC engine; callers are on the functional-fidelity path.
+    fn functional_mac(&self) -> &MacEngine {
+        // lint:allow(P1, functional fidelity constructs the MAC engine)
+        self.mac.as_ref().expect("functional mode")
+    }
+
     // ----- MAC helpers -----
 
     fn data_mac_of(&self, addr: DataAddr, cipher: &[u8; 64], counter: u64) -> u64 {
@@ -317,9 +356,7 @@ impl SecureMemoryController {
         if !outcome.is_usable() {
             return Err(());
         }
-        Ok(u64::from_le_bytes(
-            bytes[offset..offset + 8].try_into().expect("8 bytes"),
-        ))
+        Ok(soteria_rt::bytes::u64_le(&bytes[offset..offset + 8]))
     }
 
     fn write_mac_slot(
@@ -346,10 +383,7 @@ impl SecureMemoryController {
         match self.layout.parent_of(meta) {
             None => self.root.counter(self.layout.child_slot(meta)),
             Some(p) => {
-                let pb = self
-                    .cache
-                    .peek(self.layout.meta_addr(p))
-                    .expect("parent fetched before child (fetch_meta invariant)");
+                let pb = self.resident(self.layout.meta_addr(p));
                 TocNode::from_bytes(&pb.data).counter(self.layout.child_slot(meta))
             }
         }
@@ -564,10 +598,11 @@ impl SecureMemoryController {
             Some(p) => {
                 self.fetch_meta(p, pinned)?;
                 let p_addr = self.layout.meta_addr(p);
-                let slot = self.cache.slot_of(p_addr).expect("parent resident");
-                let pb = self.cache.peek_mut(p_addr).expect("parent resident");
+                let child_slot = self.layout.child_slot(meta);
+                let slot = self.resident_slot(p_addr);
+                let pb = self.resident_mut(p_addr);
                 let mut pn = TocNode::from_bytes(&pb.data);
-                let c = pn.bump(self.layout.child_slot(meta));
+                let c = pn.bump(child_slot);
                 pb.data = pn.to_bytes();
                 pb.dirty = true;
                 let pbytes = pb.data;
@@ -672,7 +707,7 @@ impl SecureMemoryController {
                 if self.data_mac_of(daddr, &ciphertext, old_counter) != stored {
                     return Err(MemoryError::IntegrityViolation { addr: daddr });
                 }
-                let cipher = self.cipher.as_ref().expect("functional mode");
+                let cipher = self.functional_cipher();
                 let plain = cipher.decrypt_line(&ciphertext, daddr.index() * 64, old_counter);
                 let new_counter = new_major * MINOR_LIMIT as u64;
                 let new_cipher = cipher.encrypt_line(&plain, daddr.index() * 64, new_counter);
@@ -710,7 +745,7 @@ impl SecureMemoryController {
                 _ => break, // ancestor untouched (root bump only)
             };
             let written = self.writeback_block(meta, bytes, pinned)?;
-            let blk = self.cache.peek_mut(addr).expect("block resident");
+            let blk = self.resident_mut(addr);
             blk.data = written;
             blk.dirty = false;
             blk.slot_updates = [0; 64];
@@ -750,7 +785,7 @@ impl SecureMemoryController {
 
         // Bump the counter, handling overflow (page re-encryption) first.
         let mut cb =
-            CounterBlock::from_bytes(&self.cache.peek(leaf_addr).expect("leaf resident").data);
+            CounterBlock::from_bytes(&self.resident(leaf_addr).data);
         if cb.minor(slot) + 1 == MINOR_LIMIT {
             self.reencrypt_page(leaf, &cb, &mut pinned)?;
             cb.bump(slot); // performs the major bump + minor reset
@@ -763,17 +798,15 @@ impl SecureMemoryController {
             TreeUpdate::Lazy => {
                 // Osiris: bound in-cache updates per counter so recovery
                 // needs at most `osiris_limit` trials.
+                let osiris_limit = self.config.osiris_limit();
                 let (do_osiris_writeback, leaf_bytes) = {
-                    let blk = self.cache.peek_mut(leaf_addr).expect("leaf resident");
+                    let blk = self.resident_mut(leaf_addr);
                     blk.data = cb.to_bytes();
                     blk.dirty = true;
                     blk.slot_updates[slot] = blk.slot_updates[slot].saturating_add(1);
-                    (
-                        blk.slot_updates[slot] >= self.config.osiris_limit(),
-                        blk.data,
-                    )
+                    (blk.slot_updates[slot] >= osiris_limit, blk.data)
                 };
-                let cache_slot = self.cache.slot_of(leaf_addr).expect("leaf resident");
+                let cache_slot = self.resident_slot(leaf_addr);
                 self.shadow_write(cache_slot, leaf, &leaf_bytes);
                 if do_osiris_writeback {
                     self.stats.osiris_writebacks += 1;
@@ -782,7 +815,7 @@ impl SecureMemoryController {
                         obs_fields![("leaf", leaf.index)]
                     });
                     let bytes = self.writeback_block(leaf, leaf_bytes, &mut pinned)?;
-                    let blk = self.cache.peek_mut(leaf_addr).expect("leaf resident");
+                    let blk = self.resident_mut(leaf_addr);
                     blk.data = bytes;
                     blk.dirty = false;
                     blk.slot_updates = [0; 64];
@@ -790,7 +823,7 @@ impl SecureMemoryController {
             }
             TreeUpdate::Eager => {
                 {
-                    let blk = self.cache.peek_mut(leaf_addr).expect("leaf resident");
+                    let blk = self.resident_mut(leaf_addr);
                     blk.data = cb.to_bytes();
                     blk.dirty = true;
                 }
@@ -800,7 +833,7 @@ impl SecureMemoryController {
             }
             TreeUpdate::Triad { persist_levels } => {
                 {
-                    let blk = self.cache.peek_mut(leaf_addr).expect("leaf resident");
+                    let blk = self.resident_mut(leaf_addr);
                     blk.data = cb.to_bytes();
                     blk.dirty = true;
                 }
@@ -844,8 +877,7 @@ impl SecureMemoryController {
         self.fetch_meta(leaf, &mut pinned)?;
         let leaf_addr = self.layout.meta_addr(leaf);
         let counter =
-            CounterBlock::from_bytes(&self.cache.peek(leaf_addr).expect("leaf resident").data)
-                .counter(slot);
+            CounterBlock::from_bytes(&self.resident(leaf_addr).data).counter(slot);
 
         let line_addr = self.layout.data_line_addr(addr);
         let (ciphertext, outcome) = self.nvm_read(line_addr);
@@ -867,8 +899,9 @@ impl SecureMemoryController {
             if expected != stored {
                 return Err(MemoryError::IntegrityViolation { addr });
             }
-            let cipher = self.cipher.as_ref().expect("functional mode");
-            Ok(cipher.decrypt_line(&ciphertext, addr.index() * 64, counter))
+            Ok(self
+                .functional_cipher()
+                .decrypt_line(&ciphertext, addr.index() * 64, counter))
         } else {
             Ok([0u8; 64])
         }
@@ -897,7 +930,7 @@ impl SecureMemoryController {
                 break;
             };
             let (meta, bytes) = {
-                let blk = self.cache.peek(addr).expect("listed as dirty");
+                let blk = self.resident(addr);
                 (blk.meta, blk.data)
             };
             self.obs.trace.emit_with("ctl", "persist_block", || {
@@ -905,7 +938,7 @@ impl SecureMemoryController {
             });
             let mut pinned = vec![addr];
             let written = self.writeback_block(meta, bytes, &mut pinned)?;
-            let blk = self.cache.peek_mut(addr).expect("still resident");
+            let blk = self.resident_mut(addr);
             blk.data = written;
             blk.dirty = false;
             blk.slot_updates = [0; 64];
@@ -948,8 +981,8 @@ impl SecureMemoryController {
         let reads_before = self.stats.nvm_reads;
         let writes_before = self.stats.nvm_writes;
 
-        let old_cipher = self.cipher.clone().expect("functional mode");
-        let old_mac = self.mac.clone().expect("functional mode");
+        let old_cipher = self.functional_cipher().clone();
+        let old_mac = self.functional_mac().clone();
         let new_cipher = CounterModeCipher::new(new_encryption);
         let new_mac_engine = MacEngine::new(new_mac);
 

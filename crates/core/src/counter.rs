@@ -134,7 +134,7 @@ impl CounterBlock {
 
     /// Deserializes from a 64-byte line.
     pub fn from_bytes(bytes: &[u8; 64]) -> Self {
-        let major = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+        let major = soteria_rt::bytes::u64_le(&bytes[..8]);
         let mut minors = [0u8; MINORS];
         let mut bitpos = 0usize;
         for m in &mut minors {

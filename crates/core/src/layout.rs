@@ -104,10 +104,11 @@ impl MemoryLayout {
             max_extra_clones < MAX_CLONE_DEPTH,
             "clone depth limited to {MAX_CLONE_DEPTH} by WPQ atomicity"
         );
-        let mut level_counts = vec![data_lines / COUNTERS_PER_BLOCK];
-        while *level_counts.last().expect("nonempty") > TREE_ARITY {
-            let next = level_counts.last().unwrap().div_ceil(TREE_ARITY);
-            level_counts.push(next);
+        let mut level = data_lines / COUNTERS_PER_BLOCK;
+        let mut level_counts = vec![level];
+        while level > TREE_ARITY {
+            level = level.div_ceil(TREE_ARITY);
+            level_counts.push(level);
         }
         let base_data_mac = data_lines;
         let base_leaf_mac = base_data_mac + data_lines.div_ceil(MACS_PER_LINE);

@@ -197,6 +197,7 @@ impl MorphableBlock {
                 if self.skew_detected(line) {
                     // Few writers: morph, then bump in the skewed format.
                     self.morph_to_skewed();
+                    // lint:allow(P1, morph_to_skewed assigns every current writer a hot slot)
                     let slot = self.hot_slot_of(line).expect("preserved by morph");
                     self.hot_minor[slot] += 1;
                     return MorphOutcome::Morphed {

@@ -260,7 +260,7 @@ impl Recoverer<'_> {
             if !mo.is_usable() {
                 continue; // the data line is lost anyway (L_error)
             }
-            let stored = u64::from_le_bytes(mac_bytes[off..off + 8].try_into().expect("8 bytes"));
+            let stored = soteria_rt::bytes::u64_le(&mac_bytes[off..off + 8]);
             if stored == 0 {
                 set_minor(&mut restored, slot, base_minor);
                 continue; // line never written
@@ -353,8 +353,7 @@ impl Recoverer<'_> {
                 if !mo.is_usable() {
                     continue;
                 }
-                let stored =
-                    u64::from_le_bytes(mac_bytes[off..off + 8].try_into().expect("8 bytes"));
+                let stored = soteria_rt::bytes::u64_le(&mac_bytes[off..off + 8]);
                 if stored == 0 && bytes.iter().all(|&b| b == 0) {
                     return true;
                 }

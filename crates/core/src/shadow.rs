@@ -67,9 +67,9 @@ fn decode_copy(bytes: &[u8]) -> Option<ShadowRecord> {
     idx[..6].copy_from_slice(&bytes[..6]);
     let mut lsbs = [0u16; 8];
     for (i, lsb) in lsbs.iter_mut().enumerate() {
-        *lsb = u16::from_le_bytes(bytes[7 + 2 * i..9 + 2 * i].try_into().expect("2 bytes"));
+        *lsb = soteria_rt::bytes::u16_le(&bytes[7 + 2 * i..9 + 2 * i]);
     }
-    let mac = u64::from_le_bytes(bytes[23..31].try_into().expect("8 bytes"));
+    let mac = soteria_rt::bytes::u64_le(&bytes[23..31]);
     Some(ShadowRecord {
         meta: MetaId::new(level, u64::from_le_bytes(idx)),
         lsbs,
@@ -187,7 +187,7 @@ impl ShadowTree {
     /// persistent register file).
     pub fn root(&self) -> [u8; 32] {
         let mut h = Sha256::new();
-        for node in self.levels.last().expect("nonempty tree") {
+        for node in self.levels.last().into_iter().flatten() {
             h.update(node);
         }
         h.finalize()

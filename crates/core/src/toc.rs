@@ -115,7 +115,7 @@ impl TocNode {
             buf[..7].copy_from_slice(&bytes[7 * i..7 * i + 7]);
             *c = u64::from_le_bytes(buf);
         }
-        let mac = u64::from_le_bytes(bytes[56..64].try_into().expect("8 bytes"));
+        let mac = soteria_rt::bytes::u64_le(&bytes[56..64]);
         Self { counters, mac }
     }
 }

@@ -222,12 +222,20 @@ mod ni {
 
     use super::NR;
 
+    // SAFETY: `_mm_loadu_si128` is an unaligned load, so the only
+    // obligation is 16 readable bytes, guaranteed by `&[u8; 16]`; this
+    // module is only entered after the `is_x86_feature_detected!("aes")`
+    // probe in `super::aesni_available` succeeds.
     #[inline]
     unsafe fn load(bytes: &[u8; 16]) -> __m128i {
         // SAFETY: any 16-byte array is a valid unaligned load source.
         unsafe { _mm_loadu_si128(bytes.as_ptr().cast()) }
     }
 
+    // SAFETY: `_mm_storeu_si128` is an unaligned store into the 16
+    // writable bytes of a local array; this module is only entered after
+    // the `is_x86_feature_detected!("aes")` probe in
+    // `super::aesni_available` succeeds.
     #[inline]
     unsafe fn store(v: __m128i) -> [u8; 16] {
         let mut out = [0u8; 16];
@@ -239,6 +247,9 @@ mod ni {
     /// # Safety
     ///
     /// The CPU must support AES-NI (see [`super::aesni_available`]).
+    // SAFETY: unsafe solely for `#[target_feature(enable = "aes")]`;
+    // every caller dispatches through the `is_x86_feature_detected!`
+    // CPUID probe cached in `super::aesni_available` (`use_ni` flag).
     #[target_feature(enable = "aes")]
     pub(super) unsafe fn encrypt_block(
         round_keys: &[[u8; 16]; NR + 1],
@@ -258,6 +269,9 @@ mod ni {
     /// # Safety
     ///
     /// The CPU must support AES-NI (see [`super::aesni_available`]).
+    // SAFETY: unsafe solely for `#[target_feature(enable = "aes")]`;
+    // every caller dispatches through the `is_x86_feature_detected!`
+    // CPUID probe cached in `super::aesni_available` (`use_ni` flag).
     #[target_feature(enable = "aes")]
     pub(super) unsafe fn encrypt_blocks4(
         round_keys: &[[u8; 16]; NR + 1],
@@ -294,6 +308,9 @@ mod ni {
     /// `dec_round_keys` must be the equivalent-inverse schedule
     /// (InvMixColumns applied to the interior round keys) that `aesdec`
     /// consumes.
+    // SAFETY: unsafe solely for `#[target_feature(enable = "aes")]`;
+    // every caller dispatches through the `is_x86_feature_detected!`
+    // CPUID probe cached in `super::aesni_available` (`use_ni` flag).
     #[target_feature(enable = "aes")]
     pub(super) unsafe fn decrypt_block(
         dec_round_keys: &[[u8; 16]; NR + 1],
@@ -331,9 +348,7 @@ impl std::fmt::Debug for Aes128 {
 
 #[inline]
 fn pack_words(rk: &[u8; 16]) -> [u32; 4] {
-    core::array::from_fn(|c| {
-        u32::from_le_bytes(rk[4 * c..4 * c + 4].try_into().expect("4 bytes"))
-    })
+    core::array::from_fn(|c| soteria_rt::bytes::u32_le(&rk[4 * c..4 * c + 4]))
 }
 
 impl Aes128 {
@@ -427,7 +442,7 @@ impl Aes128 {
     pub fn encrypt_block_table(&self, block: &[u8; 16]) -> [u8; 16] {
         let rk = &self.enc_keys;
         let mut c: [u32; 4] = core::array::from_fn(|i| {
-            u32::from_le_bytes(block[4 * i..4 * i + 4].try_into().expect("4 bytes")) ^ rk[0][i]
+            soteria_rt::bytes::u32_le(&block[4 * i..4 * i + 4]) ^ rk[0][i]
         });
         for k in &rk[1..NR] {
             c = [
@@ -469,7 +484,7 @@ impl Aes128 {
     pub fn decrypt_block_table(&self, block: &[u8; 16]) -> [u8; 16] {
         let rk = &self.dec_keys;
         let mut c: [u32; 4] = core::array::from_fn(|i| {
-            u32::from_le_bytes(block[4 * i..4 * i + 4].try_into().expect("4 bytes")) ^ rk[0][i]
+            soteria_rt::bytes::u32_le(&block[4 * i..4 * i + 4]) ^ rk[0][i]
         });
         for k in &rk[1..NR] {
             c = [

@@ -100,8 +100,8 @@ impl CounterModeCipher {
         let pad = self.one_time_pad(address, counter);
         let mut out = [0u8; LINE_BYTES];
         for i in 0..LINE_BYTES / 8 {
-            let p = u64::from_ne_bytes(plaintext[8 * i..8 * i + 8].try_into().expect("8 bytes"));
-            let k = u64::from_ne_bytes(pad[8 * i..8 * i + 8].try_into().expect("8 bytes"));
+            let p = soteria_rt::bytes::u64_ne(&plaintext[8 * i..8 * i + 8]);
+            let k = soteria_rt::bytes::u64_ne(&pad[8 * i..8 * i + 8]);
             out[8 * i..8 * i + 8].copy_from_slice(&(p ^ k).to_ne_bytes());
         }
         out

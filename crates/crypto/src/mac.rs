@@ -61,7 +61,7 @@ impl MacEngine {
         h.update(&counter.to_le_bytes());
         h.update(payload);
         let digest = h.finalize();
-        u64::from_le_bytes(digest[..8].try_into().expect("digest >= 8 bytes"))
+        soteria_rt::bytes::u64_le(&digest[..8])
     }
 
     /// MAC over an encrypted data line, bound to its address and encryption

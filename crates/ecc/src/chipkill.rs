@@ -97,6 +97,7 @@ impl ChipkillCodec {
         );
         let total = data_chips + check_chips;
         let rs = ReedSolomon::new(total, data_chips)
+            // lint:allow(P1, the asserts above pin n and k to valid RS parameters)
             .expect("chip counts form valid Reed-Solomon parameters");
         Self {
             rs,
@@ -138,10 +139,12 @@ impl ChipkillCodec {
             let (data, outcome) = if marked.is_empty() {
                 self.rs
                     .decode(cw)
+                    // lint:allow(P1, the codeword slice is exactly n symbols by construction)
                     .expect("decode length is n by construction")
             } else {
                 self.rs
                     .decode_with_erasures(cw, marked)
+                    // lint:allow(P1, the codeword slice is exactly n symbols by construction)
                     .expect("decode length is n by construction")
             };
             line[beat * self.data_chips..(beat + 1) * self.data_chips].copy_from_slice(&data);
@@ -188,6 +191,7 @@ impl LineCodec for ChipkillCodec {
                     data,
                     &mut stored[beat * self.total_chips..(beat + 1) * self.total_chips],
                 )
+                // lint:allow(P1, the data slice is exactly k symbols by construction)
                 .expect("encode length is k by construction");
         }
         stored
@@ -234,7 +238,7 @@ impl LineCodec for SecDedCodec {
     fn encode_line(&self, line: &[u8; 64]) -> Vec<u8> {
         let mut stored = Vec::with_capacity(72);
         for w in 0..8 {
-            let word = u64::from_le_bytes(line[8 * w..8 * w + 8].try_into().expect("8 bytes"));
+            let word = soteria_rt::bytes::u64_le(&line[8 * w..8 * w + 8]);
             let raw = SecDed72::encode(word).raw();
             stored.extend_from_slice(&raw.to_le_bytes()[..9]);
         }

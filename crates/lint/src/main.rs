@@ -1,0 +1,154 @@
+//! `soteria-lint` binary: walk the workspace, enforce the determinism &
+//! hermeticity rules, and gate on the checked-in baseline.
+//!
+//! ```text
+//! soteria-lint --workspace [--root DIR] [--baseline FILE] [--json]
+//!              [--write-baseline] [--list-rules]
+//! ```
+//!
+//! Exit codes (pinned, tested): 0 = clean, 1 = new violations,
+//! 2 = usage/IO/baseline error.
+
+use std::path::PathBuf;
+
+use soteria_lint::{
+    lint_workspace, Baseline, LintError, Rule, EXIT_CLEAN, EXIT_ERROR, EXIT_VIOLATIONS,
+};
+
+const USAGE: &str = "usage: soteria-lint --workspace [--root DIR] [--baseline FILE] \
+[--json] [--write-baseline] [--list-rules]";
+
+struct Args {
+    workspace: bool,
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    json: bool,
+    write_baseline: bool,
+    list_rules: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, LintError> {
+    let mut args = Args {
+        workspace: false,
+        root: PathBuf::from("."),
+        baseline: None,
+        json: false,
+        write_baseline: false,
+        list_rules: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--json" => args.json = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| LintError::Usage("--root needs a directory".to_string()))?;
+                args.root = PathBuf::from(v);
+            }
+            "--baseline" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| LintError::Usage("--baseline needs a file".to_string()))?;
+                args.baseline = Some(PathBuf::from(v));
+            }
+            other => {
+                return Err(LintError::Usage(format!("unknown flag '{other}'")));
+            }
+        }
+    }
+    if !args.workspace && !args.list_rules {
+        return Err(LintError::Usage("pass --workspace (or --list-rules)".to_string()));
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<i32, LintError> {
+    if args.list_rules {
+        for rule in Rule::ALL {
+            println!("{rule}");
+        }
+        return Ok(EXIT_CLEAN);
+    }
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint-baseline.json"));
+    let baseline = if args.write_baseline {
+        Baseline::empty()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => Baseline::parse(&baseline_path.display().to_string(), &text)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::empty(),
+            Err(e) => {
+                return Err(LintError::Io {
+                    path: baseline_path.display().to_string(),
+                    message: e.to_string(),
+                })
+            }
+        }
+    };
+
+    let report = lint_workspace(&args.root, &baseline)?;
+
+    if args.write_baseline {
+        let doc = Baseline::from_violations(&report.new_violations)
+            .to_json()
+            .to_pretty_string();
+        std::fs::write(&baseline_path, doc).map_err(|e| LintError::Io {
+            path: baseline_path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        println!(
+            "soteria-lint: wrote baseline with {} entr{} to {}",
+            report.new_violations.len(),
+            if report.new_violations.len() == 1 { "y" } else { "ies" },
+            baseline_path.display()
+        );
+        return Ok(EXIT_CLEAN);
+    }
+
+    if args.json {
+        print!("{}", report.to_json().to_pretty_string());
+    } else {
+        for v in &report.new_violations {
+            println!("{v}");
+            println!("    | {}", v.snippet);
+        }
+        if report.new_violations.is_empty() {
+            println!(
+                "soteria-lint: clean ({} files checked, {} baselined)",
+                report.checked_files.len(),
+                report.baselined.len()
+            );
+        } else {
+            println!(
+                "soteria-lint: {} new violation(s) ({} files checked, {} baselined)",
+                report.new_violations.len(),
+                report.checked_files.len(),
+                report.baselined.len()
+            );
+        }
+    }
+    Ok(if report.new_violations.is_empty() {
+        EXIT_CLEAN
+    } else {
+        EXIT_VIOLATIONS
+    })
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match parse_args(&argv).and_then(|args| run(&args)) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("soteria-lint: {e}");
+            eprintln!("{USAGE}");
+            EXIT_ERROR
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,19 @@
+//! Suppression fixture (linted under a `crates/nvm/src/...` path).
+use std::collections::HashMap; // lint:allow(D2, fixture: same-line suppression)
+
+pub struct Cache {
+    // lint:allow(D2, fixture: suppression on the comment line above)
+    pub index: HashMap<u64, u32>,
+}
+
+pub struct Unsuppressed {
+    pub index: HashMap<u64, u32>, // D2 fires: no allow here
+}
+
+pub fn reasonless() {
+    let _m: HashMap<u8, u8> = HashMap::new(); // lint:allow(D2)
+}
+
+pub fn unknown_rule() {
+    let _x = 1; // lint:allow(Z9, no such rule)
+}

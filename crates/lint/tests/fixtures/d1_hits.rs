@@ -1,0 +1,9 @@
+//! D1 fixture: wall-clock sources in non-allowlisted, non-test code.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u64 {
+    let _t = SystemTime::now(); // D1: SystemTime
+    let start = Instant::now(); // D1: Instant::now
+    std::thread::sleep(std::time::Duration::from_millis(1)); // D1: thread::sleep
+    start.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,11 @@
+//! D2 fixture: hash-ordered containers in a deterministic crate
+//! (linted under a `crates/nvm/src/...` path).
+use std::collections::{HashMap, HashSet};
+
+pub struct Tracker {
+    pub writes: HashMap<u64, u64>,
+}
+
+pub fn distinct(xs: &[u64]) -> usize {
+    xs.iter().collect::<HashSet<_>>().len()
+}

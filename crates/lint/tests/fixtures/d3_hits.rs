@@ -1,0 +1,9 @@
+//! D3 fixture: randomness sources outside soteria-rt::rng.
+use std::collections::hash_map::DefaultHasher;
+use std::collections::hash_map::RandomState;
+
+pub fn entropy() -> u64 {
+    let _h = DefaultHasher::new(); // D3: DefaultHasher
+    let _s = RandomState::new(); // D3: RandomState
+    0
+}

@@ -1,0 +1,18 @@
+//! False-positive immunity fixture: every forbidden token below sits in
+//! a string literal, raw string, char context, or comment — none may
+//! fire. Linted under a `crates/nvm/src/...` path so D1/D2/D3/P1 all
+//! apply.
+
+// A comment naming HashMap, Instant::now(), SystemTime and .unwrap()
+// must not trip the lexer-backed rules.
+
+/* Block comments too: HashSet, thread::sleep, DefaultHasher. */
+
+pub fn strings() -> String {
+    let a = "HashMap::new() and Instant::now() live in a string";
+    let b = r#"raw string: SystemTime, HashSet, .unwrap() and "quotes""#;
+    let c = "escaped quote \" then thread::sleep stays stringy";
+    let d = 'x'; // char literal, not a lifetime
+    let e: &'static str = "lifetime 'static parses, .expect( here is text";
+    format!("{a}{b}{c}{d}{e}")
+}

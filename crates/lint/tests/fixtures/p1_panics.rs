@@ -1,0 +1,14 @@
+//! P1 fixture: panicking shortcuts in library code (linted under a
+//! `crates/core/src/...` path).
+
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap() // P1: unwrap in library code
+}
+
+pub fn second(xs: &[u64]) -> u64 {
+    *xs.get(1).expect("at least two elements") // P1: expect in library code
+}
+
+pub fn safe(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap_or(0) // fine: total, no panic
+}

@@ -1,0 +1,18 @@
+//! Test-region fixture (linted under a `crates/core/src/...` path):
+//! the library-code violation fires, the `#[cfg(test)]` copies do not.
+
+pub fn library_code(xs: &[u64]) -> u64 {
+    *xs.first().unwrap() // P1 fires: library code
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn exempt() {
+        let mut m = HashMap::new(); // D2 exempt: cfg(test) region
+        m.insert(1u8, 2u8);
+        assert_eq!(m.get(&1).copied().unwrap(), 2); // P1 exempt too
+    }
+}

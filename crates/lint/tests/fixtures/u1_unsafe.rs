@@ -1,0 +1,27 @@
+//! U1 fixture: documented and undocumented `unsafe`.
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p } // U1: no SAFETY comment anywhere nearby
+}
+
+pub fn documented(bytes: &[u8; 4]) -> u32 {
+    // SAFETY: any 4-byte array is a valid unaligned u32 source.
+    unsafe { bytes.as_ptr().cast::<u32>().read_unaligned() }
+}
+
+/// # Safety
+///
+/// Caller must ensure `p` is valid — the doc section alone does NOT
+/// satisfy U1; the line comment below does.
+// SAFETY: contract delegated to the caller, checked at every call site.
+pub unsafe fn documented_fn(p: *const u8) -> u8 {
+    // SAFETY: `p` valid per this function's contract.
+    unsafe { *p }
+}
+
+#[inline]
+// SAFETY: reads through the attribute run above the unsafe fn.
+pub unsafe fn attr_between(p: *const u8) -> u8 {
+    // SAFETY: `p` valid per this function's contract.
+    unsafe { *p }
+}

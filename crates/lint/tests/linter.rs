@@ -1,0 +1,373 @@
+//! End-to-end tests for `soteria-lint`: every rule exercised through
+//! fixture files (positive hits, literal/comment immunity, suppression,
+//! baseline matching), a self-test on the linter's own source, a
+//! whole-workspace cleanliness gate, and pinned exit codes through the
+//! real binary.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use soteria_lint::{
+    lint_cargo_toml, lint_rust_source, lint_workspace, Baseline, Rule, Violation,
+};
+
+fn rules_of(violations: &[Violation]) -> Vec<Rule> {
+    violations.iter().map(|v| v.rule).collect()
+}
+
+fn count(violations: &[Violation], rule: Rule) -> usize {
+    violations.iter().filter(|v| v.rule == rule).count()
+}
+
+// ----- rule positives --------------------------------------------------
+
+#[test]
+fn d1_flags_wall_clock_sources() {
+    let vs = lint_rust_source(
+        "crates/faultsim/src/fixture.rs",
+        include_str!("fixtures/d1_hits.rs"),
+    );
+    assert_eq!(count(&vs, Rule::D1), 4, "{vs:?}");
+    assert!(vs.iter().any(|v| v.message.contains("`Instant::now`")));
+    assert!(vs.iter().any(|v| v.message.contains("`thread::sleep`")));
+}
+
+#[test]
+fn d1_allowlist_exempts_rt_bench_and_svc() {
+    let src = include_str!("fixtures/d1_hits.rs");
+    for rel in [
+        "crates/rt/src/bench.rs",
+        "crates/rt/src/obs.rs",
+        "crates/svc/src/server.rs",
+        "crates/cli/src/main.rs",
+    ] {
+        let vs = lint_rust_source(rel, src);
+        assert_eq!(count(&vs, Rule::D1), 0, "{rel} should be allowlisted");
+    }
+}
+
+#[test]
+fn d2_flags_hash_containers_in_deterministic_crates() {
+    let src = include_str!("fixtures/d2_hits.rs");
+    for rel in [
+        "crates/nvm/src/fixture.rs",
+        "crates/core/src/fixture.rs",
+        "crates/faultsim/src/fixture.rs",
+    ] {
+        let vs = lint_rust_source(rel, src);
+        assert_eq!(count(&vs, Rule::D2), 3, "{rel}: {vs:?}");
+    }
+    // Outside the deterministic crates the rule does not apply.
+    let vs = lint_rust_source("crates/workloads/src/fixture.rs", src);
+    assert_eq!(count(&vs, Rule::D2), 0);
+}
+
+#[test]
+fn d3_flags_randomness_outside_rt_rng() {
+    let src = include_str!("fixtures/d3_hits.rs");
+    let vs = lint_rust_source("crates/core/src/fixture.rs", src);
+    assert_eq!(count(&vs, Rule::D3), 4, "{vs:?}");
+    let vs = lint_rust_source("crates/rt/src/rng.rs", src);
+    assert_eq!(count(&vs, Rule::D3), 0, "rng.rs is the sanctioned source");
+}
+
+#[test]
+fn u1_requires_safety_comments() {
+    let vs = lint_rust_source(
+        "crates/crypto/src/fixture.rs",
+        include_str!("fixtures/u1_unsafe.rs"),
+    );
+    assert_eq!(count(&vs, Rule::U1), 1, "{vs:?}");
+    assert_eq!(vs[0].line, 4);
+    assert_eq!(vs[0].message, "unsafe without a `// SAFETY:` comment");
+}
+
+#[test]
+fn u1_applies_even_in_test_code() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn f(p: *const u8) -> u8 {\n        unsafe { *p }\n    }\n}\n";
+    let vs = lint_rust_source("crates/rt/src/fixture.rs", src);
+    assert_eq!(count(&vs, Rule::U1), 1);
+}
+
+#[test]
+fn p1_flags_unwrap_and_expect_in_library_code() {
+    let src = include_str!("fixtures/p1_panics.rs");
+    let vs = lint_rust_source("crates/core/src/fixture.rs", src);
+    assert_eq!(count(&vs, Rule::P1), 2, "{vs:?}");
+    // Not in scope for crates outside the library set.
+    let vs = lint_rust_source("crates/cli/src/fixture.rs", src);
+    assert_eq!(count(&vs, Rule::P1), 0);
+}
+
+// ----- immunity, suppression, test regions -----------------------------
+
+#[test]
+fn literals_and_comments_never_fire() {
+    let vs = lint_rust_source(
+        "crates/nvm/src/fixture.rs",
+        include_str!("fixtures/literal_immunity.rs"),
+    );
+    assert!(vs.is_empty(), "expected no violations, got {vs:?}");
+}
+
+#[test]
+fn lint_allow_suppresses_and_a1_flags_malformed() {
+    let vs = lint_rust_source(
+        "crates/nvm/src/fixture.rs",
+        include_str!("fixtures/allow_suppression.rs"),
+    );
+    assert_eq!(count(&vs, Rule::D2), 2, "{vs:?}");
+    assert_eq!(count(&vs, Rule::A1), 2, "{vs:?}");
+    let d2_lines: Vec<usize> = vs
+        .iter()
+        .filter(|v| v.rule == Rule::D2)
+        .map(|v| v.line)
+        .collect();
+    assert_eq!(d2_lines, vec![10, 14]);
+}
+
+#[test]
+fn cfg_test_regions_are_exempt_from_determinism_rules() {
+    let vs = lint_rust_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/test_regions.rs"),
+    );
+    assert_eq!(rules_of(&vs), vec![Rule::P1]);
+    assert_eq!(vs[0].line, 5);
+}
+
+#[test]
+fn tests_and_benches_trees_are_exempt_from_determinism_rules() {
+    let src = include_str!("fixtures/d2_hits.rs");
+    for rel in [
+        "crates/nvm/tests/fixture.rs",
+        "crates/core/benches/fixture.rs",
+        "tests/fixture.rs",
+        "examples/fixture.rs",
+    ] {
+        let vs = lint_rust_source(rel, src);
+        assert!(vs.is_empty(), "{rel} should be exempt, got {vs:?}");
+    }
+}
+
+// ----- H1 --------------------------------------------------------------
+
+#[test]
+fn h1_flags_external_dependencies() {
+    let vs = lint_cargo_toml(
+        "crates/fixture/Cargo.toml",
+        include_str!("fixtures/h1_external.toml"),
+    );
+    assert_eq!(count(&vs, Rule::H1), 4, "{vs:?}");
+    let named: Vec<&str> = vs.iter().map(|v| v.snippet.as_str()).collect();
+    assert!(named.iter().any(|s| s.contains("serde")), "{named:?}");
+    assert!(vs.iter().any(|v| v.message.contains("`criterion`")));
+}
+
+#[test]
+fn h1_accepts_hermetic_manifests() {
+    let vs = lint_cargo_toml(
+        "crates/fixture/Cargo.toml",
+        include_str!("fixtures/h1_hermetic.toml"),
+    );
+    assert!(vs.is_empty(), "expected hermetic, got {vs:?}");
+}
+
+// ----- baseline --------------------------------------------------------
+
+#[test]
+fn baseline_grandfathers_by_rule_path_and_snippet() {
+    let vs = lint_rust_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/p1_panics.rs"),
+    );
+    let baseline = Baseline::from_violations(&vs);
+    let (fresh, known) = baseline.partition(vs.clone());
+    assert!(fresh.is_empty());
+    assert_eq!(known.len(), 2);
+
+    // A baseline for one file does not cover another path.
+    let moved = lint_rust_source(
+        "crates/ecc/src/fixture.rs",
+        include_str!("fixtures/p1_panics.rs"),
+    );
+    let (fresh, _) = baseline.partition(moved);
+    assert_eq!(fresh.len(), 2, "different path must not match the baseline");
+}
+
+// ----- self-test and whole-workspace gate ------------------------------
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+#[test]
+fn linter_is_clean_on_its_own_source() {
+    let report = lint_workspace(Path::new(env!("CARGO_MANIFEST_DIR")), &Baseline::empty())
+        .expect("lint own crate");
+    assert!(
+        report.new_violations.is_empty(),
+        "soteria-lint must satisfy its own rules: {:?}",
+        report.new_violations
+    );
+    assert!(
+        report
+            .checked_files
+            .iter()
+            .any(|f| f.ends_with("src/rules.rs")),
+        "self-scan must cover the rule sources: {:?}",
+        report.checked_files
+    );
+    assert!(
+        !report.checked_files.iter().any(|f| f.contains("fixtures")),
+        "fixtures are excluded from workspace walks"
+    );
+}
+
+#[test]
+fn workspace_is_clean_against_committed_baseline() {
+    let root = repo_root();
+    let baseline_path = root.join("lint-baseline.json");
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse("lint-baseline.json", &text).expect("baseline parses"),
+        Err(_) => Baseline::empty(),
+    };
+    let report = lint_workspace(&root, &baseline).expect("lint workspace");
+    assert!(
+        report.new_violations.is_empty(),
+        "workspace has new lint violations:\n{}",
+        report
+            .new_violations
+            .iter()
+            .map(|v| format!("  {v}\n    | {}\n", v.snippet))
+            .collect::<String>()
+    );
+    assert!(
+        report.checked_files.len() > 80,
+        "workspace walk looks truncated: {} files",
+        report.checked_files.len()
+    );
+}
+
+#[test]
+fn every_unsafe_in_the_workspace_has_a_safety_comment() {
+    // U1 with an EMPTY baseline: unsafe documentation is never
+    // grandfathered.
+    let report = lint_workspace(&repo_root(), &Baseline::empty()).expect("lint workspace");
+    let u1: Vec<&Violation> = report
+        .new_violations
+        .iter()
+        .chain(report.baselined.iter())
+        .filter(|v| v.rule == Rule::U1)
+        .collect();
+    assert!(u1.is_empty(), "undocumented unsafe: {u1:?}");
+}
+
+// ----- the real binary: exit codes and output --------------------------
+
+fn run_lint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_soteria-lint"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn binary_exits_zero_on_clean_workspace() {
+    let root = repo_root();
+    let out = run_lint(&["--workspace", "--root", &root.display().to_string()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "expected clean workspace, got:\n{stdout}"
+    );
+    assert!(stdout.contains("soteria-lint: clean"), "{stdout}");
+}
+
+#[test]
+fn binary_exit_codes_and_usage_are_pinned() {
+    let out = run_lint(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("soteria-lint: usage error: pass --workspace (or --list-rules)"),
+        "{stderr}"
+    );
+
+    let out = run_lint(&["--nope"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("usage error: unknown flag '--nope'")
+    );
+
+    let out = run_lint(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        "D1\nD2\nD3\nH1\nU1\nP1\nA1\n"
+    );
+}
+
+#[test]
+fn binary_flags_seeded_violations_by_rule_name() {
+    // Build a scratch workspace with one violation per seeded rule and
+    // check the binary names each rule and exits 1.
+    let scratch = std::env::temp_dir().join(format!("soteria-lint-scratch-{}", std::process::id()));
+    let nvm_src = scratch.join("crates").join("nvm").join("src");
+    std::fs::create_dir_all(&nvm_src).expect("mkdir scratch");
+    std::fs::write(
+        scratch.join("Cargo.toml"),
+        "[package]\nname = \"scratch\"\n\n[dependencies]\nserde = \"1.0\"\n",
+    )
+    .expect("write manifest");
+    std::fs::write(
+        nvm_src.join("lib.rs"),
+        "use std::collections::HashMap;\n\
+         pub fn now() -> std::time::Instant { std::time::Instant::now() }\n\
+         pub fn raw(p: *const u8) -> u8 { unsafe { *p } }\n\
+         pub type T = HashMap<u8, u8>;\n",
+    )
+    .expect("write source");
+
+    let out = run_lint(&["--workspace", "--root", &scratch.display().to_string()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    for needle in [": D1: ", ": D2: ", ": H1: ", ": U1: "] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+    assert!(stdout.contains("new violation(s)"), "{stdout}");
+
+    // JSON mode reports the same findings machine-readably.
+    let out = run_lint(&[
+        "--workspace",
+        "--root",
+        &scratch.display().to_string(),
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let doc = soteria_rt::json::Json::parse(&String::from_utf8_lossy(&out.stdout))
+        .expect("valid JSON report");
+    assert_eq!(
+        doc.get("tool").and_then(|t| t.as_str()),
+        Some("soteria-lint/v1")
+    );
+    assert!(doc.get("new_violations").and_then(|n| n.as_f64()).unwrap_or(0.0) >= 4.0);
+
+    // A written baseline grandfathers everything: exit turns 0.
+    let out = run_lint(&[
+        "--workspace",
+        "--root",
+        &scratch.display().to_string(),
+        "--write-baseline",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let out = run_lint(&["--workspace", "--root", &scratch.display().to_string()]);
+    assert_eq!(out.status.code(), Some(0), "baselined scratch must be clean");
+
+    std::fs::remove_dir_all(&scratch).ok();
+}

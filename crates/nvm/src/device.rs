@@ -14,7 +14,7 @@
 //!   write counts matter. A property test in `tests/` checks the two modes
 //!   agree.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use soteria_ecc::chipkill::{ChipkillCodec, LineCodec, SecDedCodec};
 use soteria_ecc::ecp::EcpBlock;
@@ -42,13 +42,13 @@ pub struct DeviceStats {
 
 struct FunctionalStore {
     codec: Box<dyn LineCodec + Send + Sync>,
-    lines: HashMap<u64, (Vec<u8>, u64)>, // codeword, write epoch
+    lines: BTreeMap<u64, (Vec<u8>, u64)>, // codeword, write epoch
 }
 
 struct SymbolicStore {
     correctable_chips: usize,
     beats: u8,
-    epochs: HashMap<u64, u64>,
+    epochs: BTreeMap<u64, u64>,
 }
 
 enum Storage {
@@ -66,7 +66,7 @@ pub struct NvmDimm {
     wear: WearTracker,
     leveler: Option<StartGapLeveler>,
     // ECP-6 per line, lazily allocated on write-verify (None = disabled).
-    ecp: Option<HashMap<u64, EcpBlock<6>>>,
+    ecp: Option<BTreeMap<u64, EcpBlock<6>>>,
     ecp_repaired_bits: u64,
     // Chips marked dead (chip marking / sparing): decoded as erasures.
     marked_chips: Vec<u32>,
@@ -111,7 +111,7 @@ impl NvmDimm {
             geometry,
             storage: Storage::Functional(FunctionalStore {
                 codec,
-                lines: HashMap::new(),
+                lines: BTreeMap::new(),
             }),
             faults: Vec::new(),
             write_epoch: 0,
@@ -133,7 +133,7 @@ impl NvmDimm {
             storage: Storage::Symbolic(SymbolicStore {
                 correctable_chips,
                 beats: 4,
-                epochs: HashMap::new(),
+                epochs: BTreeMap::new(),
             }),
             faults: Vec::new(),
             write_epoch: 0,
@@ -181,7 +181,7 @@ impl NvmDimm {
             matches!(self.storage, Storage::Functional(_)),
             "ECP requires functional storage"
         );
-        self.ecp = Some(HashMap::new());
+        self.ecp = Some(BTreeMap::new());
     }
 
     /// Total stuck bits ECP has neutralized on reads so far.

@@ -7,14 +7,14 @@
 //! gap moves one slot, slowly rotating the logical-to-physical mapping so
 //! no physical line stays under a hot logical address.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::LineAddr;
 
 /// Tracks per-line write counts (sparse).
 #[derive(Clone, Debug, Default)]
 pub struct WearTracker {
-    writes: HashMap<u64, u64>,
+    writes: BTreeMap<u64, u64>,
     total: u64,
 }
 

@@ -1,0 +1,73 @@
+//! Fixed-width byte-slice helpers.
+//!
+//! The simulator crates constantly carve little-endian integers out of
+//! wire-format slices (`&buf[off..off + 4]`). Doing that with
+//! `try_into().expect(..)` scatters panic sites through library code;
+//! these helpers centralize the one unavoidable length check here in
+//! `rt`, where the determinism linter's panic rule (`P1`) does not
+//! apply, and keep call sites down to a single expression.
+//!
+//! Every helper takes a slice whose length the caller has already fixed
+//! with a constant-width range; a mismatch is a caller bug and panics
+//! with `copy_from_slice`'s length message.
+
+/// Copies `bytes` into a fixed-size array.
+///
+/// Panics if `bytes.len() != N` — call sites pass constant-width ranges
+/// (`&buf[o..o + N]`), so the lengths agree by construction.
+#[inline]
+#[must_use]
+pub fn chunk<const N: usize>(bytes: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(bytes);
+    out
+}
+
+/// Reads a little-endian `u16` from a 2-byte slice.
+#[inline]
+#[must_use]
+pub fn u16_le(bytes: &[u8]) -> u16 {
+    u16::from_le_bytes(chunk(bytes))
+}
+
+/// Reads a little-endian `u32` from a 4-byte slice.
+#[inline]
+#[must_use]
+pub fn u32_le(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes(chunk(bytes))
+}
+
+/// Reads a little-endian `u64` from an 8-byte slice.
+#[inline]
+#[must_use]
+pub fn u64_le(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(chunk(bytes))
+}
+
+/// Reads a native-endian `u64` from an 8-byte slice.
+#[inline]
+#[must_use]
+pub fn u64_ne(bytes: &[u8]) -> u64 {
+    u64::from_ne_bytes(chunk(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_round_trips() {
+        let buf = [1u8, 2, 3, 4, 5, 6, 7, 8, 9];
+        assert_eq!(chunk::<4>(&buf[2..6]), [3, 4, 5, 6]);
+        assert_eq!(u16_le(&buf[0..2]), 0x0201);
+        assert_eq!(u32_le(&buf[0..4]), 0x0403_0201);
+        assert_eq!(u64_le(&buf[1..9]), 0x0908_0706_0504_0302);
+        assert_eq!(u64_ne(&buf[1..9]), u64::from_ne_bytes(chunk(&buf[1..9])));
+    }
+
+    #[test]
+    #[should_panic]
+    fn chunk_panics_on_length_mismatch() {
+        let _ = chunk::<4>(&[1u8, 2, 3]);
+    }
+}

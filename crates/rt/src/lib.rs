@@ -19,6 +19,9 @@
 //!   batches, warmup, median/p95).
 //! * [`json`] — a minimal order-preserving JSON value, parser, and
 //!   writer for machine-readable artifacts (benchmark baselines).
+//! * [`bytes`] — fixed-width byte-slice helpers (`chunk`, `u32_le`, …)
+//!   that centralize the slice→array length check instead of scattering
+//!   `try_into().expect(..)` panic sites through library code.
 //! * [`obs`] — deterministic observability: structured trace events
 //!   (ring-buffered, NDJSON export), typed counters, log2 histograms,
 //!   and scoped timers that are no-ops unless enabled. Same seed ⇒
@@ -29,6 +32,7 @@
 //! cache, so a reintroduced external dependency fails the build.
 
 pub mod bench;
+pub mod bytes;
 pub mod json;
 pub mod obs;
 pub mod prop;
