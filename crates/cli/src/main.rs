@@ -18,8 +18,8 @@ use soteria::clone::CloningPolicy;
 use soteria::recovery::recover;
 use soteria::{DataAddr, SecureMemoryConfig, SecureMemoryController};
 use soteria_faultsim::{
-    cluster_mtbf_hours, estimate_clone_udr, report_json, run_campaign_traced, CampaignConfig,
-    STANDARD_POLICIES,
+    cluster_mtbf_hours, estimate_clone_udr, report_json, run_campaign_traced, run_crashck,
+    CampaignConfig, CrashckConfig, STANDARD_POLICIES,
 };
 use soteria_faultsim::job::{parse_ecc, parse_tree};
 use soteria_rt::json::Json;
@@ -39,6 +39,7 @@ const COMMANDS: &[(&str, &str)] = &[
     ("rare", "rare-event clone-UDR estimate"),
     ("record", "capture a workload's memory trace to a file"),
     ("crash-demo", "write, crash, optionally break metadata, recover"),
+    ("crashck", "exhaustive crash-point consistency sweep (WPQ/ADR)"),
     ("trace-validate", "check an NDJSON trace for shape & ordering"),
     ("serve", "run the campaign service (HTTP API over a job queue)"),
     ("submit", "send a campaign to a server and fetch its artifacts"),
@@ -88,6 +89,18 @@ OPTIONS (by command):
       --scheme S               baseline | src | sac (default src)
       --fault                  inject a 2-chip fault into a counter block
       --trace PATH             write the controller/recovery event trace
+  crashck
+      --seed S                 script-stream seed, decimal or 0x-hex
+      --scripts N              transaction scripts per matrix cell (default 2,
+                               env SOTERIA_CRASHCK_SCRIPTS)
+      --txns N                 max transactions per script (default 6,
+                               env SOTERIA_CRASHCK_TXNS)
+      --writes N               max writes per transaction (default 3,
+                               env SOTERIA_CRASHCK_WRITES)
+      --threads N              worker threads (report is byte-identical
+                               for any N; default: all cores)
+      --json PATH              write the soteria-crashck/v1 report
+      --ndjson PATH            write one NDJSON record per sweep
   trace-validate
       --file PATH              trace file to validate
   serve
@@ -427,6 +440,80 @@ fn cmd_crash_demo(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// A bound for `crashck`, resolved flag > env knob > built-in default —
+/// the env knobs let CI pick smoke vs nightly scale without editing the
+/// workflow's command line.
+fn crashck_bound(args: &Args, flag: &str, env_key: &str, default: usize) -> Result<usize, String> {
+    if let Some(v) = args.get(flag) {
+        return v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("bad {flag} '{v}'"));
+    }
+    match std::env::var(env_key) {
+        Ok(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("bad {env_key} '{v}'")),
+        Err(_) => Ok(default),
+    }
+}
+
+fn cmd_crashck(args: &Args) -> Result<(), String> {
+    let mut config = CrashckConfig::default();
+    if let Some(s) = args.get("seed") {
+        config.seed = parse_seed(s)?;
+    }
+    config.scripts_per_cell =
+        crashck_bound(args, "scripts", "SOTERIA_CRASHCK_SCRIPTS", config.scripts_per_cell)?;
+    config.max_txns = crashck_bound(args, "txns", "SOTERIA_CRASHCK_TXNS", config.max_txns)?;
+    config.max_writes = crashck_bound(args, "writes", "SOTERIA_CRASHCK_WRITES", config.max_writes)?;
+    config.threads = match args.get("threads") {
+        Some(t) => t
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("bad thread count '{t}'"))?,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    println!(
+        "crashck: TreeUpdate x CloningPolicy x {{anubis,osiris}} matrix, \
+         {} scripts/cell, <= {} txns x {} writes, seed {:#x}",
+        config.scripts_per_cell, config.max_txns, config.max_writes, config.seed
+    );
+    let out = run_crashck(&config);
+    println!(
+        "swept {} crash points over {} scripts across {} cells",
+        out.points, out.scripts, out.cells
+    );
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, &out.result_json)
+            .map_err(|e| format!("writing json '{path}': {e}"))?;
+        println!("report to {path}");
+    }
+    if let Some(path) = args.get("ndjson") {
+        std::fs::write(path, &out.ndjson)
+            .map_err(|e| format!("writing ndjson '{path}': {e}"))?;
+        println!("sweep records to {path}");
+    }
+    if out.divergences.is_empty() {
+        println!("every crash point observed a prefix of committed transactions: OK");
+        return Ok(());
+    }
+    for d in &out.divergences {
+        eprintln!(
+            "DIVERGENCE cell {} seed {:#018x} point {}: {}\n  script: {}\n-- trace tail --\n{}",
+            d.cell, d.seed, d.point, d.reason, d.script, d.trace_tail
+        );
+    }
+    Err(format!(
+        "{} crash point(s) violated the atomic-commit contract",
+        out.divergences.len()
+    ))
+}
+
 fn cmd_trace_validate(args: &Args) -> Result<(), String> {
     let path = args
         .get("file")
@@ -685,6 +772,7 @@ fn run() -> Result<(), String> {
         Some("campaign") => cmd_campaign(&args),
         Some("rare") => cmd_rare(&args),
         Some("crash-demo") => cmd_crash_demo(&args),
+        Some("crashck") => cmd_crashck(&args),
         Some("trace-validate") => cmd_trace_validate(&args),
         Some("serve") => cmd_serve(&args),
         Some("submit") => cmd_submit(&args),

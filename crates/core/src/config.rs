@@ -300,8 +300,11 @@ impl SecureMemoryConfigBuilder {
             });
         }
         let levels = levels_for(cap / 64);
+        // A leaf writeback group is primary + clones + the leaf-MAC
+        // read-modify-write line, so the depth budget keeps one WPQ slot
+        // in reserve for the MAC line.
         let depth = self.cloning.max_depth(levels);
-        if depth as usize > self.wpq_entries {
+        if depth as usize + 1 > self.wpq_entries {
             return Err(ConfigError::CloneDepthExceedsWpq {
                 depth,
                 wpq_entries: self.wpq_entries,

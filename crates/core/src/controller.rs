@@ -33,7 +33,7 @@ use soteria_rt::obs_fields;
 use soteria_nvm::device::NvmDimm;
 use soteria_nvm::geometry::DimmGeometry;
 use soteria_nvm::timing::AccessKind;
-use soteria_nvm::wpq::{PendingWrite, WritePendingQueue};
+use soteria_nvm::wpq::{AcceptOutcome, PendingWrite, WritePendingQueue};
 use soteria_nvm::LineAddr;
 
 use crate::config::{EccKind, Fidelity, SecureMemoryConfig, TreeUpdate};
@@ -70,6 +70,93 @@ impl KeyRotationReport {
     /// Serialized-PCM time estimate (150/300 ns).
     pub fn estimated_duration_ns(&self) -> u64 {
         self.nvm_reads * 150 + self.nvm_writes * 300
+    }
+}
+
+/// A staged group of data writes committed atomically through the WPQ.
+///
+/// The atomic-and-committing storage contract: **any crash observes a
+/// prefix of committed transactions, and never a torn transaction.**
+/// Staging performs no durable work; [`Transaction::commit`] stages the
+/// ciphertext lines, data-MAC lines, and counter-block shadow entries of
+/// every write and accepts them into the ADR power-fail domain as one
+/// [`WritePendingQueue::push_atomic`] group — the single commit point.
+///
+/// ```
+/// # use soteria::{SecureMemoryConfig, SecureMemoryController, DataAddr};
+/// # let config = SecureMemoryConfig::builder().capacity_bytes(1 << 20).build().unwrap();
+/// # let mut memory = SecureMemoryController::new(config);
+/// let mut tx = memory.transaction();
+/// tx.write(DataAddr::new(1), &[0xaa; 64]);
+/// tx.write(DataAddr::new(2), &[0xbb; 64]);
+/// let receipt = tx.commit().unwrap();
+/// assert_eq!(receipt.writes, 2);
+/// ```
+#[derive(Debug)]
+pub struct Transaction<'a> {
+    ctl: &'a mut SecureMemoryController,
+    writes: Vec<(DataAddr, [u8; 64])>,
+}
+
+impl Transaction<'_> {
+    /// Stages one line write. Later writes to the same line win. Nothing
+    /// is persisted (or even validated) until [`Transaction::commit`].
+    pub fn write(&mut self, addr: DataAddr, data: &[u8; 64]) -> &mut Self {
+        self.writes.push((addr, *data));
+        self
+    }
+
+    /// Number of writes staged so far.
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// `true` when no writes are staged.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Commits every staged write as one atomic WPQ group.
+    ///
+    /// # Errors
+    ///
+    /// See [`SecureMemoryController::commit_writes`]. On error nothing
+    /// of the transaction is durable or visible.
+    pub fn commit(self) -> Result<CommitReceipt, MemoryError> {
+        let writes = self.writes;
+        self.ctl.commit_writes(&writes)
+    }
+}
+
+/// What [`Transaction::commit`] (or [`SecureMemoryController::commit_writes`])
+/// did at the WPQ level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitReceipt {
+    /// Data writes in the committed transaction.
+    pub writes: usize,
+    /// Whether the group entered the ADR domain. `false` only when an
+    /// armed crash fuse killed the WPQ first (the group was dropped
+    /// whole — all-or-none even at the instant of death).
+    pub accepted: bool,
+    /// WPQ event-clock value of the group accept (the first crash point
+    /// that observes this transaction). When `accepted` is false this is
+    /// the clock value at which the dead queue dropped the group.
+    pub accept_event: u64,
+    /// Total lines in the atomic group (ciphertext + data-MAC + shadow).
+    pub group_writes: usize,
+}
+
+/// Replaces-or-appends a staged line, keeping first-staged position and
+/// category (a line is staged at most once per commit group).
+fn stage_line(
+    staged: &mut Vec<(LineAddr, [u8; 64], WriteCategory)>,
+    addr: LineAddr,
+    data: [u8; 64],
+    category: WriteCategory,
+) {
+    match staged.iter_mut().find(|(a, _, _)| *a == addr) {
+        Some((_, bytes, _)) => *bytes = data,
+        None => staged.push((addr, data, category)),
     }
 }
 
@@ -266,7 +353,7 @@ impl SecureMemoryController {
         self.note_wpq(drains_before);
     }
 
-    fn nvm_write_group(&mut self, writes: Vec<(LineAddr, [u8; 64], WriteCategory)>) {
+    fn nvm_write_group(&mut self, writes: Vec<(LineAddr, [u8; 64], WriteCategory)>) -> AcceptOutcome {
         let mut group = Vec::with_capacity(writes.len());
         for (addr, data, category) in writes {
             self.trace.push((addr, AccessKind::Write));
@@ -278,11 +365,13 @@ impl SecureMemoryController {
             });
         }
         let drains_before = self.wpq.drains();
-        self.wpq
+        let outcome = self
+            .wpq
             .push_atomic(group, &mut self.device)
-            // lint:allow(P1, clone depth is validated against WPQ capacity at config time)
-            .expect("clone depth fits the WPQ");
+            // lint:allow(P1, group sizes are validated against WPQ capacity at config/commit time)
+            .expect("write group fits the WPQ");
         self.note_wpq(drains_before);
+        outcome
     }
 
     /// Records WPQ activity after a push: occupancy into the metrics
@@ -389,29 +478,73 @@ impl SecureMemoryController {
         }
     }
 
-    /// Verifies metadata block content against its MAC under
-    /// `parent_counter`. All-zero content with an all-zero MAC is the
-    /// valid fresh state. Timing mode always verifies.
-    fn verify_meta(&mut self, meta: MetaId, bytes: &[u8; 64], parent_counter: u64) -> bool {
+    /// Verifies metadata block content against its MAC, returning the
+    /// parent counter it verified under. All-zero content with an
+    /// all-zero MAC is the valid fresh state. Timing mode always
+    /// verifies.
+    ///
+    /// Beyond the exact `parent_counter`, verification tolerates exactly
+    /// **one pending parent bump** (`parent_counter + 1`): the
+    /// atomic-commit write path accepts a block's group into the ADR
+    /// domain *before* committing the parent's own durable update, so a
+    /// crash between the two legitimately leaves the child one bump
+    /// ahead of its parent. Trials only go forward — an attacker
+    /// replaying an *older* block can never match — and the exact
+    /// counter is tried first, so healthy paths never pay the trial.
+    fn verify_meta(&mut self, meta: MetaId, bytes: &[u8; 64], parent_counter: u64) -> Option<u64> {
         let Some(mac) = self.mac.clone() else {
-            return true;
+            return Some(parent_counter);
         };
         let addr = self.layout.meta_addr(meta);
         if meta.level == 1 {
             let (line, off) = self.layout.leaf_mac_slot(meta.index);
             let Ok(stored) = self.read_mac_slot(line, off) else {
-                return false;
+                return None;
             };
             if stored == 0 && bytes.iter().all(|&b| b == 0) {
-                return true; // never written back: fresh leaf
+                return Some(parent_counter); // never written back: fresh leaf
             }
-            mac.counter_block_mac(addr.byte_addr(), bytes, parent_counter) == stored
+            [parent_counter, parent_counter + 1]
+                .into_iter()
+                .find(|&c| mac.counter_block_mac(addr.byte_addr(), bytes, c) == stored)
         } else {
             let node = TocNode::from_bytes(bytes);
             if node.mac() == 0 && node.counters().iter().all(|&c| c == 0) {
-                return true; // fresh node
+                return Some(parent_counter); // fresh node
             }
-            mac.tree_node_mac(addr.byte_addr(), node.counters(), parent_counter) == node.mac()
+            [parent_counter, parent_counter + 1]
+                .into_iter()
+                .find(|&c| {
+                    mac.tree_node_mac(addr.byte_addr(), node.counters(), c) == node.mac()
+                })
+        }
+    }
+
+    /// After a `+1` forward verification, folds the pending parent bump
+    /// into the volatile parent copy (root register or cached node) so
+    /// the chain is coherent for subsequent writebacks.
+    fn repair_parent_counter(&mut self, meta: MetaId, counter: u64) {
+        self.stats.forward_repairs += 1;
+        self.obs.metrics.inc("ctl.forward_repairs", 1);
+        self.obs.trace.emit_with("ctl", "parent_forward_repair", || {
+            obs_fields![("level", meta.level), ("index", meta.index)]
+        });
+        let child_slot = self.layout.child_slot(meta);
+        match self.layout.parent_of(meta) {
+            None => {
+                if !self.wpq.is_dead() {
+                    self.root.set_counter(child_slot, counter);
+                }
+            }
+            Some(p) => {
+                let p_addr = self.layout.meta_addr(p);
+                if let Some(pb) = self.cache.peek_mut(p_addr) {
+                    let mut pn = TocNode::from_bytes(&pb.data);
+                    pn.set_counter(child_slot, counter);
+                    pb.data = pn.to_bytes();
+                    pb.dirty = true;
+                }
+            }
         }
     }
 
@@ -422,14 +555,17 @@ impl SecureMemoryController {
         let parent_counter = self.parent_counter(meta);
         let (bytes, outcome) = self.nvm_read(addr);
         let ue = outcome == CorrectionOutcome::Uncorrectable;
-        let healthy = if ue {
+        let verified = if ue {
             self.stats.metadata_ue += 1;
             self.obs.metrics.inc("ctl.metadata_ue", 1);
-            false
+            None
         } else {
             self.verify_meta(meta, &bytes, parent_counter)
         };
-        if healthy {
+        if let Some(c) = verified {
+            if c != parent_counter {
+                self.repair_parent_counter(meta, c);
+            }
             return Ok(bytes);
         }
         self.obs.trace.emit_with("ctl", "meta_fault", || {
@@ -448,10 +584,10 @@ impl SecureMemoryController {
             let clone_addr = self.layout.clone_addr(meta, clone_no);
             let (cb, co) = self.nvm_read(clone_addr);
             let clone_ok = match co {
-                CorrectionOutcome::Uncorrectable => false,
+                CorrectionOutcome::Uncorrectable => None,
                 _ => self.verify_meta(meta, &cb, parent_counter),
             };
-            if clone_ok {
+            if let Some(c) = clone_ok {
                 // Step 6-7: one verified survivor purifies every copy.
                 self.nvm_write(addr, cb, WriteCategory::Repair);
                 for other in 1..=extra {
@@ -469,6 +605,9 @@ impl SecureMemoryController {
                         ("survivor", clone_no),
                     ]
                 });
+                if c != parent_counter {
+                    self.repair_parent_counter(meta, c);
+                }
                 return Ok(cb);
             }
         }
@@ -544,9 +683,14 @@ impl SecureMemoryController {
         let saddr = self.layout.shadow_slot_addr(slot);
         self.obs.metrics.inc("ctl.shadow_writes", 1);
         self.nvm_write(saddr, entry, WriteCategory::Shadow);
-        if let Some(tree) = &mut self.shadow_tree {
-            tree.update(slot, &entry);
-            self.shadow_root = tree.root();
+        // The on-chip shadow-tree registers update only while the machine
+        // is alive: after the crash fuse fires, register state is frozen
+        // exactly as a powered-off controller's would be.
+        if !self.wpq.is_dead() {
+            if let Some(tree) = &mut self.shadow_tree {
+                tree.update(slot, &entry);
+                self.shadow_root = tree.root();
+            }
         }
     }
 
@@ -592,35 +736,50 @@ impl SecureMemoryController {
         pinned: &mut Vec<LineAddr>,
     ) -> Result<[u8; 64], MemoryError> {
         let addr = self.layout.meta_addr(meta);
-        // 1. Bump the parent counter (anti-replay for the new MAC).
-        let new_parent_counter = match self.layout.parent_of(meta) {
-            None => self.root.bump(self.layout.child_slot(meta)),
+        // 1. Compute the bumped parent counter (anti-replay for the new
+        //    MAC). The parent's own *durable* update — root register, or
+        //    the cached node's shadow entry — is deferred until after the
+        //    child's group is accepted into the ADR domain: verification
+        //    tolerates exactly one pending bump (forward trial), so a
+        //    crash between the two steps is never torn.
+        let child_slot = self.layout.child_slot(meta);
+        let parent_shadow = match self.layout.parent_of(meta) {
+            None => None,
             Some(p) => {
                 self.fetch_meta(p, pinned)?;
                 let p_addr = self.layout.meta_addr(p);
-                let child_slot = self.layout.child_slot(meta);
                 let slot = self.resident_slot(p_addr);
                 let pb = self.resident_mut(p_addr);
                 let mut pn = TocNode::from_bytes(&pb.data);
-                let c = pn.bump(child_slot);
+                pn.bump(child_slot);
                 pb.data = pn.to_bytes();
                 pb.dirty = true;
-                let pbytes = pb.data;
-                self.shadow_write(slot, p, &pbytes);
-                c
+                Some((slot, p, pb.data))
             }
         };
-        // 2. Refresh the MAC under the new parent counter.
+        let new_parent_counter = match &parent_shadow {
+            None => self.root.counter(child_slot) + 1,
+            Some((_, _, pbytes)) => TocNode::from_bytes(pbytes).counter(child_slot),
+        };
+        // 2. Refresh the MAC under the new parent counter. A leaf's MAC
+        //    lives in a packed side line — its read-modify-write image
+        //    joins the child's atomic group (a separate push could land
+        //    without the block, tearing the leaf).
+        let mut group: Vec<(LineAddr, [u8; 64], WriteCategory)> = Vec::new();
         if let Some(mac) = self.mac.clone() {
             if meta.level == 1 {
                 let tag = mac.counter_block_mac(addr.byte_addr(), &bytes, new_parent_counter);
                 let (line, off) = self.layout.leaf_mac_slot(meta.index);
-                self.write_mac_slot(line, off, tag, WriteCategory::LeafMac)
-                    .map_err(|()| MemoryError::MetadataUnverifiable {
+                let (mut mbytes, outcome) = self.nvm_read(line);
+                if !outcome.is_usable() {
+                    return Err(MemoryError::MetadataUnverifiable {
                         meta,
                         class: MetadataClass::DataMac,
                         covered_lines: self.layout.covered_data_lines(meta),
-                    })?;
+                    });
+                }
+                mbytes[off..off + 8].copy_from_slice(&tag.to_le_bytes());
+                group.push((line, mbytes, WriteCategory::LeafMac));
             } else {
                 let mut node = TocNode::from_bytes(&bytes);
                 node.set_mac(mac.tree_node_mac(
@@ -633,14 +792,18 @@ impl SecureMemoryController {
         } else if meta.level == 1 {
             // Timing mode still pays the leaf-MAC write traffic.
             let (line, off) = self.layout.leaf_mac_slot(meta.index);
-            let _ = self.write_mac_slot(line, off, 0, WriteCategory::LeafMac);
+            let (mut mbytes, outcome) = self.nvm_read(line);
+            if outcome.is_usable() {
+                mbytes[off..off + 8].copy_from_slice(&0u64.to_le_bytes());
+                group.push((line, mbytes, WriteCategory::LeafMac));
+            }
         }
-        // 3. Primary + clones as one atomic WPQ group (§3.2.1).
+        // 3. Leaf MAC + primary + clones as one atomic WPQ group (§3.2.1).
         let extra = self
             .config
             .cloning()
             .extra_clones(meta.level, self.layout.levels());
-        let mut group = vec![(addr, bytes, WriteCategory::Eviction)];
+        group.push((addr, bytes, WriteCategory::Eviction));
         for c in 1..=extra {
             group.push((self.layout.clone_addr(meta, c), bytes, WriteCategory::Clone));
         }
@@ -653,6 +816,17 @@ impl SecureMemoryController {
         });
         self.obs.metrics.inc("ctl.writebacks", 1);
         self.nvm_write_group(group);
+        // 4. Commit the parent's durable update, now that the child group
+        //    is in the ADR domain. The persistent root register mutates
+        //    only while the machine is alive.
+        match parent_shadow {
+            None => {
+                if !self.wpq.is_dead() {
+                    self.root.set_counter(child_slot, new_parent_counter);
+                }
+            }
+            Some((slot, p, pbytes)) => self.shadow_write(slot, p, &pbytes),
+        }
         Ok(bytes)
     }
 
@@ -767,96 +941,288 @@ impl SecureMemoryController {
         }
     }
 
-    /// Writes one 64-byte line at `addr`.
+    /// Writes one 64-byte line at `addr` — a transaction of one write.
     ///
     /// # Errors
     ///
     /// Propagates metadata-unverifiable, uncorrectable-data and
     /// integrity-violation conditions (see [`MemoryError`]).
     pub fn write(&mut self, addr: DataAddr, data: &[u8; 64]) -> Result<(), MemoryError> {
-        self.check_bounds(addr)?;
-        self.trace.clear();
-        self.stats.data_writes += 1;
-        let mut pinned = Vec::new();
-        let leaf = self.layout.counter_block_of(addr);
-        let slot = self.layout.counter_slot_of(addr);
-        self.fetch_meta(leaf, &mut pinned)?;
-        let leaf_addr = self.layout.meta_addr(leaf);
+        self.commit_writes(&[(addr, *data)]).map(|_| ())
+    }
 
-        // Bump the counter, handling overflow (page re-encryption) first.
-        let mut cb =
-            CounterBlock::from_bytes(&self.resident(leaf_addr).data);
-        if cb.minor(slot) + 1 == MINOR_LIMIT {
-            self.reencrypt_page(leaf, &cb, &mut pinned)?;
-            cb.bump(slot); // performs the major bump + minor reset
-        } else {
-            cb.bump(slot);
+    /// Opens a [`Transaction`]: stage writes, then commit them as one
+    /// atomic group. See [`Transaction`] for the durability contract.
+    pub fn transaction(&mut self) -> Transaction<'_> {
+        Transaction {
+            ctl: self,
+            writes: Vec::new(),
         }
-        let counter = cb.counter(slot);
+    }
 
+    /// Commits a group of writes atomically — **the** durability point
+    /// of the controller.
+    ///
+    /// The atomic-and-committing contract (ROADMAP 5(b), in the style of
+    /// the PSA storage-resilience API): the ciphertext lines, their data
+    /// MACs, and the touched counter blocks' shadow entries enter the
+    /// WPQ as **one** [`WritePendingQueue::push_atomic`] group. Because
+    /// an accepted group is durable (ADR) and an unaccepted one leaves
+    /// no trace, *any crash observes a prefix of committed transactions,
+    /// and never a torn transaction*. Deferred maintenance (Osiris
+    /// writebacks, eager propagation) runs after the commit point and
+    /// only re-persists already-committed state.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::TransactionTooLarge`] when the staged group cannot
+    /// fit the WPQ even when empty (no partial effects: the transaction
+    /// may be split and retried), plus the per-write datapath errors of
+    /// [`SecureMemoryController::write`].
+    pub fn commit_writes(
+        &mut self,
+        writes: &[(DataAddr, [u8; 64])],
+    ) -> Result<CommitReceipt, MemoryError> {
+        for &(addr, _) in writes {
+            self.check_bounds(addr)?;
+        }
+        self.trace.clear();
+        if writes.is_empty() {
+            return Ok(CommitReceipt {
+                writes: 0,
+                group_writes: 0,
+                accepted: !self.wpq.is_dead(),
+                accept_event: self.wpq.events(),
+            });
+        }
+        self.stats.data_writes += writes.len() as u64;
+        let mut pinned = Vec::new();
+
+        // Per-leaf bump plan: how many times each counter slot will bump.
+        let mut planned: Vec<(MetaId, [u8; COUNTERS_PER_BLOCK as usize])> = Vec::new();
+        for &(addr, _) in writes {
+            let leaf = self.layout.counter_block_of(addr);
+            let slot = self.layout.counter_slot_of(addr);
+            match planned.iter_mut().find(|(m, _)| *m == leaf) {
+                Some((_, bumps)) => bumps[slot] = bumps[slot].saturating_add(1),
+                None => {
+                    let mut bumps = [0u8; COUNTERS_PER_BLOCK as usize];
+                    bumps[slot] = 1;
+                    planned.push((leaf, bumps));
+                }
+            }
+        }
+        let osiris_limit = self.config.osiris_limit();
+        for (_, bumps) in &planned {
+            if let Some(&over) = bumps.iter().find(|&&b| b > osiris_limit) {
+                return Err(MemoryError::TransactionExceedsOsirisBudget {
+                    slot_bumps: over,
+                    osiris_limit,
+                });
+            }
+        }
+
+        // Stage the transaction: leaf overlays (counter bumps) and the
+        // atomic write group, without touching durable or cached state.
+        let mut leaves: Vec<(MetaId, [u8; 64])> = Vec::new();
+        let mut staged: Vec<(LineAddr, [u8; 64], WriteCategory)> = Vec::new();
+        for &(addr, data) in writes {
+            let leaf = self.layout.counter_block_of(addr);
+            let slot = self.layout.counter_slot_of(addr);
+            let li = match leaves.iter().position(|(m, _)| *m == leaf) {
+                Some(i) => i,
+                None => {
+                    self.fetch_meta(leaf, &mut pinned)?;
+                    let leaf_addr = self.layout.meta_addr(leaf);
+                    // Osiris pre-normalization: if this transaction's
+                    // bumps would push a slot past the recovery trial
+                    // budget, write back the *committed* (pre-transaction)
+                    // leaf first — always safe, never torn.
+                    if matches!(self.config.tree_update(), TreeUpdate::Lazy) {
+                        let bumps = planned
+                            .iter()
+                            .find(|(m, _)| *m == leaf)
+                            .map(|(_, b)| *b)
+                            .unwrap_or([0; COUNTERS_PER_BLOCK as usize]);
+                        let needs_wb = {
+                            let blk = self.resident(leaf_addr);
+                            blk.dirty
+                                && blk
+                                    .slot_updates
+                                    .iter()
+                                    .zip(bumps.iter())
+                                    .any(|(&u, &b)| b > 0 && u.saturating_add(b) > osiris_limit)
+                        };
+                        if needs_wb {
+                            self.stats.osiris_writebacks += 1;
+                            self.obs.metrics.inc("ctl.osiris_writebacks", 1);
+                            self.obs.trace.emit_with("ctl", "osiris_writeback", || {
+                                obs_fields![("leaf", leaf.index)]
+                            });
+                            let bytes = self.resident(leaf_addr).data;
+                            let written = self.writeback_block(leaf, bytes, &mut pinned)?;
+                            let blk = self.resident_mut(leaf_addr);
+                            blk.data = written;
+                            blk.dirty = false;
+                            blk.slot_updates = [0; 64];
+                        }
+                    }
+                    leaves.push((leaf, self.resident(leaf_addr).data));
+                    leaves.len() - 1
+                }
+            };
+            // Bump the staged counter, handling overflow (page
+            // re-encryption) first. Re-encryption rewrites committed
+            // data under the old counters and is pushed pre-commit.
+            let mut cb = CounterBlock::from_bytes(&leaves[li].1);
+            if cb.minor(slot) + 1 == MINOR_LIMIT {
+                self.reencrypt_page(leaf, &cb, &mut pinned)?;
+            }
+            cb.bump(slot);
+            leaves[li].1 = cb.to_bytes();
+            let counter = cb.counter(slot);
+            // Ciphertext line.
+            let line_addr = self.layout.data_line_addr(addr);
+            let ciphertext = match &self.cipher {
+                Some(c) => c.encrypt_line(&data, addr.index() * 64, counter),
+                None => data,
+            };
+            stage_line(&mut staged, line_addr, ciphertext, WriteCategory::Cipher);
+            // Data-MAC line: read-modify-write *through* the staged
+            // overlay so two writes sharing a MAC line compose.
+            let tag = self.data_mac_of(addr, &ciphertext, counter).max(1);
+            let (mac_line, off) = self.layout.data_mac_slot(addr);
+            let mut mbytes = match staged.iter().find(|(a, _, _)| *a == mac_line) {
+                Some((_, bytes, _)) => *bytes,
+                None => {
+                    let (bytes, outcome) = self.nvm_read(mac_line);
+                    if !outcome.is_usable() {
+                        return Err(MemoryError::DataUncorrectable { addr });
+                    }
+                    bytes
+                }
+            };
+            mbytes[off..off + 8].copy_from_slice(&tag.to_le_bytes());
+            stage_line(&mut staged, mac_line, mbytes, WriteCategory::DataMac);
+        }
+        // Shadow entries for the final staged leaf images ride in the
+        // same group (Lazy / lazily-tracked levels only).
+        let mut shadow_updates: Vec<(u64, [u8; 64])> = Vec::new();
+        let leaf_shadowed = match self.config.tree_update() {
+            TreeUpdate::Eager => false,
+            TreeUpdate::Triad { persist_levels } => persist_levels < 1,
+            TreeUpdate::Lazy => true,
+        };
+        if leaf_shadowed {
+            for &(leaf, bytes) in &leaves {
+                let record = self.build_shadow_record(leaf, &bytes);
+                let entry = encode_entry(&record, self.config.shadow_mode());
+                let slot = self.resident_slot(self.layout.meta_addr(leaf));
+                self.obs.metrics.inc("ctl.shadow_writes", 1);
+                stage_line(
+                    &mut staged,
+                    self.layout.shadow_slot_addr(slot),
+                    entry,
+                    WriteCategory::Shadow,
+                );
+                shadow_updates.push((slot, entry));
+            }
+        }
+        if staged.len() > self.wpq.capacity() {
+            return Err(MemoryError::TransactionTooLarge {
+                writes: writes.len(),
+                group: staged.len(),
+                capacity: self.wpq.capacity(),
+            });
+        }
+
+        // ----- THE COMMIT POINT -----
+        let group_writes = staged.len();
+        let tx_writes = writes.len() as u64;
+        self.obs.trace.emit_with("ctl", "tx_commit", || {
+            obs_fields![("writes", tx_writes), ("group", group_writes as u64)]
+        });
+        let outcome = self.nvm_write_group(staged);
+        let (accepted, accept_event) = match outcome {
+            AcceptOutcome::Accepted { event } => (true, event),
+            AcceptOutcome::Dead => (false, self.wpq.events()),
+        };
+
+        // Post-commit: fold the staged leaf images into the cache and
+        // update the volatile shadow-tree registers (alive only).
+        for &(leaf, bytes) in &leaves {
+            let leaf_addr = self.layout.meta_addr(leaf);
+            let blk = self.resident_mut(leaf_addr);
+            blk.data = bytes;
+            blk.dirty = true;
+        }
+        for (leaf, bumps) in &planned {
+            let leaf_addr = self.layout.meta_addr(*leaf);
+            let blk = self.resident_mut(leaf_addr);
+            for (u, b) in blk.slot_updates.iter_mut().zip(bumps.iter()) {
+                *u = u.saturating_add(*b);
+            }
+        }
+        if !self.wpq.is_dead() {
+            if let Some(tree) = &mut self.shadow_tree {
+                for (slot, entry) in &shadow_updates {
+                    tree.update(*slot, entry);
+                }
+                if !shadow_updates.is_empty() {
+                    self.shadow_root = tree.root();
+                }
+            }
+        }
+
+        // Deferred maintenance, re-persisting committed state only.
         match self.config.tree_update() {
             TreeUpdate::Lazy => {
-                // Osiris: bound in-cache updates per counter so recovery
-                // needs at most `osiris_limit` trials.
-                let osiris_limit = self.config.osiris_limit();
-                let (do_osiris_writeback, leaf_bytes) = {
-                    let blk = self.resident_mut(leaf_addr);
-                    blk.data = cb.to_bytes();
-                    blk.dirty = true;
-                    blk.slot_updates[slot] = blk.slot_updates[slot].saturating_add(1);
-                    (blk.slot_updates[slot] >= osiris_limit, blk.data)
-                };
-                let cache_slot = self.resident_slot(leaf_addr);
-                self.shadow_write(cache_slot, leaf, &leaf_bytes);
-                if do_osiris_writeback {
-                    self.stats.osiris_writebacks += 1;
-                    self.obs.metrics.inc("ctl.osiris_writebacks", 1);
-                    self.obs.trace.emit_with("ctl", "osiris_writeback", || {
-                        obs_fields![("leaf", leaf.index)]
-                    });
-                    let bytes = self.writeback_block(leaf, leaf_bytes, &mut pinned)?;
-                    let blk = self.resident_mut(leaf_addr);
-                    blk.data = bytes;
-                    blk.dirty = false;
-                    blk.slot_updates = [0; 64];
+                for &(leaf, _) in &leaves {
+                    let leaf_addr = self.layout.meta_addr(leaf);
+                    let (do_osiris_writeback, leaf_bytes) = {
+                        let blk = self.resident(leaf_addr);
+                        (
+                            blk.slot_updates.iter().any(|&u| u >= osiris_limit),
+                            blk.data,
+                        )
+                    };
+                    if do_osiris_writeback {
+                        self.stats.osiris_writebacks += 1;
+                        self.obs.metrics.inc("ctl.osiris_writebacks", 1);
+                        self.obs.trace.emit_with("ctl", "osiris_writeback", || {
+                            obs_fields![("leaf", leaf.index)]
+                        });
+                        let bytes = self.writeback_block(leaf, leaf_bytes, &mut pinned)?;
+                        let blk = self.resident_mut(leaf_addr);
+                        blk.data = bytes;
+                        blk.dirty = false;
+                        blk.slot_updates = [0; 64];
+                    }
                 }
             }
             TreeUpdate::Eager => {
-                {
-                    let blk = self.resident_mut(leaf_addr);
-                    blk.data = cb.to_bytes();
-                    blk.dirty = true;
+                // Every counter update climbs to the root immediately:
+                // one writeback per level per store.
+                for &(leaf, _) in &leaves {
+                    self.eager_propagate(leaf, u8::MAX, &mut pinned)?;
                 }
-                // Every counter update climbs to the root immediately: one
-                // writeback per level per store.
-                self.eager_propagate(leaf, u8::MAX, &mut pinned)?;
             }
             TreeUpdate::Triad { persist_levels } => {
-                {
-                    let blk = self.resident_mut(leaf_addr);
-                    blk.data = cb.to_bytes();
-                    blk.dirty = true;
-                }
                 // Persist strictly up to `persist_levels`; the first lazy
                 // ancestor is dirtied by the boundary writeback, and
                 // writeback_block's parent update shadow-writes it (the
                 // shadow gate only skips the strictly-persisted levels).
-                self.eager_propagate(leaf, persist_levels, &mut pinned)?;
+                for &(leaf, _) in &leaves {
+                    self.eager_propagate(leaf, persist_levels, &mut pinned)?;
+                }
             }
         }
-
-        // Encrypt and persist ciphertext + data MAC.
-        let line_addr = self.layout.data_line_addr(addr);
-        let ciphertext = match &self.cipher {
-            Some(c) => c.encrypt_line(data, addr.index() * 64, counter),
-            None => *data,
-        };
-        self.nvm_write(line_addr, ciphertext, WriteCategory::Cipher);
-        let tag = self.data_mac_of(addr, &ciphertext, counter);
-        let (mac_line, off) = self.layout.data_mac_slot(addr);
-        self.write_mac_slot(mac_line, off, tag.max(1), WriteCategory::DataMac)
-            .map_err(|()| MemoryError::DataUncorrectable { addr })?;
-        Ok(())
+        Ok(CommitReceipt {
+            writes: writes.len(),
+            group_writes,
+            accepted,
+            accept_event,
+        })
     }
 
     /// Reads one 64-byte line at `addr`, verifying its integrity.
@@ -896,12 +1262,53 @@ impl SecureMemoryController {
                 return Ok([0u8; 64]);
             }
             let expected = self.data_mac_of(addr, &ciphertext, counter).max(1);
-            if expected != stored {
+            if expected == stored {
+                return Ok(self
+                    .functional_cipher()
+                    .decrypt_line(&ciphertext, addr.index() * 64, counter));
+            }
+            // Crash staleness: the ciphertext + MAC committed atomically,
+            // but under Eager/Triad the leaf carries no shadow entry, so
+            // a crash between the commit and the eager writeback leaves
+            // the durable counter lagging the data by up to
+            // `osiris_limit` bumps. Trials only go *forward* — replayed
+            // (older) data can never match — so this cannot weaken
+            // integrity; a match folds the missing bumps back into the
+            // cached leaf. Lazy mode commits the shadow entry in the
+            // same atomic group and needs no trials: there a mismatch
+            // stays an integrity violation (Fig. 8 loss accounting).
+            let leaf_shadowed = match self.config.tree_update() {
+                TreeUpdate::Eager => false,
+                TreeUpdate::Triad { persist_levels } => persist_levels < 1,
+                TreeUpdate::Lazy => true,
+            };
+            if leaf_shadowed {
                 return Err(MemoryError::IntegrityViolation { addr });
             }
-            Ok(self
-                .functional_cipher()
-                .decrypt_line(&ciphertext, addr.index() * 64, counter))
+            let cb = CounterBlock::from_bytes(&self.resident(leaf_addr).data);
+            let headroom = (MINOR_LIMIT - cb.minor(slot)) as u64;
+            for t in 1..=u64::from(self.config.osiris_limit()).min(headroom.saturating_sub(1)) {
+                let trial = counter + t;
+                if self.data_mac_of(addr, &ciphertext, trial).max(1) == stored {
+                    self.stats.forward_repairs += 1;
+                    self.obs.metrics.inc("ctl.forward_repairs", 1);
+                    self.obs.trace.emit_with("ctl", "counter_forward_repair", || {
+                        obs_fields![("line", addr.index()), ("trials", t)]
+                    });
+                    let blk = self.resident_mut(leaf_addr);
+                    let mut cb = CounterBlock::from_bytes(&blk.data);
+                    for _ in 0..t {
+                        cb.bump(slot);
+                    }
+                    blk.data = cb.to_bytes();
+                    blk.dirty = true;
+                    blk.slot_updates[slot] = blk.slot_updates[slot].saturating_add(t as u8);
+                    return Ok(self
+                        .functional_cipher()
+                        .decrypt_line(&ciphertext, addr.index() * 64, trial));
+                }
+            }
+            Err(MemoryError::IntegrityViolation { addr })
         } else {
             Ok([0u8; 64])
         }
@@ -1103,12 +1510,49 @@ impl SecureMemoryController {
     pub fn crash(mut self) -> crate::recovery::CrashImage {
         let pending = self.wpq.len();
         let drains = self.wpq.drains();
+        let events = self.wpq.events();
         self.obs.trace.emit_with("ctl", "crash", || {
-            obs_fields![("adr_drained", pending), ("drains_at_crash", drains)]
+            obs_fields![
+                ("adr_drained", pending),
+                ("drains_at_crash", drains),
+                ("events_at_crash", events),
+            ]
         });
         self.wpq.flush(&mut self.device);
+        let journal = self.wpq.take_journal();
         crate::recovery::CrashImage::new(self.config, self.device, self.root, self.shadow_root)
             .with_obs(self.obs)
+            .with_wpq_journal(journal)
+    }
+
+    // ----- crash-consistency instrumentation (rt::crashck adapters) -----
+
+    /// Arms the WPQ crash fuse: every durable side effect stops after
+    /// `event` accept/stall-drain steps complete (`0` = dead from the
+    /// start). See [`WritePendingQueue::arm_crash_at_event`]. The
+    /// controller keeps executing — a dead machine's writes are simply
+    /// never issued — so a crash-point sweep can run the full script and
+    /// then [`SecureMemoryController::crash`].
+    pub fn arm_crash_at_event(&mut self, event: u64) {
+        self.wpq.arm_crash_at_event(event);
+    }
+
+    /// The WPQ event clock (accepts + stall drains). Crash points are
+    /// `0..=wpq_events()`.
+    pub fn wpq_events(&self) -> u64 {
+        self.wpq.events()
+    }
+
+    /// `true` once an armed crash fuse has fired.
+    pub fn wpq_is_dead(&self) -> bool {
+        self.wpq.is_dead()
+    }
+
+    /// Starts journaling WPQ accepts/drains for replay against the pure
+    /// queue model in `soteria_rt::crashck`. The journal travels with
+    /// the [`crate::recovery::CrashImage`].
+    pub fn enable_wpq_journal(&mut self) {
+        self.wpq.enable_journal();
     }
 }
 

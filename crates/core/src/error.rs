@@ -99,6 +99,28 @@ pub enum MemoryError {
         /// The affected line.
         addr: DataAddr,
     },
+    /// A transaction's staged atomic group (ciphertext + data-MAC +
+    /// shadow lines) cannot fit the WPQ even when empty, so it can never
+    /// commit atomically. Nothing was persisted; split the transaction
+    /// and retry.
+    TransactionTooLarge {
+        /// Data writes in the rejected transaction.
+        writes: usize,
+        /// Lines the staged atomic group needed.
+        group: usize,
+        /// WPQ capacity in lines.
+        capacity: usize,
+    },
+    /// A transaction bumps one counter slot more times than the Osiris
+    /// recovery trial budget, so a crash after commit could leave the
+    /// durable counter unrecoverably far behind. Nothing was persisted;
+    /// split the transaction and retry.
+    TransactionExceedsOsirisBudget {
+        /// Bumps the transaction wanted on a single counter slot.
+        slot_bumps: u8,
+        /// The configured `osiris_limit`.
+        osiris_limit: u8,
+    },
     /// A metadata block was lost — uncorrectable in memory and, under
     /// Soteria, every clone also failed. All data it covers becomes
     /// unverifiable (contributes to `L_unverifiable`).
@@ -124,6 +146,23 @@ impl std::fmt::Display for MemoryError {
             MemoryError::IntegrityViolation { addr } => {
                 write!(f, "integrity verification failed for {addr}")
             }
+            MemoryError::TransactionTooLarge {
+                writes,
+                group,
+                capacity,
+            } => write!(
+                f,
+                "transaction of {writes} writes stages an atomic group of {group} lines, \
+                 exceeding the WPQ capacity {capacity}; it can never commit"
+            ),
+            MemoryError::TransactionExceedsOsirisBudget {
+                slot_bumps,
+                osiris_limit,
+            } => write!(
+                f,
+                "transaction bumps one counter slot {slot_bumps} times, exceeding the \
+                 Osiris recovery budget of {osiris_limit} trials"
+            ),
             MemoryError::MetadataUnverifiable {
                 meta,
                 class,

@@ -62,7 +62,7 @@ pub mod toc;
 
 pub use clone::CloningPolicy;
 pub use config::{EccKind, Fidelity, SecureMemoryConfig};
-pub use controller::SecureMemoryController;
+pub use controller::{CommitReceipt, SecureMemoryController, Transaction};
 pub use error::{ConfigError, MemoryError};
 pub use layout::{MemoryLayout, MetaId};
 pub use recovery::{recover, CrashImage, RecoveryReport};

@@ -47,6 +47,10 @@ pub struct CrashImage {
     /// trace. Trace state is volatile in real hardware; keeping it here
     /// is a debugging convenience, not an architectural claim.
     obs: Obs,
+    /// WPQ event journal (empty unless the crashed controller had
+    /// `enable_wpq_journal` on) — replayable against the pure queue
+    /// model in `soteria_rt::crashck`.
+    wpq_journal: Vec<soteria_rt::crashck::WpqEventRecord>,
 }
 
 impl std::fmt::Debug for CrashImage {
@@ -70,12 +74,28 @@ impl CrashImage {
             root,
             shadow_root,
             obs: Obs::disabled(),
+            wpq_journal: Vec::new(),
         }
     }
 
     pub(crate) fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
         self
+    }
+
+    pub(crate) fn with_wpq_journal(
+        mut self,
+        journal: Vec<soteria_rt::crashck::WpqEventRecord>,
+    ) -> Self {
+        self.wpq_journal = journal;
+        self
+    }
+
+    /// The WPQ event journal recorded up to the crash (including the ADR
+    /// flush), for replay against `soteria_rt::crashck::replay_journal`.
+    /// Empty unless the crashed controller enabled journaling.
+    pub fn wpq_journal(&self) -> &[soteria_rt::crashck::WpqEventRecord] {
+        &self.wpq_journal
     }
 
     /// The observability handle carried from the crashed controller.

@@ -91,6 +91,10 @@ pub struct ControllerStats {
     pub osiris_writebacks: u64,
     /// Metadata blocks successfully purified from clones.
     pub clone_repairs: u64,
+    /// Crash-staleness repairs: verifications that matched one pending
+    /// parent bump ahead (or a data MAC up to `osiris_limit` counter
+    /// bumps ahead) and folded the skew back into volatile state.
+    pub forward_repairs: u64,
     /// Uncorrectable errors observed on data lines.
     pub data_ue: u64,
     /// Uncorrectable errors observed on metadata (pre-repair).

@@ -10,7 +10,27 @@
 //! maximum useful clone depth by the WPQ size — the reason Table 2 caps
 //! SAC at depth 5 given a minimum 8-entry WPQ.
 
+//!
+//! For crash-consistency checking the queue carries three optional
+//! instruments (all inert unless enabled, zero cost in the hot path):
+//!
+//! * an **event clock** counting every durability-relevant step — each
+//!   group accept and each stall-forced drain (`push` is an accept of a
+//!   group of one). ADR flush steps do **not** tick the clock: flushing
+//!   is what makes accepts durable, not a new media state a crash could
+//!   expose at;
+//! * a **crash fuse** ([`WritePendingQueue::arm_crash_at_event`]): after
+//!   the armed event completes the queue is *dead* — a dead queue
+//!   silently drops every subsequent accept (writes the powered-off CPU
+//!   never issued) while `flush` still drains everything accepted
+//!   before death, exactly as ADR would;
+//! * a **journal** of accepts and drains as
+//!   [`soteria_rt::crashck::WpqEventRecord`]s, replayable against the
+//!   pure queue model in `rt::crashck`.
+
 use std::collections::VecDeque;
+
+use soteria_rt::crashck::{fingerprint64, WpqEventRecord};
 
 use crate::device::NvmDimm;
 use crate::LineAddr;
@@ -45,6 +65,28 @@ impl std::fmt::Display for GroupTooLarge {
 
 impl std::error::Error for GroupTooLarge {}
 
+/// What happened to an accept request: either the group entered the ADR
+/// domain at a given event-clock value (it is now durable), or the crash
+/// fuse had already fired and the write was never issued.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AcceptOutcome {
+    /// The group was accepted whole; `event` is the clock value of the
+    /// accept (crash point `event` is the first point that observes it).
+    Accepted {
+        /// Event-clock value of this accept.
+        event: u64,
+    },
+    /// The queue is dead (crash fuse fired): nothing was accepted.
+    Dead,
+}
+
+impl AcceptOutcome {
+    /// `true` when the group entered the ADR domain.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, AcceptOutcome::Accepted { .. })
+    }
+}
+
 /// A bounded write-pending queue inside the ADR domain.
 #[derive(Clone, Debug)]
 pub struct WritePendingQueue {
@@ -53,6 +95,10 @@ pub struct WritePendingQueue {
     drains: u64,
     accepted: u64,
     stalls: u64,
+    events: u64,
+    fuse: Option<u64>,
+    dead: bool,
+    journal: Option<Vec<WpqEventRecord>>,
 }
 
 impl WritePendingQueue {
@@ -70,6 +116,10 @@ impl WritePendingQueue {
             drains: 0,
             accepted: 0,
             stalls: 0,
+            events: 0,
+            fuse: None,
+            dead: false,
+            journal: None,
         }
     }
 
@@ -100,70 +150,172 @@ impl WritePendingQueue {
     }
 
     /// Total entries drained from the queue to the media over its
-    /// lifetime (stall-forced drains plus `flush`). The drain counter is
-    /// the crash-point clock: every drain moves exactly one write out of
-    /// the ADR domain onto media, so "cut power after drain step k" is a
-    /// complete enumeration of media states a crash can expose.
+    /// lifetime (stall-forced drains plus `flush`). Monotone in the
+    /// crash point: the further a run gets, the more has drained.
     pub fn drains(&self) -> u64 {
         self.drains
     }
 
+    /// The event clock: one tick per group accept (`push` counts as a
+    /// group of one) and per stall-forced drain. "Cut power the instant
+    /// event k completes" for `k` in `0..=events()` is a complete
+    /// enumeration of the durable states a crash can expose — ADR flush
+    /// steps do not tick the clock because flushing only realises
+    /// durability already promised at accept time.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Arms the crash fuse: the queue goes dead the instant event
+    /// `event` completes (`0` = dead before anything happens). A dead
+    /// queue drops all further accepts — writes a powered-off CPU never
+    /// issued — while [`WritePendingQueue::flush`] still drains
+    /// everything accepted before death, exactly as ADR would.
+    pub fn arm_crash_at_event(&mut self, event: u64) {
+        self.fuse = Some(event);
+        if self.events >= event {
+            self.dead = true;
+        }
+    }
+
+    /// `true` once the armed crash fuse has fired.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Starts journaling accepts and drains as
+    /// [`WpqEventRecord`]s (replayable via `rt::crashck`).
+    pub fn enable_journal(&mut self) {
+        self.journal = Some(Vec::new());
+    }
+
+    /// Takes the journal recorded so far (empty if journaling was never
+    /// enabled); journaling continues afterwards.
+    pub fn take_journal(&mut self) -> Vec<WpqEventRecord> {
+        match &mut self.journal {
+            Some(j) => std::mem::take(j),
+            None => Vec::new(),
+        }
+    }
+
+    /// Advances the event clock by one completed event and fires the
+    /// fuse if this was the armed event.
+    fn tick(&mut self) -> u64 {
+        self.events += 1;
+        if self.fuse.is_some_and(|f| self.events >= f) {
+            self.dead = true;
+        }
+        self.events
+    }
+
     /// Pushes one write, draining the oldest entry to `device` first if
-    /// the queue is full.
-    pub fn push(&mut self, write: PendingWrite, device: &mut NvmDimm) {
+    /// the queue is full. Returns where the accept landed on the event
+    /// clock — or [`AcceptOutcome::Dead`] if the crash fuse has fired
+    /// (the write is dropped: a dead machine issues nothing).
+    pub fn push(&mut self, write: PendingWrite, device: &mut NvmDimm) -> AcceptOutcome {
+        if self.dead {
+            return AcceptOutcome::Dead;
+        }
         if self.entries.len() == self.capacity {
             self.stalls += 1;
             self.drain_one(device);
+            if self.dead {
+                return AcceptOutcome::Dead;
+            }
+        }
+        let event = self.tick();
+        if let Some(j) = &mut self.journal {
+            j.push(WpqEventRecord::Accept {
+                event,
+                writes: vec![(write.addr.index(), fingerprint64(&write.data[..]))],
+            });
         }
         self.entries.push_back(write);
         self.accepted += 1;
+        AcceptOutcome::Accepted { event }
     }
 
     /// Pushes a group of writes that must be accepted **atomically**: if
     /// the group does not fit, older entries are drained first ("as soon
     /// as few entries are flushed from WPQ to NVM" — §3.2.1). The group is
-    /// never split across a crash boundary because all members are in the
-    /// ADR domain once this returns.
+    /// never split across a crash boundary: acceptance is a single event
+    /// on the crash clock, and if the fuse fires mid-stall the whole
+    /// group is dropped (all or none even at the instant of death).
     ///
     /// # Errors
     ///
     /// Returns [`GroupTooLarge`] when the group exceeds the whole WPQ; the
-    /// caller (the clone writer) must cap its depth below this.
+    /// caller (the clone writer, the transaction committer) must cap its
+    /// group size below this.
     pub fn push_atomic(
         &mut self,
         writes: Vec<PendingWrite>,
         device: &mut NvmDimm,
-    ) -> Result<(), GroupTooLarge> {
+    ) -> Result<AcceptOutcome, GroupTooLarge> {
         if writes.len() > self.capacity {
             return Err(GroupTooLarge {
                 group: writes.len(),
                 capacity: self.capacity,
             });
         }
+        if self.dead {
+            return Ok(AcceptOutcome::Dead);
+        }
         while self.capacity - self.entries.len() < writes.len() {
             self.stalls += 1;
             self.drain_one(device);
+            if self.dead {
+                return Ok(AcceptOutcome::Dead);
+            }
+        }
+        let event = self.tick();
+        if let Some(j) = &mut self.journal {
+            j.push(WpqEventRecord::Accept {
+                event,
+                writes: writes
+                    .iter()
+                    .map(|w| (w.addr.index(), fingerprint64(&w.data[..])))
+                    .collect(),
+            });
         }
         for w in writes {
             self.entries.push_back(w);
             self.accepted += 1;
         }
-        Ok(())
+        Ok(AcceptOutcome::Accepted { event })
     }
 
+    /// A stall-forced drain: one entry to media, one tick on the event
+    /// clock (the media state changed — a crash can now observe it).
     fn drain_one(&mut self, device: &mut NvmDimm) {
         if let Some(w) = self.entries.pop_front() {
             device.write_line(w.addr, &w.data);
             self.drains += 1;
+            let event = self.tick();
+            if let Some(j) = &mut self.journal {
+                j.push(WpqEventRecord::StallDrain {
+                    event,
+                    addr: w.addr.index(),
+                    fp: fingerprint64(&w.data[..]),
+                });
+            }
         }
     }
 
     /// Drains every pending write to the device. This is what ADR does at
     /// power-fail time, and what makes a modeled crash lose nothing that
-    /// reached the WPQ.
+    /// reached the WPQ. Flush ignores the crash fuse (ADR works *because*
+    /// the CPU is dead) and does not tick the event clock.
     pub fn flush(&mut self, device: &mut NvmDimm) {
-        while !self.entries.is_empty() {
-            self.drain_one(device);
+        while let Some(w) = self.entries.pop_front() {
+            device.write_line(w.addr, &w.data);
+            self.drains += 1;
+            if let Some(j) = &mut self.journal {
+                j.push(WpqEventRecord::FlushDrain {
+                    addr: w.addr.index(),
+                    fp: fingerprint64(&w.data[..]),
+                });
+            }
         }
     }
 
@@ -251,6 +403,130 @@ mod tests {
         q.push_atomic(vec![write(1, 1), write(2, 2)], &mut d)
             .unwrap();
         assert_eq!(q.accepted(), 3);
+    }
+
+    #[test]
+    fn transaction_larger_than_capacity_never_commits() {
+        // The commit primitive must reject — not truncate, not stall
+        // forever — a transaction that cannot fit even an empty queue,
+        // and the rejection must not consume stalls or events.
+        let mut d = device();
+        let mut q = WritePendingQueue::new(4);
+        q.push(write(0, 0), &mut d);
+        let group: Vec<_> = (1..=5).map(|i| write(i, i as u8)).collect();
+        assert_eq!(
+            q.push_atomic(group, &mut d),
+            Err(GroupTooLarge {
+                group: 5,
+                capacity: 4
+            })
+        );
+        assert_eq!(q.len(), 1, "resident entries untouched by the rejection");
+        assert_eq!(q.stalls(), 0, "no drains were forced for a doomed group");
+        assert_eq!(q.events(), 1, "only the original push ticked the clock");
+    }
+
+    #[test]
+    fn stall_accounting_at_exactly_full_queue() {
+        let mut d = device();
+        let mut q = WritePendingQueue::new(3);
+        for i in 0..3 {
+            q.push(write(i, i as u8), &mut d);
+        }
+        assert_eq!((q.len(), q.stalls()), (3, 0), "filling to the brim is free");
+        // A single push at len == capacity forces exactly one stall drain.
+        q.push(write(10, 10), &mut d);
+        assert_eq!(q.stalls(), 1);
+        assert_eq!(q.len(), 3);
+        // An atomic group the size of the whole queue onto a full queue
+        // forces exactly `capacity` stall drains — no more, no less.
+        q.push_atomic(vec![write(20, 20), write(21, 21), write(22, 22)], &mut d)
+            .unwrap();
+        assert_eq!(q.stalls(), 1 + 3);
+        assert_eq!(q.len(), 3);
+        // Events: 5 accepts (the group is one event) + 4 stall drains.
+        assert_eq!(q.events(), 9);
+        assert_eq!(q.drains(), 4);
+    }
+
+    #[test]
+    fn flush_mid_transaction_drains_groups_contiguously() {
+        // `flush` while an atomic group sits in the queue must drain the
+        // group wholly and in FIFO order — the journal shows every
+        // accepted write reaching media with nothing interleaved.
+        let mut d = device();
+        let mut q = WritePendingQueue::new(8);
+        q.enable_journal();
+        q.push(write(1, 1), &mut d);
+        q.push_atomic(vec![write(2, 2), write(3, 3), write(4, 4)], &mut d)
+            .unwrap();
+        q.flush(&mut d);
+        assert!(q.is_empty());
+        let journal = q.take_journal();
+        let flushed: Vec<u64> = journal
+            .iter()
+            .filter_map(|r| match r {
+                soteria_rt::crashck::WpqEventRecord::FlushDrain { addr, .. } => Some(*addr),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(flushed, vec![1, 2, 3, 4], "FIFO, group contiguous");
+        // The journal replays cleanly against the pure queue model.
+        soteria_rt::crashck::replay_journal(&journal, q.capacity())
+            .expect("journal honours the queue discipline");
+    }
+
+    #[test]
+    fn crash_fuse_kills_later_accepts_but_not_earlier_durability() {
+        let mut d = device();
+        let mut q = WritePendingQueue::new(4);
+        q.arm_crash_at_event(2);
+        assert!(q.push(write(1, 1), &mut d).is_accepted());
+        let at2 = q.push(write(2, 2), &mut d);
+        assert_eq!(at2, AcceptOutcome::Accepted { event: 2 });
+        assert!(q.is_dead(), "the armed event completes, then the fuse fires");
+        assert_eq!(q.push(write(3, 3), &mut d), AcceptOutcome::Dead);
+        assert_eq!(
+            q.push_atomic(vec![write(4, 4)], &mut d),
+            Ok(AcceptOutcome::Dead)
+        );
+        assert_eq!(q.accepted(), 2, "dead accepts are dropped, not queued");
+        // ADR still drains what was accepted before death.
+        q.flush(&mut d);
+        assert_eq!(d.read_line(LineAddr::new(1)).0, [1; 64]);
+        assert_eq!(d.read_line(LineAddr::new(2)).0, [2; 64]);
+        assert_eq!(d.read_line(LineAddr::new(3)).0, [0; 64], "never issued");
+    }
+
+    #[test]
+    fn fuse_firing_on_a_stall_drain_drops_the_whole_group() {
+        // All-or-none even at the instant of death: if the fuse fires on
+        // a stall drain that was making room for a group, none of the
+        // group is accepted.
+        let mut d = device();
+        let mut q = WritePendingQueue::new(2);
+        q.push(write(1, 1), &mut d);
+        q.push(write(2, 2), &mut d);
+        q.arm_crash_at_event(3); // event 3 = the stall drain below
+        let outcome = q
+            .push_atomic(vec![write(10, 10), write(11, 11)], &mut d)
+            .unwrap();
+        assert_eq!(outcome, AcceptOutcome::Dead);
+        assert_eq!(q.accepted(), 2);
+        q.flush(&mut d);
+        assert_eq!(d.read_line(LineAddr::new(10)).0, [0; 64]);
+        assert_eq!(d.read_line(LineAddr::new(2)).0, [2; 64]);
+    }
+
+    #[test]
+    fn fuse_at_zero_is_dead_on_arrival() {
+        let mut d = device();
+        let mut q = WritePendingQueue::new(4);
+        q.arm_crash_at_event(0);
+        assert!(q.is_dead());
+        assert_eq!(q.push(write(1, 1), &mut d), AcceptOutcome::Dead);
+        q.flush(&mut d);
+        assert_eq!(d.read_line(LineAddr::new(1)).0, [0; 64]);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! * [`bytes`] — fixed-width byte-slice helpers (`chunk`, `u32_le`, …)
 //!   that centralize the slice→array length check instead of scattering
 //!   `try_into().expect(..)` panic sites through library code.
+//! * [`crashck`] — crash-consistency checking: a pure committed-prefix
+//!   reference model, an exhaustive crash-point oracle, and a replayable
+//!   WPQ journal model for atomic-commit storage stacks.
 //! * [`obs`] — deterministic observability: structured trace events
 //!   (ring-buffered, NDJSON export), typed counters, log2 histograms,
 //!   and scoped timers that are no-ops unless enabled. Same seed ⇒
@@ -33,6 +36,7 @@
 
 pub mod bench;
 pub mod bytes;
+pub mod crashck;
 pub mod json;
 pub mod obs;
 pub mod prop;

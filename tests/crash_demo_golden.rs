@@ -1,0 +1,70 @@
+//! Golden-fixture gate for the `soteria crash-demo --trace` NDJSON.
+//!
+//! The fixture in `tests/golden/crash_demo_src.ndjson` was captured from
+//! the CLI (`soteria crash-demo --scheme src --trace ...`) when the
+//! atomic-commit Transaction API landed, so the write → crash → recover
+//! event stream — commit groups, WPQ drains, the crash event's clocks,
+//! Anubis recovery, readback — is pinned byte-for-byte. The replication
+//! below runs the same flow in-process (a different binary, build
+//! profile, and process layout than the capture), so any wall-clock,
+//! address, or iteration-order leak into the trace shows up as a diff.
+//!
+//! If an intentional change to the trace format or the write path lands,
+//! regenerate the fixture with the CLI invocation above and say so in
+//! the PR.
+
+use soteria_suite::soteria::recovery::recover;
+use soteria_suite::soteria::{CloningPolicy, DataAddr, SecureMemoryConfig, SecureMemoryController};
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => panic!("missing golden fixture {path}: {e}"),
+    }
+}
+
+/// The exact `cmd_crash_demo` flow (no fault injection): 128 writes,
+/// power loss, Anubis recovery, full readback, trace export.
+fn crash_demo_trace(policy: CloningPolicy) -> String {
+    let config = SecureMemoryConfig::builder()
+        .capacity_bytes(1 << 20)
+        .metadata_cache(16 * 1024, 8)
+        .cloning(policy)
+        .build()
+        .expect("crash-demo config is valid");
+    let mut memory = SecureMemoryController::new(config);
+    memory.enable_obs();
+    let data_lines = memory.layout().data_lines();
+    for i in 0..128u64 {
+        memory
+            .write(DataAddr::new(i * 64 % data_lines), &[i as u8; 64])
+            .expect("pre-crash writes succeed");
+    }
+    let (mut memory, report) = recover(memory.crash());
+    assert!(report.is_complete(), "demo recovery must be complete");
+    for i in 0..128u64 {
+        let got = memory
+            .read(DataAddr::new(i * 64 % data_lines))
+            .expect("post-recovery reads succeed");
+        assert_eq!(got, [i as u8; 64], "line {i} must survive the crash");
+    }
+    memory.export_trace_ndjson()
+}
+
+#[test]
+fn crash_demo_trace_matches_the_cli_fixture() {
+    let want = golden("crash_demo_src.ndjson");
+    let got = crash_demo_trace(CloningPolicy::Relaxed);
+    assert_eq!(
+        got, want,
+        "crash-demo NDJSON trace drifted from the golden fixture"
+    );
+}
+
+#[test]
+fn crash_demo_trace_is_stable_across_replays() {
+    let a = crash_demo_trace(CloningPolicy::Relaxed);
+    let b = crash_demo_trace(CloningPolicy::Relaxed);
+    assert_eq!(a, b, "two in-process replays must agree byte-for-byte");
+}

@@ -1,15 +1,30 @@
-//! Crash-point fuzzing: for random operation streams and random crash
-//! points, every acknowledged write must be durable and verifiable after
-//! recovery — under every tree-update mode and cloning policy. This is
-//! the crash-consistency contract of §2.6 as a property test, running on
-//! the in-tree `soteria_rt::prop` harness.
+//! Crash-consistency contract tests for the WPQ/ADR path.
+//!
+//! Two layers, one invariant — *any crash observes a prefix of committed
+//! transactions, and never a torn transaction* (§2.6):
+//!
+//! * **Random crash points** (`soteria_rt::prop` harness): random
+//!   single-write streams with a random crash point, under every
+//!   tree-update mode and cloning policy. Failing cases are recorded in
+//!   `tests/crash_fuzz.regressions` and replay first.
+//! * **Exhaustive crash-point sweeps** (`soteria_rt::crashck` oracle via
+//!   `soteria_faultsim::crashck::sweep_cell`): seeded multi-write
+//!   transaction scripts where *every* WPQ event — transaction accepts
+//!   and stall-drain steps alike — is a crash point. Each sweep runs the
+//!   census + fuse-armed recovery machinery and judges post-recovery
+//!   state against the committed-prefix reference model; drain-clock
+//!   monotonicity across the sweep is a checker-internal invariant. The
+//!   full `TreeUpdate × CloningPolicy` matrix is covered under Anubis
+//!   (strict) recovery, plus Osiris exhaustive-scan (weak) spot checks.
 
 use soteria_suite::soteria::clone::CloningPolicy;
 use soteria_suite::soteria::config::TreeUpdate;
 use soteria_suite::soteria::recovery::recover;
 use soteria_suite::soteria::{DataAddr, SecureMemoryConfig, SecureMemoryController};
 
+use soteria_suite::soteria_faultsim::crashck::{run_crashck, sweep_cell, CrashckConfig};
 use soteria_suite::soteria_rt::prop::{any, check, vec, Config};
+use soteria_suite::soteria_rt::rng::stream_seed;
 use soteria_suite::soteria_rt::{prop_assert, prop_assert_eq};
 
 fn build(update: TreeUpdate, policy: CloningPolicy) -> SecureMemoryController {
@@ -110,122 +125,105 @@ fn eager_survives_any_crash_point() {
 }
 
 // ---------------------------------------------------------------------------
-// Exhaustive crash-point sweep: instead of sampling random crash points,
-// cut power after *every* operation boundary of a fixed stream and check
-// that recovery matches what shadow-tracking predicts at each point. The
-// WPQ drain counter is the crash-point clock (each drain moves one write
-// out of the ADR domain onto media), so the sweep also asserts the clock
-// recorded in the `crash` trace event advances monotonically across the
-// sweep and reaches the full-stream drain count at the last point. On a
-// divergence the last trace events are printed to localise it.
+// Exhaustive crash-point sweeps over the full TreeUpdate × CloningPolicy
+// matrix, driven by the soteria_rt::crashck oracle. Each cell gets its
+// own script stream (stream_seed keeps cells independent); the checker
+// enumerates every WPQ event as a crash point, recovers, reads back
+// every script line, and reports the first divergent point with a trace
+// tail (which the panic message carries verbatim).
 // ---------------------------------------------------------------------------
 
-use soteria_suite::soteria_rt::json::Json;
-use soteria_suite::soteria_rt::obs::parse_ndjson;
+/// Base seed of the sweep script streams (kept from the retired manual
+/// sweep so the corpus lineage is traceable).
+const SWEEP_SEED: u64 = 0x50c4_e61a_0b5e_ed01;
 
-/// A deterministic op stream with heavy line reuse (forces metadata-cache
-/// evictions and clone-group rewrites within a short sweep).
-fn sweep_ops(n: usize, seed: u64) -> Vec<(u64, u8)> {
-    let mut s = seed;
-    (0..n)
-        .map(|_| {
-            s = s
-                .wrapping_mul(0x5851_f42d_4c95_7f2d)
-                .wrapping_add(0x1405_7b7e_f767_814f);
-            ((s >> 33) % 64, (s >> 24) as u8)
-        })
-        .collect()
-}
-
-/// The last `n` trace events of a controller, one NDJSON line each —
-/// the divergence context shown when a sweep assertion fails.
-fn trace_tail(memory: &SecureMemoryController, n: usize) -> String {
-    let events: Vec<_> = memory.obs().trace.events().collect();
-    let start = events.len().saturating_sub(n);
-    events[start..]
-        .iter()
-        .map(|e| e.ndjson_line())
-        .collect::<Vec<_>>()
-        .join("")
-}
-
-/// The `drains_at_crash` field of the trace's `crash` event.
-fn crash_drain_clock(memory: &SecureMemoryController) -> u64 {
-    let ev = memory
-        .obs()
-        .trace
-        .events()
-        .filter(|e| e.name == "crash")
-        .last()
-        .expect("traced controller records a crash event");
-    ev.to_json()
-        .get("drains_at_crash")
-        .and_then(Json::as_f64)
-        .expect("crash event carries the drain clock") as u64
-}
-
-fn crash_point_sweep(update: TreeUpdate, policy: CloningPolicy) {
-    let ops = sweep_ops(32, 0x50c4_e61a_0b5e_ed01);
-    let mut prev_clock = 0u64;
-    for crash_at in 0..=ops.len() {
-        let mut memory = build(update, policy.clone());
-        memory.enable_obs();
-        let mut reference = std::collections::HashMap::new();
-        for &(line, fill) in &ops[..crash_at] {
-            memory.write(DataAddr::new(line), &[fill; 64]).unwrap();
-            reference.insert(line, [fill; 64]);
-        }
-        let (mut memory, report) = recover(memory.crash());
-        // Shadow-tracking predicts complete recovery at every op boundary:
-        // every acknowledged write has its metadata either persisted or
-        // shadow-logged, so nothing may come back unverifiable.
-        assert!(
-            report.is_complete(),
-            "crash point {crash_at}: recovery left {:?} unverifiable\nlast events:\n{}",
-            report.unverifiable,
-            trace_tail(&memory, 12),
+/// Sweeps one matrix cell and panics with the divergence context if any
+/// crash point contradicts the committed-prefix model.
+fn sweep(tree: &str, policy: CloningPolicy, recovery: &str, stream: u64) {
+    let seed = stream_seed(SWEEP_SEED, stream);
+    let (points, divergence) = sweep_cell(tree, &policy, recovery, seed, 4, 3);
+    if let Some(d) = divergence {
+        panic!(
+            "cell {} seed {:#018x} diverged at crash point {}: {}\nscript: {}\nlast events:\n{}",
+            d.cell, d.seed, d.point, d.reason, d.script, d.trace_tail
         );
-        for (&line, data) in &reference {
-            match memory.read(DataAddr::new(line)) {
-                Ok(got) if got == *data => {}
-                other => panic!(
-                    "crash point {crash_at}: line {line} diverged ({other:?})\nlast events:\n{}",
-                    trace_tail(&memory, 12),
-                ),
-            }
-        }
-        // The drain clock only moves forward as the crash point advances.
-        let clock = crash_drain_clock(&memory);
-        assert!(
-            clock >= prev_clock,
-            "drain clock went backwards at crash point {crash_at}: {clock} < {prev_clock}"
-        );
-        prev_clock = clock;
-        // Every sweep trace must round-trip through the validator.
-        parse_ndjson(&memory.export_trace_ndjson()).expect("sweep trace is valid NDJSON");
     }
-    assert!(
-        prev_clock > 0,
-        "the full stream must have drained at least one WPQ entry"
-    );
+    assert!(points > 1, "the sweep must enumerate real crash points");
 }
 
 #[test]
-fn sweep_lazy_baseline_every_drain_step() {
-    crash_point_sweep(TreeUpdate::Lazy, CloningPolicy::None);
+fn sweep_lazy_baseline_every_wpq_event() {
+    sweep("lazy", CloningPolicy::None, "anubis", 0);
 }
 
 #[test]
-fn sweep_lazy_src_every_drain_step() {
-    crash_point_sweep(TreeUpdate::Lazy, CloningPolicy::Relaxed);
+fn sweep_lazy_src_every_wpq_event() {
+    sweep("lazy", CloningPolicy::Relaxed, "anubis", 1);
 }
 
 #[test]
-fn sweep_triad_src_every_drain_step() {
-    crash_point_sweep(TreeUpdate::Triad { persist_levels: 1 }, CloningPolicy::Relaxed);
+fn sweep_lazy_sac_every_wpq_event() {
+    sweep("lazy", CloningPolicy::Aggressive, "anubis", 2);
 }
 
 #[test]
-fn sweep_eager_sac_every_drain_step() {
-    crash_point_sweep(TreeUpdate::Eager, CloningPolicy::Aggressive);
+fn sweep_eager_baseline_every_wpq_event() {
+    sweep("eager", CloningPolicy::None, "anubis", 3);
+}
+
+#[test]
+fn sweep_eager_src_every_wpq_event() {
+    sweep("eager", CloningPolicy::Relaxed, "anubis", 4);
+}
+
+#[test]
+fn sweep_eager_sac_every_wpq_event() {
+    sweep("eager", CloningPolicy::Aggressive, "anubis", 5);
+}
+
+#[test]
+fn sweep_triad_baseline_every_wpq_event() {
+    sweep("triad1", CloningPolicy::None, "anubis", 6);
+}
+
+#[test]
+fn sweep_triad_src_every_wpq_event() {
+    sweep("triad1", CloningPolicy::Relaxed, "anubis", 7);
+}
+
+#[test]
+fn sweep_triad_sac_every_wpq_event() {
+    sweep("triad1", CloningPolicy::Aggressive, "anubis", 8);
+}
+
+#[test]
+fn sweep_lazy_src_osiris_scan_never_corrupts_silently() {
+    sweep("lazy", CloningPolicy::Relaxed, "osiris", 9);
+}
+
+#[test]
+fn sweep_eager_sac_osiris_scan_never_corrupts_silently() {
+    sweep("eager", CloningPolicy::Aggressive, "osiris", 10);
+}
+
+/// The campaign's JSON and NDJSON artifacts are byte-identical at any
+/// worker-thread count (the CI gate `cmp`s real CLI artifacts; this is
+/// the in-tree version of the same contract).
+#[test]
+fn crashck_report_is_thread_invariant() {
+    let config = CrashckConfig {
+        seed: SWEEP_SEED,
+        scripts_per_cell: 1,
+        max_txns: 2,
+        max_writes: 2,
+        threads: 1,
+    };
+    let one = run_crashck(&config);
+    let four = run_crashck(&CrashckConfig {
+        threads: 4,
+        ..config
+    });
+    assert_eq!(one.result_json, four.result_json);
+    assert_eq!(one.ndjson, four.ndjson);
+    assert!(one.divergences.is_empty(), "{:?}", one.divergences.first());
 }

@@ -723,6 +723,42 @@ fn json_documents_roundtrip_through_both_serializers() {
 }
 
 #[test]
+fn crashck_scripts_observe_a_prefix_of_committed_transactions() {
+    // End-to-end crash-consistency property on the rt::crashck oracle:
+    // for a random script seed and matrix cell, *every* WPQ-event crash
+    // point must recover to a prefix of committed transactions — never a
+    // torn transaction. The pinned corpus entries replay the script
+    // shapes that exposed torn-write hazards while the atomic-commit
+    // path was built (multi-write transactions sharing a data-MAC line,
+    // repeated bumps of one counter slot, crashes between a commit group
+    // and its eager tree propagation).
+    use soteria_suite::soteria_faultsim::crashck::sweep_cell;
+    const CELLS: [(&str, &str); 3] = [
+        ("lazy", "anubis"),
+        ("eager", "anubis"),
+        ("lazy", "osiris"),
+    ];
+    check(
+        "crashck_scripts_observe_a_prefix_of_committed_transactions",
+        &cfg(3),
+        &(any::<u64>(), any::<u8>()),
+        |&(seed, cell_pick)| {
+            let (tree, recovery) = CELLS[cell_pick as usize % CELLS.len()];
+            let (points, divergence) =
+                sweep_cell(tree, &CloningPolicy::Relaxed, recovery, seed, 3, 2);
+            prop_assert!(points > 1, "sweep enumerated no crash points");
+            match divergence {
+                None => Ok(()),
+                Some(d) => Err(format!(
+                    "cell {} point {}: {}\nscript: {}\nlast events:\n{}",
+                    d.cell, d.point, d.reason, d.script, d.trace_tail
+                )),
+            }
+        },
+    );
+}
+
+#[test]
 fn line_addr_sanity() {
     // Anchor for the property file: plain unit check that the shared
     // newtypes interoperate.
