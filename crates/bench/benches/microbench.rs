@@ -51,6 +51,9 @@ fn bench_crypto(c: &mut Harness) {
         b.iter(|| cipher.encrypt_line_reference(black_box(&line), black_box(0x40), black_box(7)))
     });
     c.bench_function("sha256_64B", |b| b.iter(|| Sha256::digest(black_box(&line))));
+    c.bench_function("sha256_64B_ref", |b| {
+        b.iter(|| Sha256::digest_portable(black_box(&line)))
+    });
     c.bench_function("data_mac_64bit", |b| {
         b.iter(|| mac.data_mac(black_box(0x40), black_box(&line), black_box(7)))
     });
@@ -66,6 +69,23 @@ fn bench_gcm(c: &mut Harness) {
     let nonce = [1u8; 12];
     c.bench_function("aes_gcm_seal_64B", |b| {
         b.iter(|| gcm.seal(black_box(&nonce), b"aad", black_box(&line)))
+    });
+    // The GHASH field multiply itself, dispatch vs. the shifted-table
+    // reference — tracks the PCLMUL path the same way
+    // `aes128_encrypt_block` / `_ref` tracks AES-NI. Chained so each
+    // iteration depends on the last (latency, like Horner's rule).
+    let mut acc: u128 = 0x0123_4567_89ab_cdef_u128 << 64 | 0xfedc_ba98_7654_3210;
+    c.bench_function("ghash", |b| {
+        b.iter(|| {
+            acc = gcm.mul_h(black_box(acc) ^ 1);
+            acc
+        })
+    });
+    c.bench_function("ghash_ref", |b| {
+        b.iter(|| {
+            acc = gcm.mul_h_table(black_box(acc) ^ 1);
+            acc
+        })
     });
 }
 
@@ -147,8 +167,11 @@ fn bench_mdcache(c: &mut Harness) {
     });
     let mut dirty_cache = MetadataCache::new(256 * 1024, 8);
     for i in 0..slots {
-        let mut blk = block(1);
-        blk.dirty = i % 16 == 0;
+        let blk = if i % 16 == 0 {
+            CachedBlock::modified(MetaId::new(1, 0), [7u8; 64])
+        } else {
+            block(1)
+        };
         dirty_cache.insert(LineAddr::new(i), blk, &[]);
     }
     c.bench_function("mdcache_dirty_addrs_scan", |b| {
@@ -194,6 +217,54 @@ fn bench_controller(c: &mut Harness) {
             })
         });
     }
+}
+
+fn bench_write_stages(c: &mut Harness) {
+    // Per-stage breakdown of the §3.2.1 write chain, at the exact
+    // shapes `commit_writes` pays per line: one CTR keystream + XOR
+    // (cipher), one data MAC (mac), one metadata-block MAC as paid per
+    // touched tree level (tree), and one shadow-entry encode + on-chip
+    // tree fold (shadow). A regression in `controller_write_functional`
+    // localizes to whichever of these moved.
+    use soteria::shadow::{encode_entry, ShadowMode, ShadowRecord, ShadowTree};
+    let cipher = CounterModeCipher::new(EncryptionKey::from_bytes([1; 16]));
+    let mac = MacEngine::new(MacKey::from_bytes([2; 32]));
+    let line = [0x9au8; 64];
+    let mut ctr = 0u64;
+    c.bench_function("controller_write_cipher", |b| {
+        b.iter(|| {
+            ctr += 1;
+            cipher.encrypt_line(black_box(&line), black_box(0x40 * 64), black_box(ctr))
+        })
+    });
+    let ct = cipher.encrypt_line(&line, 0x40 * 64, 7);
+    c.bench_function("controller_write_mac", |b| {
+        b.iter(|| {
+            ctr += 1;
+            mac.data_mac(black_box(0x40 * 64), black_box(&ct), black_box(ctr))
+        })
+    });
+    c.bench_function("controller_write_tree", |b| {
+        b.iter(|| {
+            ctr += 1;
+            mac.counter_block_mac(black_box(0x80 * 64), black_box(&line), black_box(ctr))
+        })
+    });
+    let record = ShadowRecord {
+        meta: MetaId::new(1, 3),
+        lsbs: [5u16; 8],
+        mac: 0x1234_5678,
+    };
+    let mut tree = ShadowTree::new(1024);
+    let mut slot = 0u64;
+    c.bench_function("controller_write_shadow", |b| {
+        b.iter(|| {
+            slot = (slot + 1) % 1024;
+            let entry = encode_entry(black_box(&record), ShadowMode::Duplicated);
+            tree.update(slot, &entry);
+            tree.root()[0]
+        })
+    });
 }
 
 fn bench_obs(c: &mut Harness) {
@@ -258,20 +329,26 @@ fn bench_faultsim(c: &mut Harness) {
 }
 
 /// Serializes the results as the `soteria-bench-kernels/v1` document:
-/// every kernel's median/p95/batch, plus a `speedups` object holding
-/// `median(<name>_ref) / median(<name>)` for each optimized/reference
-/// pair present in the run.
+/// every kernel's median/p95/batch, a per-kernel `speedup` field
+/// (`median(<name>_ref) / median(<name>)` when the run contains the
+/// kernel's `_ref` twin, JSON `null` otherwise), plus the aggregate
+/// `speedups` object older tooling reads.
 fn results_to_json(stats: &[Stats]) -> Json {
     let kernels = Json::Obj(
         stats
             .iter()
             .map(|s| {
+                let speedup = stats
+                    .iter()
+                    .find(|r| r.name == format!("{}_ref", s.name))
+                    .map_or(Json::Null, |r| Json::Num(r.median_ns / s.median_ns));
                 (
                     s.name.clone(),
                     Json::Obj(vec![
                         ("median_ns".to_string(), Json::Num(s.median_ns)),
                         ("p95_ns".to_string(), Json::Num(s.p95_ns)),
                         ("batch".to_string(), Json::Num(s.batch as f64)),
+                        ("speedup".to_string(), speedup),
                     ]),
                 )
             })
@@ -307,6 +384,7 @@ fn main() {
     bench_rs(&mut harness);
     bench_mdcache(&mut harness);
     bench_controller(&mut harness);
+    bench_write_stages(&mut harness);
     bench_obs(&mut harness);
     bench_faultsim(&mut harness);
     let stats = harness.finish();

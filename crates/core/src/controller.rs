@@ -178,6 +178,23 @@ pub struct SecureMemoryController {
     stats: ControllerStats,
     trace: Vec<(LineAddr, AccessKind)>,
     obs: Obs,
+    /// Reusable commit-path buffers: taken at the top of `commit_writes` /
+    /// `nvm_write_group` and returned (cleared, capacity kept) on the way
+    /// out, so the steady-state write path allocates nothing per commit.
+    scratch: CommitScratch,
+}
+
+/// Scratch vectors for the transaction commit path (see
+/// [`SecureMemoryController::commit_writes`]); contents are dead between
+/// commits, only the capacity is reused.
+#[derive(Default)]
+struct CommitScratch {
+    pinned: Vec<LineAddr>,
+    planned: Vec<(MetaId, [u8; COUNTERS_PER_BLOCK as usize])>,
+    leaves: Vec<(MetaId, [u8; 64])>,
+    staged: Vec<(LineAddr, [u8; 64], WriteCategory)>,
+    shadow: Vec<(u64, [u8; 64])>,
+    group: Vec<PendingWrite>,
 }
 
 impl std::fmt::Debug for SecureMemoryController {
@@ -214,8 +231,8 @@ impl SecureMemoryController {
         let layout = config.build_layout();
         let functional = config.fidelity() == Fidelity::Functional;
         let cache = MetadataCache::new(config.cache_bytes(), config.cache_ways());
-        let shadow_tree = functional.then(|| ShadowTree::new(layout.shadow_slots()));
-        let shadow_root = shadow_tree.as_ref().map(|t| t.root()).unwrap_or_default();
+        let mut shadow_tree = functional.then(|| ShadowTree::new(layout.shadow_slots()));
+        let shadow_root = shadow_tree.as_mut().map(|t| t.root()).unwrap_or_default();
         Self {
             wpq: WritePendingQueue::new(config.wpq_entries()),
             cache,
@@ -227,6 +244,7 @@ impl SecureMemoryController {
             stats: ControllerStats::default(),
             trace: Vec::new(),
             obs: Obs::disabled(),
+            scratch: CommitScratch::default(),
             layout,
             device,
             config,
@@ -325,15 +343,10 @@ impl SecureMemoryController {
     fn nvm_read(&mut self, addr: LineAddr) -> ([u8; 64], CorrectionOutcome) {
         self.trace.push((addr, AccessKind::Read));
         self.stats.nvm_reads += 1;
-        // Write forwarding: the WPQ holds the freshest copy.
-        let mut forwarded = None;
-        for w in self.wpq.iter() {
-            if w.addr == addr {
-                forwarded = Some(*w.data);
-            }
-        }
-        if let Some(data) = forwarded {
-            return (data, CorrectionOutcome::Clean);
+        // Write forwarding: the WPQ holds the freshest copy. Scan newest
+        // first so the first hit is the last write and the scan can stop.
+        if let Some(w) = self.wpq.iter().rev().find(|w| w.addr == addr) {
+            return (w.data, CorrectionOutcome::Clean);
         }
         self.device.read_line(addr)
     }
@@ -346,30 +359,33 @@ impl SecureMemoryController {
         self.wpq.push(
             PendingWrite {
                 addr,
-                data: Box::new(data),
+                data,
             },
             &mut self.device,
         );
         self.note_wpq(drains_before);
     }
 
-    fn nvm_write_group(&mut self, writes: Vec<(LineAddr, [u8; 64], WriteCategory)>) -> AcceptOutcome {
-        let mut group = Vec::with_capacity(writes.len());
-        for (addr, data, category) in writes {
+    fn nvm_write_group(&mut self, writes: &mut Vec<(LineAddr, [u8; 64], WriteCategory)>) -> AcceptOutcome {
+        let mut group = std::mem::take(&mut self.scratch.group);
+        group.clear();
+        group.reserve(writes.len());
+        for (addr, data, category) in writes.drain(..) {
             self.trace.push((addr, AccessKind::Write));
             self.stats.nvm_writes += 1;
             self.stats.writes.record(category);
             group.push(PendingWrite {
                 addr,
-                data: Box::new(data),
+                data,
             });
         }
         let drains_before = self.wpq.drains();
         let outcome = self
             .wpq
-            .push_atomic(group, &mut self.device)
+            .push_atomic(&mut group, &mut self.device)
             // lint:allow(P1, group sizes are validated against WPQ capacity at config/commit time)
             .expect("write group fits the WPQ");
+        self.scratch.group = group;
         self.note_wpq(drains_before);
         outcome
     }
@@ -542,7 +558,7 @@ impl SecureMemoryController {
                     let mut pn = TocNode::from_bytes(&pb.data);
                     pn.set_counter(child_slot, counter);
                     pb.data = pn.to_bytes();
-                    pb.dirty = true;
+                    self.cache.mark_dirty(p_addr);
                 }
             }
         }
@@ -688,8 +704,10 @@ impl SecureMemoryController {
         // exactly as a powered-off controller's would be.
         if !self.wpq.is_dead() {
             if let Some(tree) = &mut self.shadow_tree {
+                // Lazy fold: the persisted `shadow_root` register is only
+                // architecturally visible at crash capture, which refolds
+                // from the (frozen) leaves — same value as an eager root.
                 tree.update(slot, &entry);
-                self.shadow_root = tree.root();
             }
         }
     }
@@ -753,8 +771,9 @@ impl SecureMemoryController {
                 let mut pn = TocNode::from_bytes(&pb.data);
                 pn.bump(child_slot);
                 pb.data = pn.to_bytes();
-                pb.dirty = true;
-                Some((slot, p, pb.data))
+                let pdata = pb.data;
+                self.cache.mark_dirty(p_addr);
+                Some((slot, p, pdata))
             }
         };
         let new_parent_counter = match &parent_shadow {
@@ -815,7 +834,7 @@ impl SecureMemoryController {
             ]
         });
         self.obs.metrics.inc("ctl.writebacks", 1);
-        self.nvm_write_group(group);
+        self.nvm_write_group(&mut group);
         // 4. Commit the parent's durable update, now that the child group
         //    is in the ADR domain. The persistent root register mutates
         //    only while the machine is alive.
@@ -835,7 +854,7 @@ impl SecureMemoryController {
         ev: Evicted,
         pinned: &mut Vec<LineAddr>,
     ) -> Result<(), MemoryError> {
-        if !ev.block.dirty {
+        if !ev.block.is_dirty() {
             return Ok(());
         }
         self.stats.record_eviction(ev.block.meta.level);
@@ -882,9 +901,21 @@ impl SecureMemoryController {
                     return Err(MemoryError::IntegrityViolation { addr: daddr });
                 }
                 let cipher = self.functional_cipher();
-                let plain = cipher.decrypt_line(&ciphertext, daddr.index() * 64, old_counter);
                 let new_counter = new_major * MINOR_LIMIT as u64;
-                let new_cipher = cipher.encrypt_line(&plain, daddr.index() * 64, new_counter);
+                // Strip the old-counter pad and dress the line in the new
+                // one in a single XOR pass; both keystreams come from one
+                // batched eight-block AES dispatch (the pads are
+                // data-independent, so the old/new chains overlap in the
+                // hardware pipeline). Bit-identical to decrypt-then-encrypt.
+                let (pad_old, pad_new) =
+                    cipher.one_time_pads2(daddr.index() * 64, old_counter, new_counter);
+                let mut new_cipher = [0u8; 64];
+                for i in 0..8 {
+                    let c = soteria_rt::bytes::u64_ne(&ciphertext[8 * i..8 * i + 8]);
+                    let po = soteria_rt::bytes::u64_ne(&pad_old[8 * i..8 * i + 8]);
+                    let pn = soteria_rt::bytes::u64_ne(&pad_new[8 * i..8 * i + 8]);
+                    new_cipher[8 * i..8 * i + 8].copy_from_slice(&(c ^ po ^ pn).to_ne_bytes());
+                }
                 let new_mac = self.data_mac_of(daddr, &new_cipher, new_counter);
                 self.nvm_write(line_addr, new_cipher, WriteCategory::Reencrypt);
                 let _ = self.write_mac_slot(mac_line, off, new_mac, WriteCategory::Reencrypt);
@@ -915,14 +946,14 @@ impl SecureMemoryController {
             }
             let addr = self.layout.meta_addr(meta);
             let bytes = match self.cache.peek(addr) {
-                Some(blk) if blk.dirty => blk.data,
+                Some(blk) if blk.is_dirty() => blk.data,
                 _ => break, // ancestor untouched (root bump only)
             };
             let written = self.writeback_block(meta, bytes, pinned)?;
             let blk = self.resident_mut(addr);
             blk.data = written;
-            blk.dirty = false;
             blk.slot_updates = [0; 64];
+            self.cache.mark_clean(addr);
             current = self.layout.parent_of(meta);
         }
         Ok(())
@@ -996,10 +1027,12 @@ impl SecureMemoryController {
             });
         }
         self.stats.data_writes += writes.len() as u64;
-        let mut pinned = Vec::new();
+        let mut pinned = std::mem::take(&mut self.scratch.pinned);
+        pinned.clear();
 
         // Per-leaf bump plan: how many times each counter slot will bump.
-        let mut planned: Vec<(MetaId, [u8; COUNTERS_PER_BLOCK as usize])> = Vec::new();
+        let mut planned = std::mem::take(&mut self.scratch.planned);
+        planned.clear();
         for &(addr, _) in writes {
             let leaf = self.layout.counter_block_of(addr);
             let slot = self.layout.counter_slot_of(addr);
@@ -1024,8 +1057,27 @@ impl SecureMemoryController {
 
         // Stage the transaction: leaf overlays (counter bumps) and the
         // atomic write group, without touching durable or cached state.
-        let mut leaves: Vec<(MetaId, [u8; 64])> = Vec::new();
-        let mut staged: Vec<(LineAddr, [u8; 64], WriteCategory)> = Vec::new();
+        //
+        // The per-write chain is software-pipelined: iteration k stages
+        // write k's ciphertext and MAC-line image, then computes the
+        // *previous* write's data MAC and patches its 8-byte slot in the
+        // already-staged image. The MAC is pure compute (no NVM access),
+        // so deferring it changes neither the NVM event order nor the
+        // staged bytes — but it puts write k's AES keystream and write
+        // k-1's SHA compressions side by side with no data dependency,
+        // so the two units overlap instead of serialising per write.
+        let mut leaves = std::mem::take(&mut self.scratch.leaves);
+        leaves.clear();
+        let mut staged = std::mem::take(&mut self.scratch.staged);
+        staged.clear();
+        struct PendingTag {
+            addr: DataAddr,
+            ciphertext: [u8; 64],
+            counter: u64,
+            mac_line: LineAddr,
+            off: usize,
+        }
+        let mut pending: Option<PendingTag> = None;
         for &(addr, data) in writes {
             let leaf = self.layout.counter_block_of(addr);
             let slot = self.layout.counter_slot_of(addr);
@@ -1046,7 +1098,7 @@ impl SecureMemoryController {
                             .unwrap_or([0; COUNTERS_PER_BLOCK as usize]);
                         let needs_wb = {
                             let blk = self.resident(leaf_addr);
-                            blk.dirty
+                            blk.is_dirty()
                                 && blk
                                     .slot_updates
                                     .iter()
@@ -1063,8 +1115,8 @@ impl SecureMemoryController {
                             let written = self.writeback_block(leaf, bytes, &mut pinned)?;
                             let blk = self.resident_mut(leaf_addr);
                             blk.data = written;
-                            blk.dirty = false;
                             blk.slot_updates = [0; 64];
+                            self.cache.mark_clean(leaf_addr);
                         }
                     }
                     leaves.push((leaf, self.resident(leaf_addr).data));
@@ -1088,26 +1140,46 @@ impl SecureMemoryController {
                 None => data,
             };
             stage_line(&mut staged, line_addr, ciphertext, WriteCategory::Cipher);
-            // Data-MAC line: read-modify-write *through* the staged
-            // overlay so two writes sharing a MAC line compose.
-            let tag = self.data_mac_of(addr, &ciphertext, counter).max(1);
+            // Data-MAC line: stage the line image now so later writes
+            // sharing it read *through* the staged overlay; the 8-byte
+            // tag slot is patched one iteration later (pipeline above).
             let (mac_line, off) = self.layout.data_mac_slot(addr);
-            let mut mbytes = match staged.iter().find(|(a, _, _)| *a == mac_line) {
-                Some((_, bytes, _)) => *bytes,
-                None => {
-                    let (bytes, outcome) = self.nvm_read(mac_line);
-                    if !outcome.is_usable() {
-                        return Err(MemoryError::DataUncorrectable { addr });
-                    }
-                    bytes
+            if !staged.iter().any(|(a, _, _)| *a == mac_line) {
+                let (bytes, outcome) = self.nvm_read(mac_line);
+                if !outcome.is_usable() {
+                    return Err(MemoryError::DataUncorrectable { addr });
                 }
-            };
-            mbytes[off..off + 8].copy_from_slice(&tag.to_le_bytes());
-            stage_line(&mut staged, mac_line, mbytes, WriteCategory::DataMac);
+                stage_line(&mut staged, mac_line, bytes, WriteCategory::DataMac);
+            }
+            if let Some(job) = pending.take() {
+                let tag = self.data_mac_of(job.addr, &job.ciphertext, job.counter).max(1);
+                // The job's MAC line was staged in the iteration that
+                // created it, so the lookup always hits; patching in
+                // write order keeps last-write-wins on shared slots.
+                if let Some((_, bytes, _)) = staged.iter_mut().find(|(a, _, _)| *a == job.mac_line)
+                {
+                    bytes[job.off..job.off + 8].copy_from_slice(&tag.to_le_bytes());
+                }
+            }
+            pending = Some(PendingTag {
+                addr,
+                ciphertext,
+                counter,
+                mac_line,
+                off,
+            });
+        }
+        // Drain the pipeline: the last write's tag is still pending.
+        if let Some(job) = pending.take() {
+            let tag = self.data_mac_of(job.addr, &job.ciphertext, job.counter).max(1);
+            if let Some((_, bytes, _)) = staged.iter_mut().find(|(a, _, _)| *a == job.mac_line) {
+                bytes[job.off..job.off + 8].copy_from_slice(&tag.to_le_bytes());
+            }
         }
         // Shadow entries for the final staged leaf images ride in the
         // same group (Lazy / lazily-tracked levels only).
-        let mut shadow_updates: Vec<(u64, [u8; 64])> = Vec::new();
+        let mut shadow_updates = std::mem::take(&mut self.scratch.shadow);
+        shadow_updates.clear();
         let leaf_shadowed = match self.config.tree_update() {
             TreeUpdate::Eager => false,
             TreeUpdate::Triad { persist_levels } => persist_levels < 1,
@@ -1142,7 +1214,7 @@ impl SecureMemoryController {
         self.obs.trace.emit_with("ctl", "tx_commit", || {
             obs_fields![("writes", tx_writes), ("group", group_writes as u64)]
         });
-        let outcome = self.nvm_write_group(staged);
+        let outcome = self.nvm_write_group(&mut staged);
         let (accepted, accept_event) = match outcome {
             AcceptOutcome::Accepted { event } => (true, event),
             AcceptOutcome::Dead => (false, self.wpq.events()),
@@ -1154,7 +1226,7 @@ impl SecureMemoryController {
             let leaf_addr = self.layout.meta_addr(leaf);
             let blk = self.resident_mut(leaf_addr);
             blk.data = bytes;
-            blk.dirty = true;
+            self.cache.mark_dirty(leaf_addr);
         }
         for (leaf, bumps) in &planned {
             let leaf_addr = self.layout.meta_addr(*leaf);
@@ -1167,9 +1239,6 @@ impl SecureMemoryController {
             if let Some(tree) = &mut self.shadow_tree {
                 for (slot, entry) in &shadow_updates {
                     tree.update(*slot, entry);
-                }
-                if !shadow_updates.is_empty() {
-                    self.shadow_root = tree.root();
                 }
             }
         }
@@ -1195,8 +1264,8 @@ impl SecureMemoryController {
                         let bytes = self.writeback_block(leaf, leaf_bytes, &mut pinned)?;
                         let blk = self.resident_mut(leaf_addr);
                         blk.data = bytes;
-                        blk.dirty = false;
                         blk.slot_updates = [0; 64];
+                        self.cache.mark_clean(leaf_addr);
                     }
                 }
             }
@@ -1217,6 +1286,13 @@ impl SecureMemoryController {
                 }
             }
         }
+        // Return the scratch capacity for the next commit (contents are
+        // dead; an early error return simply re-allocates next time).
+        self.scratch.pinned = pinned;
+        self.scratch.planned = planned;
+        self.scratch.leaves = leaves;
+        self.scratch.staged = staged;
+        self.scratch.shadow = shadow_updates;
         Ok(CommitReceipt {
             writes: writes.len(),
             group_writes,
@@ -1301,8 +1377,8 @@ impl SecureMemoryController {
                         cb.bump(slot);
                     }
                     blk.data = cb.to_bytes();
-                    blk.dirty = true;
                     blk.slot_updates[slot] = blk.slot_updates[slot].saturating_add(t as u8);
+                    self.cache.mark_dirty(leaf_addr);
                     return Ok(self
                         .functional_cipher()
                         .decrypt_line(&ciphertext, addr.index() * 64, trial));
@@ -1347,8 +1423,8 @@ impl SecureMemoryController {
             let written = self.writeback_block(meta, bytes, &mut pinned)?;
             let blk = self.resident_mut(addr);
             blk.data = written;
-            blk.dirty = false;
             blk.slot_updates = [0; 64];
+            self.cache.mark_clean(addr);
         }
         let pending = self.wpq.len();
         self.wpq.flush(&mut self.device);
@@ -1520,6 +1596,12 @@ impl SecureMemoryController {
         });
         self.wpq.flush(&mut self.device);
         let journal = self.wpq.take_journal();
+        // Fold the lazily-maintained shadow tree into the persistent root
+        // register. The leaves froze when (if) the crash fuse fired, so
+        // this equals the root an eagerly-updated register would hold.
+        if let Some(tree) = &mut self.shadow_tree {
+            self.shadow_root = tree.root();
+        }
         crate::recovery::CrashImage::new(self.config, self.device, self.root, self.shadow_root)
             .with_obs(self.obs)
             .with_wpq_journal(journal)

@@ -19,8 +19,11 @@ pub struct CachedBlock {
     pub meta: MetaId,
     /// Serialized 64-byte content.
     pub data: [u8; 64],
-    /// Modified since fetch (write-back pending).
-    pub dirty: bool,
+    /// Modified since fetch (write-back pending). Private so every
+    /// transition goes through [`MetadataCache::mark_dirty`] /
+    /// [`MetadataCache::mark_clean`], which keep the incremental dirty
+    /// index consistent with the flag.
+    dirty: bool,
     /// Per-slot update counts since the last writeback (Osiris bounds
     /// counter trials by bounding in-cache updates). Only meaningful for
     /// leaf counter blocks.
@@ -36,6 +39,20 @@ impl CachedBlock {
             dirty: false,
             slot_updates: [0; 64],
         }
+    }
+
+    /// Wraps content already modified relative to NVM (write-back
+    /// pending from the moment of insertion).
+    pub fn modified(meta: MetaId, data: [u8; 64]) -> Self {
+        Self {
+            dirty: true,
+            ..Self::clean(meta, data)
+        }
+    }
+
+    /// Whether a write-back is pending.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
     }
 }
 
@@ -99,6 +116,12 @@ pub struct MetadataCache {
     // order cannot leak into simulation results.
     // lint:allow(D2, keyed-access tag index is never iterated)
     index: std::collections::HashMap<LineAddr, u32>,
+    // Incrementally maintained dirty index: the global slot of every
+    // dirty resident block. A BTreeSet iterates in ascending slot order,
+    // which IS the documented set-major, way-minor `dirty_addrs()`
+    // contract — so the dirty scan costs O(dirty · log) instead of a
+    // linear walk of every way, and stays fully deterministic.
+    dirty_slots: std::collections::BTreeSet<u32>,
 }
 
 impl MetadataCache {
@@ -125,6 +148,7 @@ impl MetadataCache {
             stats: CacheStats::default(),
             // lint:allow(D2, keyed-access tag index is never iterated)
             index: std::collections::HashMap::with_capacity(sets * ways),
+            dirty_slots: std::collections::BTreeSet::new(),
         }
     }
 
@@ -227,6 +251,7 @@ impl MetadataCache {
         assert!(!self.contains(addr), "{addr} already cached");
         self.tick += 1;
         let set = self.set_of(addr);
+        let incoming_dirty = block.dirty;
         // Prefer an empty way.
         if let Some(way) = self.sets[set].iter().position(Option::is_none) {
             self.sets[set][way] = Some(Entry {
@@ -236,6 +261,9 @@ impl MetadataCache {
             });
             let slot = (set * self.ways + way) as u64;
             self.index.insert(addr, slot as u32);
+            if incoming_dirty {
+                self.dirty_slots.insert(slot as u32);
+            }
             return (slot, None);
         }
         // Evict the least recently used way that is not pinned.
@@ -266,6 +294,11 @@ impl MetadataCache {
         let slot = (set * self.ways + victim_way) as u64;
         self.index.remove(&old.addr);
         self.index.insert(addr, slot as u32);
+        if incoming_dirty {
+            self.dirty_slots.insert(slot as u32);
+        } else {
+            self.dirty_slots.remove(&(slot as u32));
+        }
         (
             slot,
             Some(Evicted {
@@ -279,27 +312,60 @@ impl MetadataCache {
     /// Removes and returns a resident block (used by flush/crash paths).
     pub fn remove(&mut self, addr: LineAddr) -> Option<CachedBlock> {
         let slot = self.index.remove(&addr)?;
+        self.dirty_slots.remove(&slot);
         let (set, way) = self.coords(slot);
         self.sets[set][way].take().map(|e| e.block)
+    }
+
+    /// Marks a resident block dirty (write-back pending), keeping the
+    /// incremental dirty index in step. No-op when `addr` is not
+    /// resident.
+    pub fn mark_dirty(&mut self, addr: LineAddr) {
+        if let Some(&slot) = self.index.get(&addr) {
+            let (set, way) = self.coords(slot);
+            if let Some(e) = self.sets[set][way].as_mut() {
+                e.block.dirty = true;
+                self.dirty_slots.insert(slot);
+            }
+        }
+    }
+
+    /// Marks a resident block clean (write-back completed), keeping the
+    /// incremental dirty index in step. No-op when `addr` is not
+    /// resident.
+    pub fn mark_clean(&mut self, addr: LineAddr) {
+        if let Some(&slot) = self.index.get(&addr) {
+            let (set, way) = self.coords(slot);
+            if let Some(e) = self.sets[set][way].as_mut() {
+                e.block.dirty = false;
+                self.dirty_slots.remove(&slot);
+            }
+        }
     }
 
     /// Addresses of all dirty resident blocks (for orderly flush).
     ///
     /// **Order contract**: addresses are yielded in **set-major,
-    /// way-minor** order — a linear walk of the physical cache arrays,
-    /// never the hash-based tag index — so the sequence is a pure
-    /// function of the insert/evict history. Same operation history ⇒
-    /// same iteration order, on every run and platform. The persist
-    /// fixpoint loop, persist-path trace events and the crash-sweep test
-    /// all rely on this stability; do not reimplement this over
-    /// `self.index` (HashMap iteration order would leak into traces).
+    /// way-minor** order — never the hash-based tag index — so the
+    /// sequence is a pure function of the insert/evict history. Same
+    /// operation history ⇒ same iteration order, on every run and
+    /// platform. The persist fixpoint loop, persist-path trace events
+    /// and the crash-sweep test all rely on this stability; do not
+    /// reimplement this over `self.index` (HashMap iteration order would
+    /// leak into traces). Implemented over the incrementally maintained
+    /// `dirty_slots` set: ascending global-slot order is exactly
+    /// set-major, way-minor, and the scan is O(dirty) instead of a
+    /// linear walk of every way.
     pub fn dirty_addrs(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        self.sets
-            .iter()
-            .flatten()
-            .flatten()
-            .filter(|e| e.block.dirty)
-            .map(|e| e.addr)
+        self.dirty_slots.iter().map(|&slot| {
+            let (set, way) = self.coords(slot);
+            let e = self.sets[set][way]
+                .as_ref()
+                // lint:allow(P1, the dirty index maps only to occupied slots)
+                .expect("dirty slot is occupied");
+            debug_assert!(e.block.dirty);
+            e.addr
+        })
     }
 
     /// Drops every entry (models volatile loss at crash).
@@ -310,6 +376,7 @@ impl MetadataCache {
             }
         }
         self.index.clear();
+        self.dirty_slots.clear();
     }
 
     /// Number of resident blocks.
@@ -329,6 +396,10 @@ mod tests {
 
     fn block(level: u8, index: u64) -> CachedBlock {
         CachedBlock::clean(MetaId::new(level, index), [level; 64])
+    }
+
+    fn dirty_block(level: u8, index: u64) -> CachedBlock {
+        CachedBlock::modified(MetaId::new(level, index), [level; 64])
     }
 
     fn tiny_cache() -> MetadataCache {
@@ -384,9 +455,7 @@ mod tests {
     #[test]
     fn dirty_eviction_counted() {
         let mut c = tiny_cache();
-        let mut blk = block(1, 0);
-        blk.dirty = true;
-        c.insert(LineAddr::new(0), blk, &[]);
+        c.insert(LineAddr::new(0), dirty_block(1, 0), &[]);
         c.insert(LineAddr::new(2), block(1, 1), &[]);
         c.insert(LineAddr::new(4), block(1, 2), &[]);
         assert_eq!(c.stats().dirty_evictions, 1);
@@ -413,25 +482,21 @@ mod tests {
     #[test]
     fn dirty_addrs_lists_only_dirty() {
         let mut c = tiny_cache();
-        let mut dirty = block(1, 0);
-        dirty.dirty = true;
-        c.insert(LineAddr::new(0), dirty, &[]);
+        c.insert(LineAddr::new(0), dirty_block(1, 0), &[]);
         c.insert(LineAddr::new(1), block(1, 1), &[]);
         assert_eq!(c.dirty_addrs().collect::<Vec<_>>(), vec![LineAddr::new(0)]);
     }
 
     #[test]
     fn dirty_addrs_order_is_set_major_way_minor() {
-        // The documented order contract: a linear walk of the physical
-        // arrays, independent of insertion order across sets and of the
-        // hash index. With 2 sets x 2 ways, odd addresses land in set 1
-        // and even in set 0; inserting set-1 blocks first must not let
-        // them lead the iteration.
+        // The documented order contract: set-major, way-minor, independent
+        // of insertion order across sets and of the hash index. With
+        // 2 sets x 2 ways, odd addresses land in set 1 and even in set 0;
+        // inserting set-1 blocks first must not let them lead the
+        // iteration.
         let mut c = tiny_cache();
         for (addr, idx) in [(5u64, 0u64), (1, 1), (4, 2), (0, 3)] {
-            let mut blk = block(1, idx);
-            blk.dirty = true;
-            c.insert(LineAddr::new(addr), blk, &[]);
+            c.insert(LineAddr::new(addr), dirty_block(1, idx), &[]);
         }
         let order: Vec<u64> = c.dirty_addrs().map(|a| a.index()).collect();
         // Set 0 filled way 0 with 4 then way 1 with 0; set 1 filled way 0
@@ -439,6 +504,54 @@ mod tests {
         assert_eq!(order, vec![4, 0, 5, 1]);
         // Stable across repeated iteration (no interior mutation).
         assert_eq!(order, c.dirty_addrs().map(|a| a.index()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mark_dirty_and_clean_drive_dirty_addrs() {
+        let mut c = tiny_cache();
+        let (a, b) = (LineAddr::new(0), LineAddr::new(2));
+        c.insert(a, block(1, 0), &[]);
+        c.insert(b, block(1, 1), &[]);
+        assert_eq!(c.dirty_addrs().count(), 0);
+        c.mark_dirty(b);
+        assert!(c.peek(b).unwrap().is_dirty());
+        assert_eq!(c.dirty_addrs().collect::<Vec<_>>(), vec![b]);
+        c.mark_dirty(a);
+        assert_eq!(c.dirty_addrs().collect::<Vec<_>>(), vec![a, b]);
+        // Marking twice is idempotent.
+        c.mark_dirty(a);
+        assert_eq!(c.dirty_addrs().count(), 2);
+        c.mark_clean(b);
+        assert!(!c.peek(b).unwrap().is_dirty());
+        assert_eq!(c.dirty_addrs().collect::<Vec<_>>(), vec![a]);
+        // Non-resident addresses are no-ops.
+        c.mark_dirty(LineAddr::new(99));
+        c.mark_clean(LineAddr::new(99));
+        assert_eq!(c.dirty_addrs().collect::<Vec<_>>(), vec![a]);
+    }
+
+    #[test]
+    fn dirty_index_survives_evict_remove_clear() {
+        let mut c = tiny_cache();
+        let (a, b, d) = (LineAddr::new(0), LineAddr::new(2), LineAddr::new(4));
+        c.insert(a, dirty_block(1, 0), &[]);
+        c.insert(b, dirty_block(1, 1), &[]);
+        // Evicting dirty `a` (LRU) with a clean block must drop its slot
+        // from the dirty index.
+        c.lookup(b);
+        let (_, ev) = c.insert(d, block(1, 2), &[]);
+        assert_eq!(ev.unwrap().addr, a);
+        assert_eq!(c.dirty_addrs().collect::<Vec<_>>(), vec![b]);
+        // Evicting clean `d` with a dirty block adds the slot back.
+        c.lookup(b);
+        let (_, ev) = c.insert(a, dirty_block(1, 3), &[]);
+        assert_eq!(ev.unwrap().addr, d);
+        assert_eq!(c.dirty_addrs().count(), 2);
+        // remove() drops the slot; clear() drops everything.
+        c.remove(a);
+        assert_eq!(c.dirty_addrs().collect::<Vec<_>>(), vec![b]);
+        c.clear();
+        assert_eq!(c.dirty_addrs().count(), 0);
     }
 
     #[test]

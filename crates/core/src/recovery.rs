@@ -472,7 +472,7 @@ pub fn recover(mut image: CrashImage) -> (SecureMemoryController, RecoveryReport
         }
         region.push(bytes);
     }
-    let rebuilt = ShadowTree::from_region(region.iter());
+    let mut rebuilt = ShadowTree::from_region(region.iter());
     let shadow_root_intact = !any_shadow_ue && rebuilt.root() == image.shadow_root;
     let mut obs = std::mem::take(&mut image.obs);
     obs.trace.emit_with("rec", "start", || {

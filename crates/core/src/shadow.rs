@@ -114,16 +114,31 @@ pub fn decode_entry(bytes: &[u8; 64], mode: ShadowMode) -> Vec<ShadowRecord> {
     out
 }
 
-/// An eagerly updated 8-ary BMT over the shadow region.
+/// An 8-ary BMT over the shadow region.
 ///
 /// All intermediate hashes live on-chip (a ~73 kB SRAM for the Table 3
 /// shadow size); only the root matters for security and survives power
 /// loss in the controller's persistent register file. Updating one slot
 /// costs `log8(slots)` on-chip hash operations and zero extra NVM writes.
+///
+/// Interior nodes are folded **lazily**: [`ShadowTree::update`] rehashes
+/// only the leaf and marks its ancestor path dirty; [`ShadowTree::root`]
+/// folds the dirty paths on demand. The root is a pure function of the
+/// leaf entries, so every observable value is identical to the eager
+/// schedule — the model's on-chip registers update instantly with the
+/// leaf, and only the root is ever architecturally visible. This takes a
+/// steady-state update from `1 + 5·log8(slots)` compressions down to the
+/// two of the leaf digest, and batches shared ancestors when several
+/// slots change between root reads.
 #[derive(Clone, Debug)]
 pub struct ShadowTree {
     // levels[0] = leaf hashes (one per slot), last level has <= 8 nodes.
     levels: Vec<Vec<[u8; 32]>>,
+    // dirty[l][i] = node i of levels[l + 1] must be refolded because a
+    // child changed. Flat bitmaps keep marking O(1) on the write path
+    // (the sets grow to thousands of nodes between root reads) and the
+    // fold deterministic by scanning in index order.
+    dirty: Vec<Vec<bool>>,
 }
 
 impl ShadowTree {
@@ -134,13 +149,20 @@ impl ShadowTree {
     /// Panics if `slots == 0`.
     pub fn new(slots: u64) -> Self {
         assert!(slots > 0, "shadow region needs at least one slot");
-        let mut tree = Self { levels: Vec::new() };
+        let mut tree = Self {
+            levels: Vec::new(),
+            dirty: Vec::new(),
+        };
         let mut count = slots as usize;
         tree.levels.push(vec![[0u8; 32]; count]);
         while count > 8 {
             count = count.div_ceil(8);
             tree.levels.push(vec![[0u8; 32]; count]);
         }
+        tree.dirty = tree.levels[1..]
+            .iter()
+            .map(|level| vec![false; level.len()])
+            .collect();
         // Initialize hashes for the vacant state.
         let vacant = vacant_entry();
         for slot in 0..slots {
@@ -154,9 +176,8 @@ impl ShadowTree {
         self.levels[0].len() as u64
     }
 
-    fn hash_children(&self, level: usize, parent: usize) -> [u8; 32] {
+    fn hash_children(child_level: &[[u8; 32]], parent: usize) -> [u8; 32] {
         let mut h = Sha256::new();
-        let child_level = &self.levels[level];
         let end = ((parent + 1) * 8).min(child_level.len());
         for child in &child_level[parent * 8..end] {
             h.update(child);
@@ -164,7 +185,8 @@ impl ShadowTree {
         h.finalize()
     }
 
-    /// Records new content for `slot` and updates the path to the root.
+    /// Records new content for `slot`: rehashes the leaf and marks its
+    /// ancestor path for the next [`ShadowTree::root`] fold.
     ///
     /// # Panics
     ///
@@ -175,17 +197,31 @@ impl ShadowTree {
             slot < self.levels[0].len(),
             "shadow slot {slot} out of range"
         );
-        self.levels[0][slot] = Sha256::digest(entry_bytes);
+        self.levels[0][slot] = Sha256::digest64(entry_bytes);
         let mut idx = slot;
-        for level in 0..self.levels.len() - 1 {
+        for dirty in &mut self.dirty {
             idx /= 8;
-            self.levels[level + 1][idx] = self.hash_children(level, idx);
+            if dirty[idx] {
+                // An already-dirty parent implies dirty ancestors.
+                break;
+            }
+            dirty[idx] = true;
         }
     }
 
     /// The root hash (hash over the top level; survives crash in the
-    /// persistent register file).
-    pub fn root(&self) -> [u8; 32] {
+    /// persistent register file). Folds any dirty interior paths first.
+    pub fn root(&mut self) -> [u8; 32] {
+        for level in 0..self.dirty.len() {
+            // `level` children feed `level + 1` parents.
+            let (children, parents) = self.levels.split_at_mut(level + 1);
+            for (parent, flag) in self.dirty[level].iter_mut().enumerate() {
+                if *flag {
+                    *flag = false;
+                    parents[0][parent] = Self::hash_children(&children[level], parent);
+                }
+            }
+        }
         let mut h = Sha256::new();
         for node in self.levels.last().into_iter().flatten() {
             h.update(node);
@@ -285,16 +321,16 @@ mod tests {
             region[slot as usize] = e;
             t.update(slot, &e);
         }
-        let rebuilt = ShadowTree::from_region(region.iter());
+        let mut rebuilt = ShadowTree::from_region(region.iter());
         assert_eq!(rebuilt.root(), t.root());
     }
 
     #[test]
     fn tamper_with_region_changes_rebuilt_root() {
-        let t = ShadowTree::new(10);
+        let mut t = ShadowTree::new(10);
         let mut region: Vec<[u8; 64]> = vec![vacant_entry(); 10];
         region[3][5] ^= 1;
-        let rebuilt = ShadowTree::from_region(region.iter());
+        let mut rebuilt = ShadowTree::from_region(region.iter());
         assert_ne!(rebuilt.root(), t.root());
     }
 

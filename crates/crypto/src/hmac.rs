@@ -74,6 +74,44 @@ impl HmacSha256 {
         outer.update(&inner_digest);
         outer.finalize()
     }
+
+    /// Block-aligned fast path for the controller's fixed MAC shape: the
+    /// tag over `header ∥ payload` (17 + 64 bytes).
+    ///
+    /// The 81-byte message lands on known block boundaries, so both inner
+    /// padding blocks and the outer block are laid out directly on the
+    /// stack and fed to three raw compressions from the cached midstates —
+    /// no template clone, no streaming buffer, no per-call padding logic.
+    /// Bit-identical to `clone` + [`HmacSha256::update`] +
+    /// [`HmacSha256::finalize`] over the same bytes.
+    pub fn tag_header64(&self, header: &[u8; 17], payload: &[u8; 64]) -> [u8; 32] {
+        let use_ni = self.inner.uses_ni();
+
+        // Inner hash: ipad block (already compressed into the midstate)
+        // then 81 message bytes → one full block + one padded block.
+        // Total inner input is 64 + 81 = 145 bytes = 1160 bits.
+        let mut state = self.inner.block_aligned_state();
+        let mut block = [0u8; 64];
+        block[..17].copy_from_slice(header);
+        block[17..].copy_from_slice(&payload[..47]);
+        Sha256::compress_raw(&mut state, &block, use_ni);
+        let mut tail = [0u8; 64];
+        tail[..17].copy_from_slice(&payload[47..]);
+        tail[17] = 0x80;
+        tail[56..].copy_from_slice(&1160u64.to_be_bytes());
+        Sha256::compress_raw(&mut state, &tail, use_ni);
+        let inner_digest = Sha256::state_bytes(&state);
+
+        // Outer hash: opad block (midstate) + 32 digest bytes = 96 bytes
+        // = 768 bits, padded within a single block.
+        let mut state = self.outer.block_aligned_state();
+        let mut block = [0u8; 64];
+        block[..32].copy_from_slice(&inner_digest);
+        block[32] = 0x80;
+        block[56..].copy_from_slice(&768u64.to_be_bytes());
+        Sha256::compress_raw(&mut state, &block, use_ni);
+        Sha256::state_bytes(&state)
+    }
 }
 
 #[cfg(test)]
@@ -136,5 +174,35 @@ mod tests {
     #[test]
     fn different_keys_different_tags() {
         assert_ne!(hmac_sha256(b"a", b"msg"), hmac_sha256(b"b", b"msg"));
+    }
+
+    #[test]
+    fn tag_header64_matches_streaming() {
+        let mut x = 0x452821e638d01377u64;
+        let mut fill = |buf: &mut [u8]| {
+            for b in buf.iter_mut() {
+                x = x.wrapping_mul(0xbf58476d1ce4e5b9).wrapping_add(0x94d049bb133111eb);
+                *b = (x >> 40) as u8;
+            }
+        };
+        for key_len in [0usize, 1, 32, 64, 100] {
+            let mut key = vec![0u8; key_len];
+            fill(&mut key);
+            let engine = HmacSha256::new(&key);
+            for _ in 0..8 {
+                let mut header = [0u8; 17];
+                let mut payload = [0u8; 64];
+                fill(&mut header);
+                fill(&mut payload);
+                let mut streaming = engine.clone();
+                streaming.update(&header);
+                streaming.update(&payload);
+                assert_eq!(
+                    engine.tag_header64(&header, &payload),
+                    streaming.finalize(),
+                    "key_len {key_len}"
+                );
+            }
+        }
     }
 }

@@ -55,6 +55,18 @@ impl MacEngine {
     }
 
     fn tag(&self, domain: Domain, address: u64, payload: &[u8], counter: u64) -> Tag64 {
+        // Every hot-path tag covers a 64-byte unit (data line, counter
+        // block, ToC counter payload, shadow entry); that fixed shape
+        // takes the block-aligned HMAC path. Other payload sizes fall
+        // back to the streaming computation — bit-identical either way.
+        if let Ok(line) = <&[u8; 64]>::try_from(payload) {
+            let mut header = [0u8; 17];
+            header[0] = domain as u8;
+            header[1..9].copy_from_slice(&address.to_le_bytes());
+            header[9..17].copy_from_slice(&counter.to_le_bytes());
+            let digest = self.template.tag_header64(&header, line);
+            return soteria_rt::bytes::u64_le(&digest[..8]);
+        }
         let mut h = self.template.clone();
         h.update(&[domain as u8]);
         h.update(&address.to_le_bytes());
@@ -166,6 +178,25 @@ mod tests {
         assert_ne!(
             e.tree_node_mac(0, &counters, 10),
             e.tree_node_mac(0, &counters, 11)
+        );
+    }
+
+    #[test]
+    fn fast_path_matches_streaming_hmac() {
+        // `data_mac` takes the block-aligned tag_header64 path for its
+        // 64-byte payload; pin it against the plain streaming HMAC over
+        // the identical byte sequence.
+        let e = MacEngine::new(MacKey::from_bytes([0x42; 32]));
+        let line = [0x5a; 64];
+        let mut h = crate::hmac::HmacSha256::new(&[0x42; 32]);
+        h.update(&[1u8]); // Domain::Data
+        h.update(&7u64.to_le_bytes());
+        h.update(&9u64.to_le_bytes());
+        h.update(&line);
+        let digest = h.finalize();
+        assert_eq!(
+            e.data_mac(7, &line, 9),
+            soteria_rt::bytes::u64_le(&digest[..8])
         );
     }
 

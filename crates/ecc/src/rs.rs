@@ -31,6 +31,10 @@ use crate::CorrectionOutcome;
 /// (zero has no discrete log).
 const ZERO_LOG: u16 = u16::MAX;
 
+/// Multiply-by-zero row for [`ReedSolomon::par_rows`] positions whose
+/// parity coefficient is zero (`ALPHA_MUL` only covers α^p ≠ 0).
+static ZERO_ROW: [u8; 256] = [0u8; 256];
+
 /// Errors returned by [`ReedSolomon`] operations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RsError {
@@ -89,6 +93,11 @@ pub struct ReedSolomon {
     // syndrome scan is `acc ^= row[c]` — a `u8` index needs no bounds
     // check and there is no loop-carried multiply.
     syn_rows: Vec<&'static [u8; 256]>,
+    // One multiply-by-constant row per (parity, data position):
+    // `par_rows[j*k + i]` multiplies by parity byte j of the unit
+    // message e_i, so systematic encoding — a GF(2^8)-linear map — is
+    // the same branch-free scan shape as the syndromes.
+    par_rows: Vec<&'static [u8; 256]>,
 }
 
 impl ReedSolomon {
@@ -116,12 +125,32 @@ impl ReedSolomon {
                 syn_rows.push(&ALPHA_MUL[(i * (n - 1 - j)) % 255]);
             }
         }
-        Ok(Self {
+        let mut rs = Self {
             n,
             k,
             gen_log,
             syn_rows,
-        })
+            par_rows: Vec::new(),
+        };
+        // Parity of the unit message e_i (via the division reference
+        // encoder) gives column i of the linear parity map; linearity of
+        // `rem(·)` over GF(2^8) makes the table encoder bit-identical.
+        let mut par_rows = vec![&ZERO_ROW; (n - k) * k];
+        let mut data = vec![0u8; k];
+        let mut cw = vec![0u8; n];
+        for i in 0..k {
+            data[i] = 1;
+            rs.encode_into_reference(&data, &mut cw)?;
+            data[i] = 0;
+            for j in 0..(n - k) {
+                let p = cw[k + j];
+                if p != 0 {
+                    par_rows[j * k + i] = &ALPHA_MUL[LOG[p as usize] as usize];
+                }
+            }
+        }
+        rs.par_rows = par_rows;
+        Ok(rs)
     }
 
     /// Codeword length in symbols.
@@ -167,6 +196,59 @@ impl ReedSolomon {
     /// Returns [`RsError::LengthMismatch`] if `data.len() != k` or
     /// `cw.len() != n`.
     pub fn encode_into(&self, data: &[u8], cw: &mut [u8]) -> Result<(), RsError> {
+        if data.len() != self.k {
+            return Err(RsError::LengthMismatch {
+                expected: self.k,
+                got: data.len(),
+            });
+        }
+        if cw.len() != self.n {
+            return Err(RsError::LengthMismatch {
+                expected: self.n,
+                got: cw.len(),
+            });
+        }
+        // The systematic parity map is GF(2^8)-linear in the data
+        // symbols, so each parity byte is an XOR of per-position
+        // multiply-by-constant lookups through the row pointers built in
+        // [`ReedSolomon::new`] — no feedback chain, no branches, two
+        // parity rows fused per pass (same idiom as the syndrome scan).
+        // Bit-identical to [`Self::encode_into_reference`].
+        let (data_out, parity) = cw.split_at_mut(self.k);
+        data_out.copy_from_slice(data);
+        let parity_len = parity.len();
+        let mut row = 0;
+        while row + 1 < parity_len {
+            let r0 = &self.par_rows[row * self.k..(row + 1) * self.k];
+            let r1 = &self.par_rows[(row + 1) * self.k..(row + 2) * self.k];
+            let (mut a0, mut a1) = (0u8, 0u8);
+            for ((&d, t0), t1) in data.iter().zip(r0).zip(r1) {
+                a0 ^= t0[d as usize];
+                a1 ^= t1[d as usize];
+            }
+            parity[row] = a0;
+            parity[row + 1] = a1;
+            row += 2;
+        }
+        if row < parity_len {
+            let rows = &self.par_rows[row * self.k..(row + 1) * self.k];
+            let mut acc = 0u8;
+            for (&d, table) in data.iter().zip(rows) {
+                acc ^= table[d as usize];
+            }
+            parity[row] = acc;
+        }
+        Ok(())
+    }
+
+    /// The original synthetic-division systematic encoder, kept as the
+    /// equivalence/benchmark reference for [`Self::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::LengthMismatch`] if `data.len() != k` or
+    /// `cw.len() != n`.
+    pub fn encode_into_reference(&self, data: &[u8], cw: &mut [u8]) -> Result<(), RsError> {
         if data.len() != self.k {
             return Err(RsError::LengthMismatch {
                 expected: self.k,
@@ -260,6 +342,49 @@ impl ReedSolomon {
             out[row] = Gf256::new(acc);
         }
         out
+    }
+
+    /// Returns `true` iff every syndrome of `cw` is zero — i.e. `cw` is a
+    /// valid codeword. Same fused table scan as [`ReedSolomon::syndromes`]
+    /// but allocation-free with an early exit, for the overwhelmingly
+    /// common clean-read fast path in [`crate::chipkill`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::LengthMismatch`] if `cw.len() != n`.
+    pub fn syndromes_all_zero(&self, cw: &[u8]) -> Result<bool, RsError> {
+        if cw.len() != self.n {
+            return Err(RsError::LengthMismatch {
+                expected: self.n,
+                got: cw.len(),
+            });
+        }
+        let parity = self.n - self.k;
+        let mut row = 0;
+        while row + 1 < parity {
+            let r0 = &self.syn_rows[row * self.n..(row + 1) * self.n];
+            let r1 = &self.syn_rows[(row + 1) * self.n..(row + 2) * self.n];
+            let (mut a0, mut a1) = (0u8, 0u8);
+            for ((&c, t0), t1) in cw.iter().zip(r0).zip(r1) {
+                a0 ^= t0[c as usize];
+                a1 ^= t1[c as usize];
+            }
+            if a0 != 0 || a1 != 0 {
+                return Ok(false);
+            }
+            row += 2;
+        }
+        if row < parity {
+            let rows = &self.syn_rows[row * self.n..(row + 1) * self.n];
+            let mut acc = 0u8;
+            for (&c, table) in cw.iter().zip(rows) {
+                acc ^= table[c as usize];
+            }
+            if acc != 0 {
+                return Ok(false);
+            }
+        }
+        Ok(true)
     }
 
     /// The original generic-polynomial syndrome computation (reversed
@@ -659,6 +784,60 @@ mod tests {
             }
             let noise: Vec<u8> = (0..n).map(|i| (i * 151 + 13) as u8).collect();
             assert_eq!(rs.syndromes(&noise), rs.syndromes_reference(&noise));
+        }
+    }
+
+    #[test]
+    fn table_encoder_matches_division_reference() {
+        // Equivalence proof for the linear-map parity tables: identical to
+        // the synthetic-division encoder on structured and pseudo-random
+        // data, for every code geometry in use.
+        for (n, k) in [(18usize, 16usize), (20, 16), (255, 223)] {
+            let rs = ReedSolomon::new(n, k).unwrap();
+            let mut fast = vec![0u8; n];
+            let mut slow = vec![0xffu8; n];
+            for seed in 0..64u32 {
+                let data: Vec<u8> = (0..k)
+                    .map(|i| ((i as u32).wrapping_mul(197).wrapping_add(seed * 5081 + 11) % 256) as u8)
+                    .collect();
+                rs.encode_into(&data, &mut fast).unwrap();
+                rs.encode_into_reference(&data, &mut slow).unwrap();
+                assert_eq!(fast, slow, "n={n} k={k} seed={seed}");
+            }
+            // Unit vectors and all-zero exercise the ZERO_ROW paths.
+            let mut unit = vec![0u8; k];
+            for i in [0, k / 2, k - 1] {
+                unit[i] = 0xb7;
+                rs.encode_into(&unit, &mut fast).unwrap();
+                rs.encode_into_reference(&unit, &mut slow).unwrap();
+                assert_eq!(fast, slow, "n={n} k={k} unit at {i}");
+                unit[i] = 0;
+            }
+            rs.encode_into(&unit, &mut fast).unwrap();
+            assert!(fast.iter().all(|&b| b == 0));
+        }
+    }
+
+    #[test]
+    fn syndromes_all_zero_matches_syndromes() {
+        for (n, k) in [(18usize, 16usize), (20, 16)] {
+            let rs = ReedSolomon::new(n, k).unwrap();
+            let data: Vec<u8> = (0..k).map(|i| (i * 37 + 9) as u8).collect();
+            let cw = rs.encode(&data).unwrap();
+            assert!(rs.syndromes_all_zero(&cw).unwrap());
+            for pos in 0..n {
+                let mut bad = cw.clone();
+                bad[pos] ^= 0x21;
+                assert!(!rs.syndromes_all_zero(&bad).unwrap(), "pos={pos}");
+                assert!(bad.iter().any(|&b| b != 0));
+            }
+            assert_eq!(
+                rs.syndromes_all_zero(&cw[..n - 1]),
+                Err(RsError::LengthMismatch {
+                    expected: n,
+                    got: n - 1
+                })
+            );
         }
     }
 

@@ -42,7 +42,28 @@ pub struct DeviceStats {
 
 struct FunctionalStore {
     codec: Box<dyn LineCodec + Send + Sync>,
-    lines: BTreeMap<u64, (Vec<u8>, u64)>, // codeword, write epoch
+    // Flat line table indexed by physical line index, grown lazily toward
+    // the geometry's total (plus the start-gap spare); an empty codeword
+    // Vec marks a never-written line. Physical indices are dense and
+    // bounded, so direct indexing replaces an ordered-map lookup on every
+    // read and write of the controller's hot path.
+    lines: Vec<(Vec<u8>, u64)>, // codeword, write epoch
+}
+
+impl FunctionalStore {
+    fn get(&self, idx: u64) -> Option<&(Vec<u8>, u64)> {
+        self.lines
+            .get(idx as usize)
+            .filter(|(cw, _)| !cw.is_empty())
+    }
+
+    fn slot_mut(lines: &mut Vec<(Vec<u8>, u64)>, idx: u64) -> &mut (Vec<u8>, u64) {
+        let idx = idx as usize;
+        if idx >= lines.len() {
+            lines.resize_with(idx + 1, Default::default);
+        }
+        &mut lines[idx]
+    }
 }
 
 struct SymbolicStore {
@@ -111,7 +132,7 @@ impl NvmDimm {
             geometry,
             storage: Storage::Functional(FunctionalStore {
                 codec,
-                lines: BTreeMap::new(),
+                lines: Vec::new(),
             }),
             faults: Vec::new(),
             write_epoch: 0,
@@ -238,11 +259,10 @@ impl NvmDimm {
     fn move_physical_line(&mut self, from: u64, to: u64) {
         match &mut self.storage {
             Storage::Functional(fs) => {
-                if let Some(v) = fs.lines.remove(&from) {
-                    fs.lines.insert(to, v);
-                } else {
-                    fs.lines.remove(&to);
-                }
+                // `take` leaves `(empty, 0)` behind, which is exactly the
+                // vacant marker — a vacant source therefore clears `to`.
+                let moved = std::mem::take(FunctionalStore::slot_mut(&mut fs.lines, from));
+                *FunctionalStore::slot_mut(&mut fs.lines, to) = moved;
             }
             Storage::Symbolic(ss) => {
                 if let Some(e) = ss.epochs.remove(&from) {
@@ -337,7 +357,13 @@ impl NvmDimm {
         self.wear.record_write(phys);
         match &mut self.storage {
             Storage::Functional(fs) => {
-                let cw = fs.codec.encode_line(line);
+                // Overwrites (the common case: counters, MAC lines, tree
+                // nodes) re-encode into the line's existing codeword
+                // allocation.
+                let entry = FunctionalStore::slot_mut(&mut fs.lines, phys.index());
+                fs.codec.encode_line_into(line, &mut entry.0);
+                entry.1 = self.write_epoch;
+                let cw = &entry.0;
                 // Write-verify: with ECP enabled, a read-back after the
                 // write exposes cells pinned by permanent single-bit
                 // faults; each gets a repair pointer holding the bit's
@@ -371,7 +397,6 @@ impl NvmDimm {
                         }
                     }
                 }
-                fs.lines.insert(phys.index(), (cw, self.write_epoch));
             }
             Storage::Symbolic(ss) => {
                 ss.epochs.insert(phys.index(), self.write_epoch);
@@ -381,7 +406,7 @@ impl NvmDimm {
 
     fn line_epoch(&self, phys: LineAddr) -> u64 {
         match &self.storage {
-            Storage::Functional(fs) => fs.lines.get(&phys.index()).map_or(0, |(_, e)| *e),
+            Storage::Functional(fs) => fs.get(phys.index()).map_or(0, |(_, e)| *e),
             Storage::Symbolic(ss) => ss.epochs.get(&phys.index()).copied().unwrap_or(0),
         }
     }
@@ -405,12 +430,30 @@ impl NvmDimm {
     pub fn read_line(&mut self, addr: LineAddr) -> ([u8; 64], CorrectionOutcome) {
         let _ = self.geometry.locate(addr); // bounds check on the logical address
         let phys = self.translate(addr);
-        let loc = self.locate_physical(phys);
         self.stats.reads += 1;
+        // Fast path: nothing can perturb the stored codeword (no injected
+        // faults, no ECP, no marked chips), so decode it borrowed in place
+        // — no clone, no epoch lookup, no per-byte fault overlay. This is
+        // every read of a healthy device, i.e. the controller's hot path.
+        if self.faults.is_empty() && self.ecp.is_none() && self.marked_chips.is_empty() {
+            let outcome_and_line = match &self.storage {
+                Storage::Functional(fs) => match fs.get(phys.index()) {
+                    Some((cw, _)) => fs.codec.decode_line(cw),
+                    // Never-written lines read as zeroes; encode→decode of
+                    // the zero line is the identity (zero parity), so this
+                    // matches the slow path byte for byte.
+                    None => ([0u8; 64], CorrectionOutcome::Clean),
+                },
+                Storage::Symbolic(_) => ([0u8; 64], CorrectionOutcome::Clean),
+            };
+            self.note_read_outcome(addr, phys, outcome_and_line.1);
+            return outcome_and_line;
+        }
+        let loc = self.locate_physical(phys);
         let line_epoch = self.line_epoch(phys);
         let outcome_and_line = match &self.storage {
             Storage::Functional(fs) => {
-                let mut cw = match fs.lines.get(&phys.index()) {
+                let mut cw = match fs.get(phys.index()) {
                     Some((cw, _)) => cw.clone(),
                     None => fs.codec.encode_line(&[0u8; 64]),
                 };
@@ -505,7 +548,12 @@ impl NvmDimm {
                 ([0u8; 64], worst)
             }
         };
-        match outcome_and_line.1 {
+        self.note_read_outcome(addr, phys, outcome_and_line.1);
+        outcome_and_line
+    }
+
+    fn note_read_outcome(&mut self, addr: LineAddr, phys: LineAddr, outcome: CorrectionOutcome) {
+        match outcome {
             CorrectionOutcome::Corrected { symbols } => {
                 self.stats.corrected_reads += 1;
                 self.obs.metrics.inc("dev.corrected_reads", 1);
@@ -520,7 +568,6 @@ impl NvmDimm {
             }
             CorrectionOutcome::Clean => {}
         }
-        outcome_and_line
     }
 
     /// Scrubs one line: read, and if the content is usable, rewrite it so

@@ -7,14 +7,19 @@
 //! gap moves one slot, slowly rotating the logical-to-physical mapping so
 //! no physical line stays under a hot logical address.
 
-use std::collections::BTreeMap;
-
 use crate::LineAddr;
 
-/// Tracks per-line write counts (sparse).
+/// Tracks per-line write counts.
+///
+/// Stored as a flat table indexed by line (zero = never written), grown
+/// lazily toward the device size: the per-write increment on the
+/// controller's hot path is one array bump instead of an ordered-map
+/// entry operation. Report-time scans (`hottest`, `imbalance`) stay
+/// deterministic by walking in index order.
 #[derive(Clone, Debug, Default)]
 pub struct WearTracker {
-    writes: BTreeMap<u64, u64>,
+    writes: Vec<u64>,
+    written_lines: u64,
     total: u64,
 }
 
@@ -26,13 +31,20 @@ impl WearTracker {
 
     /// Records one write to `addr`.
     pub fn record_write(&mut self, addr: LineAddr) {
-        *self.writes.entry(addr.index()).or_insert(0) += 1;
+        let idx = addr.index() as usize;
+        if idx >= self.writes.len() {
+            self.writes.resize(idx + 1, 0);
+        }
+        self.writes[idx] += 1;
+        if self.writes[idx] == 1 {
+            self.written_lines += 1;
+        }
         self.total += 1;
     }
 
     /// Write count of one line.
     pub fn writes_to(&self, addr: LineAddr) -> u64 {
-        self.writes.get(&addr.index()).copied().unwrap_or(0)
+        self.writes.get(addr.index() as usize).copied().unwrap_or(0)
     }
 
     /// Total writes across the device.
@@ -42,20 +54,25 @@ impl WearTracker {
 
     /// The most-written line and its count, if any writes happened.
     pub fn hottest(&self) -> Option<(LineAddr, u64)> {
-        self.writes
-            .iter()
-            .max_by_key(|&(addr, count)| (*count, std::cmp::Reverse(*addr)))
-            .map(|(&a, &c)| (LineAddr::new(a), c))
+        // Index-order scan with strict `>`: among equally-hot lines the
+        // lowest address wins, matching the ordered-map behavior.
+        let mut best: Option<(u64, u64)> = None;
+        for (addr, &count) in self.writes.iter().enumerate() {
+            if count > 0 && best.is_none_or(|(_, c)| count > c) {
+                best = Some((addr as u64, count));
+            }
+        }
+        best.map(|(a, c)| (LineAddr::new(a), c))
     }
 
     /// Ratio of the hottest line's writes to the mean over written lines —
     /// 1.0 is perfectly level.
     pub fn imbalance(&self) -> f64 {
-        if self.writes.is_empty() {
+        if self.written_lines == 0 {
             return 1.0;
         }
-        let max = self.writes.values().copied().max().unwrap_or(0) as f64;
-        let mean = self.total as f64 / self.writes.len() as f64;
+        let max = self.writes.iter().copied().max().unwrap_or(0) as f64;
+        let mean = self.total as f64 / self.written_lines as f64;
         max / mean
     }
 }

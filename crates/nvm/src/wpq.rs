@@ -36,12 +36,16 @@ use crate::device::NvmDimm;
 use crate::LineAddr;
 
 /// One pending persistent write.
+///
+/// The payload is stored inline: queue slots live in the `VecDeque`'s own
+/// allocation, so accepting a write is a 72-byte copy with no per-entry
+/// heap traffic on the controller's hot path.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PendingWrite {
     /// Destination line.
     pub addr: LineAddr,
     /// Payload.
-    pub data: Box<[u8; 64]>,
+    pub data: [u8; 64],
 }
 
 /// Error returned when an atomic group cannot fit even an empty WPQ.
@@ -247,9 +251,13 @@ impl WritePendingQueue {
     /// Returns [`GroupTooLarge`] when the group exceeds the whole WPQ; the
     /// caller (the clone writer, the transaction committer) must cap its
     /// group size below this.
+    ///
+    /// The group vector is **drained** on acceptance (and on a dead
+    /// queue), leaving its capacity behind so a hot caller can reuse one
+    /// buffer across commits instead of allocating per group.
     pub fn push_atomic(
         &mut self,
-        writes: Vec<PendingWrite>,
+        writes: &mut Vec<PendingWrite>,
         device: &mut NvmDimm,
     ) -> Result<AcceptOutcome, GroupTooLarge> {
         if writes.len() > self.capacity {
@@ -259,12 +267,14 @@ impl WritePendingQueue {
             });
         }
         if self.dead {
+            writes.clear();
             return Ok(AcceptOutcome::Dead);
         }
         while self.capacity - self.entries.len() < writes.len() {
             self.stalls += 1;
             self.drain_one(device);
             if self.dead {
+                writes.clear();
                 return Ok(AcceptOutcome::Dead);
             }
         }
@@ -278,7 +288,7 @@ impl WritePendingQueue {
                     .collect(),
             });
         }
-        for w in writes {
+        for w in writes.drain(..) {
             self.entries.push_back(w);
             self.accepted += 1;
         }
@@ -320,7 +330,7 @@ impl WritePendingQueue {
     }
 
     /// Iterates over pending writes (oldest first) without draining.
-    pub fn iter(&self) -> impl Iterator<Item = &PendingWrite> {
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = &PendingWrite> {
         self.entries.iter()
     }
 }
@@ -337,7 +347,7 @@ mod tests {
     fn write(addr: u64, fill: u8) -> PendingWrite {
         PendingWrite {
             addr: LineAddr::new(addr),
-            data: Box::new([fill; 64]),
+            data: [fill; 64],
         }
     }
 
@@ -374,7 +384,7 @@ mod tests {
         q.push(write(2, 2), &mut d);
         q.push(write(3, 3), &mut d);
         // Group of 3 into a queue with 1 free slot: drains 2 residues first.
-        q.push_atomic(vec![write(10, 10), write(11, 11), write(12, 12)], &mut d)
+        q.push_atomic(&mut vec![write(10, 10), write(11, 11), write(12, 12)], &mut d)
             .unwrap();
         assert_eq!(q.len(), 4);
         assert_eq!(d.stats().writes, 2);
@@ -384,9 +394,9 @@ mod tests {
     fn oversized_group_rejected() {
         let mut d = device();
         let mut q = WritePendingQueue::new(4);
-        let group: Vec<_> = (0..5).map(|i| write(i, i as u8)).collect();
+        let mut group: Vec<_> = (0..5).map(|i| write(i, i as u8)).collect();
         assert_eq!(
-            q.push_atomic(group, &mut d),
+            q.push_atomic(&mut group, &mut d),
             Err(GroupTooLarge {
                 group: 5,
                 capacity: 4
@@ -400,7 +410,7 @@ mod tests {
         let mut d = device();
         let mut q = WritePendingQueue::new(8);
         q.push(write(0, 0), &mut d);
-        q.push_atomic(vec![write(1, 1), write(2, 2)], &mut d)
+        q.push_atomic(&mut vec![write(1, 1), write(2, 2)], &mut d)
             .unwrap();
         assert_eq!(q.accepted(), 3);
     }
@@ -413,9 +423,9 @@ mod tests {
         let mut d = device();
         let mut q = WritePendingQueue::new(4);
         q.push(write(0, 0), &mut d);
-        let group: Vec<_> = (1..=5).map(|i| write(i, i as u8)).collect();
+        let mut group: Vec<_> = (1..=5).map(|i| write(i, i as u8)).collect();
         assert_eq!(
-            q.push_atomic(group, &mut d),
+            q.push_atomic(&mut group, &mut d),
             Err(GroupTooLarge {
                 group: 5,
                 capacity: 4
@@ -440,7 +450,7 @@ mod tests {
         assert_eq!(q.len(), 3);
         // An atomic group the size of the whole queue onto a full queue
         // forces exactly `capacity` stall drains — no more, no less.
-        q.push_atomic(vec![write(20, 20), write(21, 21), write(22, 22)], &mut d)
+        q.push_atomic(&mut vec![write(20, 20), write(21, 21), write(22, 22)], &mut d)
             .unwrap();
         assert_eq!(q.stalls(), 1 + 3);
         assert_eq!(q.len(), 3);
@@ -458,7 +468,7 @@ mod tests {
         let mut q = WritePendingQueue::new(8);
         q.enable_journal();
         q.push(write(1, 1), &mut d);
-        q.push_atomic(vec![write(2, 2), write(3, 3), write(4, 4)], &mut d)
+        q.push_atomic(&mut vec![write(2, 2), write(3, 3), write(4, 4)], &mut d)
             .unwrap();
         q.flush(&mut d);
         assert!(q.is_empty());
@@ -487,7 +497,7 @@ mod tests {
         assert!(q.is_dead(), "the armed event completes, then the fuse fires");
         assert_eq!(q.push(write(3, 3), &mut d), AcceptOutcome::Dead);
         assert_eq!(
-            q.push_atomic(vec![write(4, 4)], &mut d),
+            q.push_atomic(&mut vec![write(4, 4)], &mut d),
             Ok(AcceptOutcome::Dead)
         );
         assert_eq!(q.accepted(), 2, "dead accepts are dropped, not queued");
@@ -509,7 +519,7 @@ mod tests {
         q.push(write(2, 2), &mut d);
         q.arm_crash_at_event(3); // event 3 = the stall drain below
         let outcome = q
-            .push_atomic(vec![write(10, 10), write(11, 11)], &mut d)
+            .push_atomic(&mut vec![write(10, 10), write(11, 11)], &mut d)
             .unwrap();
         assert_eq!(outcome, AcceptOutcome::Dead);
         assert_eq!(q.accepted(), 2);
@@ -551,13 +561,13 @@ mod tests {
                 expected.insert(addr, fill);
             } else {
                 let group_len = rng.random_range(2..=5usize);
-                let group: Vec<PendingWrite> = (0..group_len)
+                let mut group: Vec<PendingWrite> = (0..group_len)
                     .map(|_| write(rng.random_range(0..32u64), fill))
                     .collect();
                 for w in &group {
                     expected.insert(w.addr.index(), fill);
                 }
-                q.push_atomic(group, &mut d).unwrap();
+                q.push_atomic(&mut group, &mut d).unwrap();
             }
         }
         // Power loss: ADR drains the whole queue to media.

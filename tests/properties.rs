@@ -214,6 +214,54 @@ fn gcm_seal_open_roundtrips() {
 }
 
 #[test]
+fn sha256_dispatch_matches_portable() {
+    // The SHA-NI fast path must be bit-identical to the portable
+    // compression across arbitrary content and every length class
+    // (empty, sub-block, block-straddling, multi-block) — the same
+    // guard the PR 2 AES dispatch carries.
+    check(
+        "sha256_dispatch_matches_portable",
+        &cfg(64),
+        &vec(any::<u8>(), 0..200usize),
+        |data| {
+            use soteria_suite::soteria_crypto::sha256::Sha256;
+            prop_assert_eq!(Sha256::digest(data), Sha256::digest_portable(data));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn ghash_clmul_matches_table_reference() {
+    // The PCLMUL GHASH multiply (and the aggregated 4-block path inside
+    // `seal`) must agree with the shifted-table reference built from
+    // `mul_alpha`, for arbitrary keys and field elements.
+    check(
+        "ghash_clmul_matches_table_reference",
+        &cfg(64),
+        &(
+            array::<_, 16>(any::<u8>()),
+            (any::<u64>(), any::<u64>()),
+            array::<_, 12>(any::<u8>()),
+            vec(any::<u8>(), 0..100usize),
+        ),
+        |(key, (hi, lo), nonce, plaintext)| {
+            use soteria_suite::soteria_crypto::gcm::AesGcm;
+            let x = (u128::from(*hi) << 64) | u128::from(*lo);
+            let gcm = AesGcm::new(*key);
+            let sw = AesGcm::new(*key).force_software();
+            prop_assert_eq!(gcm.mul_h(x), gcm.mul_h_table(x));
+            prop_assert_eq!(sw.mul_h(x), gcm.mul_h_table(x));
+            prop_assert_eq!(
+                gcm.seal(nonce, b"aad", plaintext),
+                sw.seal(nonce, b"aad", plaintext)
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
 fn morphable_counters_never_repeat() {
     check(
         "morphable_counters_never_repeat",
