@@ -4,6 +4,7 @@
 //! soteria info                          # configs (Tables 2/3/4), layout math
 //! soteria perf --workload pmemkv --ops 200000 --scheme sac --cores 4
 //! soteria campaign --fit 80 --iters 100000 [--ecc secded] [--tree bmt] [--scrub 24]
+//! soteria compare --iters 512 --ops 2048 # every scheme: UDR + slowdown matrix
 //! soteria rare --fit 80 --samples 3000  # importance-sampled clone UDR
 //! soteria crash-demo --scheme src [--fault]
 //! ```
@@ -18,8 +19,8 @@ use soteria::clone::CloningPolicy;
 use soteria::recovery::recover;
 use soteria::{DataAddr, SecureMemoryConfig, SecureMemoryController};
 use soteria_faultsim::{
-    cluster_mtbf_hours, estimate_clone_udr, report_json, run_campaign_traced, run_crashck,
-    CampaignConfig, CrashckConfig, STANDARD_POLICIES,
+    cluster_mtbf_hours, estimate_clone_udr, report_json, run_campaign_traced, run_compare,
+    run_crashck, CampaignConfig, CompareConfig, CrashckConfig, STANDARD_POLICIES,
 };
 use soteria_faultsim::job::{parse_ecc, parse_tree};
 use soteria_rt::json::Json;
@@ -36,6 +37,7 @@ const COMMANDS: &[(&str, &str)] = &[
     ("info", "print configurations and layout math"),
     ("perf", "run a workload through the simulated system"),
     ("campaign", "Monte Carlo fault campaign (FaultSim-style)"),
+    ("compare", "sweep every protection scheme: UDR + slowdown matrix"),
     ("rare", "rare-event clone-UDR estimate"),
     ("record", "capture a workload's memory trace to a file"),
     ("crash-demo", "write, crash, optionally break metadata, recover"),
@@ -78,6 +80,16 @@ OPTIONS (by command):
                                for any N; default: all cores)
       --trace PATH             write a deterministic NDJSON event trace
       --json PATH              write results + metrics snapshot as JSON
+  compare
+      --fit F                  FIT per chip (default 1500)
+      --iters N                Monte Carlo iterations (default 512)
+      --ops N                  slowdown-trace operations (default 2048)
+      --seed S                 RNG seed, decimal or 0x-hex
+      --capacity BYTES         protected capacity (default 64 MiB)
+      --threads N              worker threads (artifacts are byte-identical
+                               for any N; default 1)
+      --json PATH              write the soteria-compare/v1 matrix
+      --ndjson PATH            write per-iteration UDR + per-scheme records
   rare
       --fit F                  FIT per chip (default 80)
       --samples N              samples per conditioned k (default 3000)
@@ -327,6 +339,74 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         std::fs::write(path, doc.to_pretty_string())
             .map_err(|e| format!("writing json '{path}': {e}"))?;
         println!("results + metrics snapshot to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let defaults = CompareConfig::default();
+    let mut config = CompareConfig {
+        fit_per_chip: args
+            .get_num("fit", defaults.fit_per_chip)
+            .map_err(|e| e.to_string())?,
+        iterations: args
+            .get_num("iters", defaults.iterations)
+            .map_err(|e| e.to_string())?,
+        trace_ops: args
+            .get_num("ops", defaults.trace_ops)
+            .map_err(|e| e.to_string())?,
+        capacity_bytes: args
+            .get_num("capacity", defaults.capacity_bytes)
+            .map_err(|e| e.to_string())?,
+        ..defaults
+    };
+    if let Some(s) = args.get("seed") {
+        config.seed = parse_seed(s)?;
+    }
+    if let Some(t) = args.get("threads") {
+        config.threads = t
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("bad thread count '{t}'"))?;
+    }
+    println!(
+        "comparing every registered scheme: FIT {}/chip, {} iterations, \
+         {}-op trace, seed {:#x}",
+        config.fit_per_chip, config.iterations, config.trace_ops, config.seed
+    );
+    let out = run_compare(&config);
+    println!(
+        "{:>10} | {:>8} | {:>9} | {:>7} | {:>12} | {:>9} | {:>8} | {:>12}",
+        "scheme", "cloning", "tree", "recov", "mean UDR", "WA", "slowdown", "recovery ns"
+    );
+    println!("{}", "-".repeat(96));
+    for r in &out.rows {
+        println!(
+            "{:>10} | {:>8} | {:>9} | {:>7} | {:>12.3e} | {:>9.3} | {:>8.3} | {:>12}",
+            r.scheme,
+            r.cloning,
+            r.tree_update,
+            r.recovery,
+            r.mean_udr,
+            r.write_amplification,
+            r.slowdown,
+            r.recovery_est_ns
+        );
+    }
+    println!(
+        "({} of {} iterations saw faults; {} defeated the ECC somewhere)",
+        out.iterations_with_faults, config.iterations, out.iterations_with_ue
+    );
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, &out.result_json)
+            .map_err(|e| format!("writing json '{path}': {e}"))?;
+        println!("compare matrix to {path}");
+    }
+    if let Some(path) = args.get("ndjson") {
+        std::fs::write(path, &out.ndjson)
+            .map_err(|e| format!("writing ndjson '{path}': {e}"))?;
+        println!("per-iteration records to {path}");
     }
     Ok(())
 }
@@ -770,6 +850,7 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         Some("campaign") => cmd_campaign(&args),
+        Some("compare") => cmd_compare(&args),
         Some("rare") => cmd_rare(&args),
         Some("crash-demo") => cmd_crash_demo(&args),
         Some("crashck") => cmd_crashck(&args),

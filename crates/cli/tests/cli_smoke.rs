@@ -11,9 +11,11 @@ const ALL_COMMANDS: &[&str] = &[
     "info",
     "perf",
     "campaign",
+    "compare",
     "rare",
     "record",
     "crash-demo",
+    "crashck",
     "trace-validate",
     "serve",
     "submit",
@@ -34,6 +36,39 @@ fn help_prints_usage_with_every_command() {
             "help must list {name}"
         );
     }
+}
+
+/// The command listing pinned byte-for-byte: renaming, reordering, or
+/// dropping a subcommand (or its one-liner) must fail loudly here, not
+/// silently reshuffle the help text.
+#[test]
+fn command_listing_is_pinned_exactly() {
+    let out = soteria().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let expected = [
+        "COMMANDS:",
+        "  info           print configurations and layout math",
+        "  perf           run a workload through the simulated system",
+        "  campaign       Monte Carlo fault campaign (FaultSim-style)",
+        "  compare        sweep every protection scheme: UDR + slowdown matrix",
+        "  rare           rare-event clone-UDR estimate",
+        "  record         capture a workload's memory trace to a file",
+        "  crash-demo     write, crash, optionally break metadata, recover",
+        "  crashck        exhaustive crash-point consistency sweep (WPQ/ADR)",
+        "  trace-validate check an NDJSON trace for shape & ordering",
+        "  serve          run the campaign service (HTTP API over a job queue)",
+        "  submit         send a campaign to a server and fetch its artifacts",
+        "  http           one-shot HTTP request against a running server",
+        "  loadgen        concurrent submission burst to exercise backpressure",
+        "  help           show this command listing",
+        "",
+    ]
+    .join("\n");
+    assert!(
+        text.contains(&expected),
+        "help listing drifted from the pinned block:\n{text}"
+    );
 }
 
 #[test]
@@ -120,6 +155,32 @@ fn campaign_small_run_prints_schemes() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Baseline"));
     assert!(text.contains("SAC"));
+}
+
+#[test]
+fn compare_small_run_emits_matrix_artifacts() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let json = dir.join(format!("cli_compare_{pid}.json"));
+    let ndjson = dir.join(format!("cli_compare_{pid}.ndjson"));
+    let out = soteria()
+        .args(["compare", "--iters", "64", "--ops", "256", "--threads", "2", "--json"])
+        .arg(&json)
+        .arg("--ndjson")
+        .arg(&ndjson)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for scheme in ["baseline", "src", "sac", "osiris", "triad1", "phoenix", "coalesced"] {
+        assert!(text.contains(scheme), "table must list {scheme}:\n{text}");
+    }
+    let report = std::fs::read_to_string(&json).expect("json artifact");
+    assert!(report.contains("soteria-compare/v1"));
+    let trace = std::fs::read_to_string(&ndjson).expect("ndjson artifact");
+    assert!(trace.lines().count() >= 10, "config + 9 scheme_result lines");
+    std::fs::remove_file(&json).ok();
+    std::fs::remove_file(&ndjson).ok();
 }
 
 /// Kills the server child even when an assert unwinds mid-test.

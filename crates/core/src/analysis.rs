@@ -561,6 +561,35 @@ impl<'a> ResilienceModel<'a> {
         self.assess_many(faults, &[policy]).pop().unwrap_or_default()
     }
 
+    /// `L_error`: lines of the data region inside any UE region. Regions
+    /// from distinct fault pairs virtually never overlap; the per-region
+    /// closed-form counts are summed and capped (a (rare) overlap makes
+    /// this a tight upper bound).
+    fn error_lines_in(&self, regions: &[UeRegion], data_lines: u64) -> u64 {
+        if regions.len() == 1 {
+            return self.count_lines_in(&regions[0], 0, data_lines);
+        }
+        let approx: u64 = regions
+            .iter()
+            .map(|r| self.count_lines_in(r, 0, data_lines))
+            .sum();
+        if approx <= 1 << 17 {
+            // Small enough to count the union exactly (sort + dedup
+            // keeps this hot path deterministic and allocation-light).
+            let mut counted: Vec<u64> = Vec::with_capacity(approx as usize);
+            for r in regions {
+                self.for_each_line_in(r, 0, data_lines, &mut |line| {
+                    counted.push(line);
+                });
+            }
+            counted.sort_unstable();
+            counted.dedup();
+            counted.len() as u64
+        } else {
+            approx.min(data_lines)
+        }
+    }
+
     /// Assesses one fault set under several policies at once; the UE
     /// regions and `L_error` are computed a single time.
     pub fn assess_many(
@@ -591,34 +620,7 @@ impl<'a> ResilienceModel<'a> {
             ];
         }
 
-        // L_error: lines of the data region inside any UE region. Regions
-        // from distinct fault pairs virtually never overlap; the per-region
-        // closed-form counts are summed and capped (a (rare) overlap makes
-        // this a tight upper bound).
-        let error_lines: u64;
-        if regions.len() == 1 {
-            error_lines = self.count_lines_in(&regions[0], 0, data_lines);
-        } else {
-            let approx: u64 = regions
-                .iter()
-                .map(|r| self.count_lines_in(r, 0, data_lines))
-                .sum();
-            if approx <= 1 << 17 {
-                // Small enough to count the union exactly (sort + dedup
-                // keeps this hot path deterministic and allocation-light).
-                let mut counted: Vec<u64> = Vec::with_capacity(approx as usize);
-                for r in &regions {
-                    self.for_each_line_in(r, 0, data_lines, &mut |line| {
-                        counted.push(line);
-                    });
-                }
-                counted.sort_unstable();
-                counted.dedup();
-                error_lines = counted.len() as u64;
-            } else {
-                error_lines = approx.min(data_lines);
-            }
-        }
+        let error_lines = self.error_lines_in(&regions, data_lines);
 
         // Bank-scale-only fault sets take the closed-form path (the slow
         // scan below enumerates millions of metadata lines for them).
@@ -692,6 +694,168 @@ impl<'a> ResilienceModel<'a> {
             })
             .collect()
     }
+
+    /// Assesses one fault set under several full protection schemes at
+    /// once (the cross-scheme compare matrix): like [`Self::assess_many`]
+    /// but each scheme pairs its cloning policy with a [`LossProfile`]
+    /// describing what its recovery path can reconstruct. The profile
+    /// subsumes [`TreeKind`] (a BMT-style profile sets `rebuild_floor`
+    /// to 2), so the model's own tree setting is ignored here.
+    ///
+    /// This always takes the exact per-block scan — the bankwide
+    /// closed-form shortcut of `assess_many` cannot express per-leaf
+    /// trial rescue — so it is meant for the compare campaign's small
+    /// capacities, not multi-terabyte sweeps.
+    pub fn assess_schemes(
+        &self,
+        faults: &[FaultRecord],
+        schemes: &[SchemeLoss<'_>],
+    ) -> Vec<LossAssessment> {
+        let regions = self.ue_regions(faults);
+        if regions.is_empty() {
+            return vec![LossAssessment::default(); schemes.len()];
+        }
+        let data_lines = self.layout.data_lines();
+
+        // Whole-device UE: everything is lost under every scheme —
+        // trials need intact data lines and rebuilds need intact leaves.
+        if regions.iter().any(|r| self.is_total(r)) {
+            let top = self.layout.levels();
+            let lost: Vec<MetaId> = (0..self.layout.level_count(top))
+                .map(|i| MetaId::new(top, i))
+                .collect();
+            return vec![
+                LossAssessment {
+                    error_data_lines: data_lines,
+                    unverifiable_data_lines: data_lines,
+                    lost_meta_blocks: lost,
+                };
+                schemes.len()
+            ];
+        }
+
+        let error_lines = self.error_lines_in(&regions, data_lines);
+
+        let meta_start = self.layout.meta_addr(MetaId::new(1, 0)).index();
+        let top = self.layout.levels();
+        let meta_end = self
+            .layout
+            .meta_addr(MetaId::new(top, self.layout.level_count(top) - 1))
+            .index()
+            + 1;
+        let mut lost: Vec<Vec<MetaId>> = vec![Vec::new(); schemes.len()];
+        for r in &regions {
+            self.for_each_line_in(r, meta_start, meta_end, &mut |line| {
+                let Region::Meta(meta) = self.layout.classify(LineAddr::new(line)) else {
+                    return;
+                };
+                for (s, scheme) in schemes.iter().enumerate() {
+                    // Intermediate nodes at or above the rebuild floor are
+                    // recomputable from their children at recovery (BMT
+                    // rehash / Phoenix counter refold): a rebuild, not
+                    // data loss.
+                    if meta.level >= 2 && meta.level >= scheme.profile.rebuild_floor {
+                        continue;
+                    }
+                    let extra = scheme
+                        .cloning
+                        .extra_clones(meta.level, self.layout.levels());
+                    let all_clones_dead = (1..=extra).all(|c| {
+                        let ca = self.layout.clone_addr(meta, c).index();
+                        self.any_region_contains(&regions, ca)
+                    });
+                    if !all_clones_dead {
+                        continue;
+                    }
+                    // A destroyed leaf counter block is re-derivable by
+                    // bounded forward MAC trials only when every covered
+                    // data line (and its MAC) survived to trial against.
+                    if meta.level == 1 && scheme.profile.leaf == LeafRecovery::Trials {
+                        let (start, count) = self.layout.covered_data_range(meta);
+                        let (s0, e0) = (start.index(), start.index() + count);
+                        let covered_hit = regions
+                            .iter()
+                            .any(|r| self.count_lines_in(r, s0, e0) > 0);
+                        if !covered_hit {
+                            continue;
+                        }
+                    }
+                    lost[s].push(meta);
+                }
+            });
+        }
+
+        lost.into_iter()
+            .map(|mut set| {
+                set.sort_unstable();
+                set.dedup();
+                let mut ranges: Vec<(u64, u64)> = set
+                    .iter()
+                    .map(|&m| {
+                        let (start, count) = self.layout.covered_data_range(m);
+                        (start.index(), start.index() + count)
+                    })
+                    .collect();
+                ranges.sort_unstable();
+                let mut unverifiable = 0u64;
+                let mut cursor = 0u64;
+                for (s, e) in ranges {
+                    let s = s.max(cursor);
+                    if e > s {
+                        unverifiable += e - s;
+                        cursor = e;
+                    }
+                }
+                LossAssessment {
+                    error_data_lines: error_lines,
+                    unverifiable_data_lines: unverifiable,
+                    lost_meta_blocks: set,
+                }
+            })
+            .collect()
+    }
+}
+
+/// How a scheme's recovery path handles a leaf counter block destroyed
+/// with all its clones.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LeafRecovery {
+    /// The covered data becomes unverifiable (ToC + Anubis: nothing can
+    /// re-derive the counters).
+    #[default]
+    Fatal,
+    /// Bounded forward MAC trials re-derive the counters from the data
+    /// MACs (Osiris-style), provided every covered data line survived.
+    Trials,
+}
+
+/// What a protection scheme's recovery machinery can reconstruct — the
+/// loss-accounting half of a `ProtectionPolicy`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LossProfile {
+    /// Lowest tree level (≥ 2) rebuildable from its children at
+    /// recovery; `u8::MAX` means never (plain ToC).
+    pub rebuild_floor: u8,
+    /// Leaf counter-block recovery mode.
+    pub leaf: LeafRecovery,
+}
+
+impl Default for LossProfile {
+    fn default() -> Self {
+        Self {
+            rebuild_floor: u8::MAX,
+            leaf: LeafRecovery::Fatal,
+        }
+    }
+}
+
+/// One scheme's inputs to [`ResilienceModel::assess_schemes`].
+#[derive(Clone, Copy, Debug)]
+pub struct SchemeLoss<'a> {
+    /// The metadata cloning policy (Baseline / SRC / SAC).
+    pub cloning: &'a CloningPolicy,
+    /// What recovery reconstructs.
+    pub profile: LossProfile,
 }
 
 #[cfg(test)]

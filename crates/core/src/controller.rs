@@ -36,7 +36,7 @@ use soteria_nvm::timing::AccessKind;
 use soteria_nvm::wpq::{AcceptOutcome, PendingWrite, WritePendingQueue};
 use soteria_nvm::LineAddr;
 
-use crate::config::{EccKind, Fidelity, SecureMemoryConfig, TreeUpdate};
+use crate::config::{EccKind, Fidelity, SecureMemoryConfig};
 use crate::counter::{CounterBlock, MINOR_LIMIT};
 use crate::error::{MemoryError, MetadataClass};
 use crate::layout::{MemoryLayout, MetaId, COUNTERS_PER_BLOCK};
@@ -178,6 +178,9 @@ pub struct SecureMemoryController {
     stats: ControllerStats,
     trace: Vec<(LineAddr, AccessKind)>,
     obs: Obs,
+    /// Commit groups since the last coalesced tree flush (volatile;
+    /// only advanced under `TreeUpdate::Coalesced`).
+    commits_since_flush: u64,
     /// Reusable commit-path buffers: taken at the top of `commit_writes` /
     /// `nvm_write_group` and returned (cleared, capacity kept) on the way
     /// out, so the steady-state write path allocates nothing per commit.
@@ -244,6 +247,7 @@ impl SecureMemoryController {
             stats: ControllerStats::default(),
             trace: Vec::new(),
             obs: Obs::disabled(),
+            commits_since_flush: 0,
             scratch: CommitScratch::default(),
             layout,
             device,
@@ -689,10 +693,8 @@ impl SecureMemoryController {
     /// A no-op under eager tree update (the root is always fresh, §2.5)
     /// and for the strictly-persisted levels of Triad-NVM.
     fn shadow_write(&mut self, slot: u64, meta: MetaId, bytes: &[u8; 64]) {
-        match self.config.tree_update() {
-            TreeUpdate::Eager => return,
-            TreeUpdate::Triad { persist_levels } if meta.level <= persist_levels => return,
-            _ => {}
+        if !self.config.tree_update().shadow_tracks(meta.level) {
+            return;
         }
         let record = self.build_shadow_record(meta, bytes);
         let entry = encode_entry(&record, self.config.shadow_mode());
@@ -1090,7 +1092,7 @@ impl SecureMemoryController {
                     // bumps would push a slot past the recovery trial
                     // budget, write back the *committed* (pre-transaction)
                     // leaf first — always safe, never torn.
-                    if matches!(self.config.tree_update(), TreeUpdate::Lazy) {
+                    if self.config.tree_update().lazy_osiris() {
                         let bumps = planned
                             .iter()
                             .find(|(m, _)| *m == leaf)
@@ -1180,12 +1182,7 @@ impl SecureMemoryController {
         // same group (Lazy / lazily-tracked levels only).
         let mut shadow_updates = std::mem::take(&mut self.scratch.shadow);
         shadow_updates.clear();
-        let leaf_shadowed = match self.config.tree_update() {
-            TreeUpdate::Eager => false,
-            TreeUpdate::Triad { persist_levels } => persist_levels < 1,
-            TreeUpdate::Lazy => true,
-        };
-        if leaf_shadowed {
+        if self.config.tree_update().leaf_shadowed() {
             for &(leaf, bytes) in &leaves {
                 let record = self.build_shadow_record(leaf, &bytes);
                 let entry = encode_entry(&record, self.config.shadow_mode());
@@ -1243,46 +1240,54 @@ impl SecureMemoryController {
             }
         }
 
-        // Deferred maintenance, re-persisting committed state only.
-        match self.config.tree_update() {
-            TreeUpdate::Lazy => {
-                for &(leaf, _) in &leaves {
-                    let leaf_addr = self.layout.meta_addr(leaf);
-                    let (do_osiris_writeback, leaf_bytes) = {
-                        let blk = self.resident(leaf_addr);
-                        (
-                            blk.slot_updates.iter().any(|&u| u >= osiris_limit),
-                            blk.data,
-                        )
-                    };
-                    if do_osiris_writeback {
-                        self.stats.osiris_writebacks += 1;
-                        self.obs.metrics.inc("ctl.osiris_writebacks", 1);
-                        self.obs.trace.emit_with("ctl", "osiris_writeback", || {
-                            obs_fields![("leaf", leaf.index)]
-                        });
-                        let bytes = self.writeback_block(leaf, leaf_bytes, &mut pinned)?;
-                        let blk = self.resident_mut(leaf_addr);
-                        blk.data = bytes;
-                        blk.slot_updates = [0; 64];
-                        self.cache.mark_clean(leaf_addr);
-                    }
+        // Deferred maintenance, re-persisting committed state only. The
+        // tree-update strategy decides what runs: the lazy modes bound
+        // in-cache update counts (Osiris), the persisting modes climb the
+        // tree up to their ceiling (the first lazy ancestor above the
+        // ceiling is dirtied by the boundary writeback, and
+        // writeback_block's parent update shadow-writes it — the shadow
+        // gate only skips the strictly-persisted levels), and the
+        // coalesced mode batches a full dirty-path flush every `period`
+        // commit groups.
+        let update = self.config.tree_update();
+        if update.lazy_osiris() {
+            for &(leaf, _) in &leaves {
+                let leaf_addr = self.layout.meta_addr(leaf);
+                let (do_osiris_writeback, leaf_bytes) = {
+                    let blk = self.resident(leaf_addr);
+                    (
+                        blk.slot_updates.iter().any(|&u| u >= osiris_limit),
+                        blk.data,
+                    )
+                };
+                if do_osiris_writeback {
+                    self.stats.osiris_writebacks += 1;
+                    self.obs.metrics.inc("ctl.osiris_writebacks", 1);
+                    self.obs.trace.emit_with("ctl", "osiris_writeback", || {
+                        obs_fields![("leaf", leaf.index)]
+                    });
+                    let bytes = self.writeback_block(leaf, leaf_bytes, &mut pinned)?;
+                    let blk = self.resident_mut(leaf_addr);
+                    blk.data = bytes;
+                    blk.slot_updates = [0; 64];
+                    self.cache.mark_clean(leaf_addr);
                 }
             }
-            TreeUpdate::Eager => {
-                // Every counter update climbs to the root immediately:
-                // one writeback per level per store.
+        }
+        if let Some(ceiling) = update.persist_ceiling() {
+            for &(leaf, _) in &leaves {
+                self.eager_propagate(leaf, ceiling, &mut pinned)?;
+            }
+        }
+        if let Some(period) = update.flush_period() {
+            self.commits_since_flush += 1;
+            if self.commits_since_flush >= u64::from(period) {
+                self.commits_since_flush = 0;
+                self.obs.trace.emit_with("ctl", "coalesced_flush", || {
+                    obs_fields![("period", u64::from(period))]
+                });
                 for &(leaf, _) in &leaves {
                     self.eager_propagate(leaf, u8::MAX, &mut pinned)?;
-                }
-            }
-            TreeUpdate::Triad { persist_levels } => {
-                // Persist strictly up to `persist_levels`; the first lazy
-                // ancestor is dirtied by the boundary writeback, and
-                // writeback_block's parent update shadow-writes it (the
-                // shadow gate only skips the strictly-persisted levels).
-                for &(leaf, _) in &leaves {
-                    self.eager_propagate(leaf, persist_levels, &mut pinned)?;
                 }
             }
         }
@@ -1353,12 +1358,7 @@ impl SecureMemoryController {
             // cached leaf. Lazy mode commits the shadow entry in the
             // same atomic group and needs no trials: there a mismatch
             // stays an integrity violation (Fig. 8 loss accounting).
-            let leaf_shadowed = match self.config.tree_update() {
-                TreeUpdate::Eager => false,
-                TreeUpdate::Triad { persist_levels } => persist_levels < 1,
-                TreeUpdate::Lazy => true,
-            };
-            if leaf_shadowed {
+            if self.config.tree_update().leaf_shadowed() {
                 return Err(MemoryError::IntegrityViolation { addr });
             }
             let cb = CounterBlock::from_bytes(&self.resident(leaf_addr).data);

@@ -26,6 +26,7 @@
 //! | [`mdcache`] | 512 kB write-back metadata cache (Table 3) |
 //! | [`shadow`] | Anubis shadow table, duplicated entries (Fig. 8) |
 //! | [`clone`] | SRC/SAC cloning policies (Table 2) |
+//! | [`policy`] | pluggable protection schemes (compare matrix, §6) |
 //! | [`recovery`] | Anubis + Osiris crash recovery (§2.6, Table 1) |
 //! | [`analysis`] | expected loss (Fig. 3) and UDR (Figs. 11–12) |
 //! | [`stats`] | eviction/write accounting (Figs. 4, 10) |
@@ -55,17 +56,20 @@ pub mod error;
 pub mod layout;
 pub mod mdcache;
 pub mod morphable;
+pub mod policy;
 pub mod recovery;
 pub mod shadow;
 pub mod stats;
 pub mod toc;
 
+pub use analysis::{LeafRecovery, LossProfile, SchemeLoss};
 pub use clone::CloningPolicy;
-pub use config::{EccKind, Fidelity, SecureMemoryConfig};
+pub use config::{EccKind, Fidelity, SecureMemoryConfig, TreeUpdate};
 pub use controller::{CommitReceipt, SecureMemoryController, Transaction};
 pub use error::{ConfigError, MemoryError};
 pub use layout::{MemoryLayout, MetaId};
-pub use recovery::{recover, CrashImage, RecoveryReport};
+pub use policy::{scheme_by_name, standard_schemes, ProtectionPolicy, RecoveryStrategy};
+pub use recovery::{recover, recover_exhaustive, CrashImage, RecoveryReport};
 pub use stats::ControllerStats;
 
 /// The index of a 64-byte line within the *protected data* address space

@@ -254,6 +254,52 @@ pub fn run_job(config: &CampaignConfig) -> JobOutput {
     }
 }
 
+/// A validated job request: either the classic cloning-policy campaign
+/// (`POST /v1/campaigns`) or the cross-scheme compare matrix
+/// (`POST /v1/compare`). One enum so the service worker and the CLI can
+/// share a single runner.
+#[derive(Clone, Debug)]
+pub enum JobSpec {
+    /// A [`STANDARD_POLICIES`] campaign (`soteria-campaign/v1`).
+    Campaign(CampaignConfig),
+    /// A full-roster scheme shootout (`soteria-compare/v1`).
+    Compare(crate::compare::CompareConfig),
+}
+
+impl JobSpec {
+    /// Worker threads the job will use.
+    pub fn threads(&self) -> usize {
+        match self {
+            JobSpec::Campaign(c) => c.threads,
+            JobSpec::Compare(c) => c.threads,
+        }
+    }
+
+    /// The artifact schema this job emits.
+    pub fn schema(&self) -> &'static str {
+        match self {
+            JobSpec::Campaign(_) => "soteria-campaign/v1",
+            JobSpec::Compare(_) => "soteria-compare/v1",
+        }
+    }
+}
+
+/// Runs any [`JobSpec`] and returns `(result_json, ndjson)` — the two
+/// artifact byte-streams every job kind produces. Thread-invariant for
+/// both kinds.
+pub fn run_spec(spec: &JobSpec) -> (String, String) {
+    match spec {
+        JobSpec::Campaign(config) => {
+            let output = run_job(config);
+            (output.result_json, output.trace_ndjson)
+        }
+        JobSpec::Compare(config) => {
+            let output = crate::compare::run_compare(config);
+            (output.result_json, output.ndjson)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

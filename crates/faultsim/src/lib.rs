@@ -27,6 +27,7 @@
 //! ```
 
 pub mod campaign;
+pub mod compare;
 pub mod crashck;
 pub mod job;
 pub mod rare;
@@ -36,8 +37,11 @@ pub use campaign::{
     run_campaign, run_campaign_traced, sample_fault_history, sample_fault_set, CampaignConfig,
     PolicyResult, TimedFault,
 };
+pub use compare::{compare_config_from_json, run_compare, CompareConfig, CompareOutput, SchemeRow};
 pub use crashck::{run_crashck, sweep_cell, CellDivergence, CrashckConfig, CrashckOutput};
-pub use job::{config_from_json, report_json, run_job, JobOutput, STANDARD_POLICIES};
+pub use job::{
+    config_from_json, report_json, run_job, run_spec, JobOutput, JobSpec, STANDARD_POLICIES,
+};
 pub use rare::{estimate_clone_udr, RareEventResult};
 pub use rates::{FaultMode, FitRates};
 

@@ -6,6 +6,7 @@
 //! | Route | Method | Purpose |
 //! |---|---|---|
 //! | `/v1/campaigns` | POST | submit a campaign config, get `202` + job id |
+//! | `/v1/compare` | POST | submit a cross-scheme compare config, get `202` + job id |
 //! | `/v1/jobs/{id}` | GET | job status (`queued`/`running`/`done`/`failed`) |
 //! | `/v1/jobs/{id}/result` | GET | the result JSON, byte-identical to `soteria campaign --json` |
 //! | `/v1/jobs/{id}/trace` | GET | the NDJSON trace, byte-identical to `--trace` |
@@ -30,7 +31,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::Duration;
 
-use soteria_faultsim::{config_from_json, run_job, CampaignConfig, JobOutput};
+use soteria_faultsim::{compare_config_from_json, config_from_json, run_spec, JobSpec};
 use soteria_rt::json::Json;
 use soteria_rt::obs::Metrics;
 
@@ -91,9 +92,10 @@ impl JobState {
 }
 
 struct Job {
-    config: CampaignConfig,
+    spec: JobSpec,
     state: JobState,
-    output: Option<JobOutput>,
+    /// `(result_json, ndjson)` — the artifact bytes [`run_spec`] emitted.
+    output: Option<(String, String)>,
     error: Option<String>,
 }
 
@@ -246,13 +248,13 @@ impl Server {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let (id, config) = {
+        let (id, spec) = {
             let mut st = shared.state.lock().unwrap();
             loop {
                 if let Some(id) = st.queue.pop_front() {
                     st.jobs[id].state = JobState::Running;
                     st.in_flight += 1;
-                    break (id, st.jobs[id].config.clone());
+                    break (id, st.jobs[id].spec.clone());
                 }
                 if st.draining {
                     return;
@@ -260,7 +262,7 @@ fn worker_loop(shared: &Shared) {
                 st = shared.job_ready.wait(st).unwrap();
             }
         };
-        let outcome = catch_unwind(AssertUnwindSafe(|| run_job(&config)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_spec(&spec)));
         let mut st = shared.state.lock().unwrap();
         st.in_flight -= 1;
         match outcome {
@@ -274,7 +276,7 @@ fn worker_loop(shared: &Shared) {
                     .downcast_ref::<&str>()
                     .map(|s| s.to_string())
                     .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "campaign panicked".into());
+                    .unwrap_or_else(|| "job panicked".into());
                 st.jobs[id].error = Some(msg);
                 st.jobs[id].state = JobState::Failed;
                 st.metrics.inc("jobs_failed", 1);
@@ -297,6 +299,8 @@ fn latency_metric(path: &str) -> &'static str {
         "latency_ns{endpoint=\"metrics\"}"
     } else if path == "/v1/campaigns" {
         "latency_ns{endpoint=\"campaigns\"}"
+    } else if path == "/v1/compare" {
+        "latency_ns{endpoint=\"compare\"}"
     } else if path.starts_with("/v1/jobs/") {
         "latency_ns{endpoint=\"jobs\"}"
     } else if path == "/v1/shutdown" {
@@ -381,8 +385,10 @@ fn route(shared: &Shared, config: &ServerConfig, req: &Request) -> Result<Respon
         (_, "/healthz") => Err(method_not_allowed(req, "GET")),
         ("GET", "/metrics") => Ok(metrics_response(shared)),
         (_, "/metrics") => Err(method_not_allowed(req, "GET")),
-        ("POST", "/v1/campaigns") => submit_campaign(shared, config, req),
+        ("POST", "/v1/campaigns") => submit_job(shared, config, req),
         (_, "/v1/campaigns") => Err(method_not_allowed(req, "POST")),
+        ("POST", "/v1/compare") => submit_job(shared, config, req),
+        (_, "/v1/compare") => Err(method_not_allowed(req, "POST")),
         ("POST", "/v1/shutdown") => {
             shared.begin_drain();
             Ok(Response::json(
@@ -405,21 +411,30 @@ fn method_not_allowed(req: &Request, allowed: &'static str) -> SvcError {
     }
 }
 
-fn submit_campaign(
+fn submit_job(
     shared: &Shared,
     config: &ServerConfig,
     req: &Request,
 ) -> Result<Response, SvcError> {
+    let kind = if req.path == "/v1/compare" {
+        "compare"
+    } else {
+        "campaign"
+    };
     let text = std::str::from_utf8(&req.body)
-        .map_err(|_| SvcError::BadRequest("campaign config must be UTF-8 JSON".into()))?;
+        .map_err(|_| SvcError::BadRequest(format!("{kind} config must be UTF-8 JSON")))?;
     if text.trim().is_empty() {
-        return Err(SvcError::BadRequest(
-            "missing body: POST a JSON campaign config (e.g. '{}' for Table-4 defaults)".into(),
-        ));
+        return Err(SvcError::BadRequest(format!(
+            "missing body: POST a JSON {kind} config (e.g. '{{}}' for defaults)"
+        )));
     }
     let body = Json::parse(text)
         .map_err(|e| SvcError::BadRequest(format!("config is not valid JSON: {e}")))?;
-    let campaign = config_from_json(&body).map_err(SvcError::BadRequest)?;
+    let spec = if kind == "compare" {
+        JobSpec::Compare(compare_config_from_json(&body).map_err(SvcError::BadRequest)?)
+    } else {
+        JobSpec::Campaign(config_from_json(&body).map_err(SvcError::BadRequest)?)
+    };
     let mut st = shared.state.lock().unwrap();
     if st.draining {
         return Err(SvcError::Draining);
@@ -431,7 +446,7 @@ fn submit_campaign(
     }
     let id = st.jobs.len();
     st.jobs.push(Job {
-        config: campaign,
+        spec,
         state: JobState::Queued,
         output: None,
         error: None,
@@ -486,15 +501,16 @@ fn job_endpoint(shared: &Shared, path: &str) -> Result<Response, SvcError> {
                     job.state.as_str()
                 ))
             })?;
-            // Served bytes come verbatim from `run_job`, so they match
-            // what `soteria campaign --json/--trace` writes to disk.
+            // Served bytes come verbatim from `run_spec`, so they match
+            // what `soteria campaign`/`soteria compare` write to disk.
+            let (result_json, ndjson) = output;
             Ok(if artifact == "result" {
                 Response {
                     status: 200,
                     reason: "OK",
                     content_type: "application/json",
                     extra: Vec::new(),
-                    body: output.result_json.clone().into_bytes(),
+                    body: result_json.clone().into_bytes(),
                 }
             } else {
                 Response {
@@ -502,7 +518,7 @@ fn job_endpoint(shared: &Shared, path: &str) -> Result<Response, SvcError> {
                     reason: "OK",
                     content_type: "application/x-ndjson",
                     extra: Vec::new(),
-                    body: output.trace_ndjson.clone().into_bytes(),
+                    body: ndjson.clone().into_bytes(),
                 }
             })
         }

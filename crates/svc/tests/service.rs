@@ -6,7 +6,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
-use soteria_faultsim::{config_from_json, run_job};
+use soteria_faultsim::{compare_config_from_json, config_from_json, run_compare, run_job};
 use soteria_rt::json::Json;
 use soteria_svc::{client, submit_burst, JobState, Server, ServerConfig, ServerHandle};
 
@@ -139,6 +139,51 @@ fn http_artifacts_match_cli_bytes() {
     let expected = run_job(&config_from_json(&body).unwrap());
     assert_eq!(result.body, expected.result_json.as_bytes(), "result bytes");
     assert_eq!(trace.body, expected.trace_ndjson.as_bytes(), "trace bytes");
+
+    handle.shutdown();
+    join.join().expect("serve thread");
+}
+
+/// The same determinism contract for the compare matrix: bytes served
+/// from a `POST /v1/compare` job match `run_compare` on the same parsed
+/// config — which `soteria compare --json/--ndjson` writes to disk.
+#[test]
+fn compare_artifacts_match_cli_bytes() {
+    let body = Json::parse(
+        r#"{"fit": 1500, "iterations": 96, "trace_ops": 256,
+            "seed": "0x5eed", "threads": 2}"#,
+    )
+    .unwrap();
+    let (addr, handle, join) = boot(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+
+    let accepted = client::post_json(addr, "/v1/compare", &body).unwrap();
+    assert_eq!(accepted.status, 202);
+    let id = accepted.json().unwrap().get("job").unwrap().as_f64().unwrap() as usize;
+    wait_until("compare job to finish", Duration::from_secs(60), || {
+        handle.job_state(id) == Some(JobState::Done)
+    });
+
+    let result = client::get(addr, &format!("/v1/jobs/{id}/result")).unwrap();
+    let trace = client::get(addr, &format!("/v1/jobs/{id}/trace")).unwrap();
+    assert_eq!(result.status, 200);
+    assert_eq!(trace.status, 200);
+
+    let expected = run_compare(&compare_config_from_json(&body).unwrap());
+    assert_eq!(result.body, expected.result_json.as_bytes(), "result bytes");
+    assert_eq!(trace.body, expected.ndjson.as_bytes(), "ndjson bytes");
+    assert!(expected.rows.len() >= 6, "matrix must cover six+ schemes");
+
+    // A bad compare config is rejected with the parser's message.
+    let bad = client::post_json(
+        addr,
+        "/v1/compare",
+        &Json::parse(r#"{"ecc": "double"}"#).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(bad.status, 400);
 
     handle.shutdown();
     join.join().expect("serve thread");

@@ -66,6 +66,53 @@ fn udr_ordering_matches_fig11() {
     );
 }
 
+/// Triad-NVM's tiers [arXiv 1810.09438] on the same seeds as Fig. 11:
+/// persisting more of the tree (and recovering leaves by Osiris trials
+/// from tier 1 up) can only shrink the unverifiable fraction, so
+/// tier-2 UDR ≤ tier-1 ≤ tier-0 — and tier 0 must not beat the plain
+/// lazy baseline it structurally equals.
+#[test]
+fn triad_tier_ordering_holds_on_fig11_seeds() {
+    use soteria_suite::soteria_faultsim::{run_compare, CompareConfig};
+    let out = run_compare(&CompareConfig {
+        iterations: 256,
+        trace_ops: 256,
+        seed: 0x5072_1a5e,
+        ..CompareConfig::default()
+    });
+    let udr = |name: &str| {
+        out.rows
+            .iter()
+            .find(|r| r.scheme == name)
+            .map(|r| r.mean_udr)
+            .unwrap_or_else(|| panic!("{name} missing from the compare matrix"))
+    };
+    assert!(
+        udr("triad0") >= udr("triad1"),
+        "tier-0 UDR {:.3e} < tier-1 UDR {:.3e}",
+        udr("triad0"),
+        udr("triad1")
+    );
+    assert!(
+        udr("triad1") >= udr("triad2"),
+        "tier-1 UDR {:.3e} < tier-2 UDR {:.3e}",
+        udr("triad1"),
+        udr("triad2")
+    );
+    assert!(
+        udr("triad0") > udr("triad2"),
+        "tiering made no difference (tier-0 {:.3e}, tier-2 {:.3e}) — \
+         the loss-profile plumbing is likely broken",
+        udr("triad0"),
+        udr("triad2")
+    );
+    // The compare matrix must agree with Fig. 11 on the cloning family
+    // it shares with the classic campaign.
+    assert!(udr("baseline") >= udr("src"));
+    assert!(udr("src") >= udr("sac"));
+    assert!(udr("baseline") > udr("sac"));
+}
+
 #[test]
 fn error_ratio_is_policy_independent() {
     let results = figure_campaign();

@@ -807,6 +807,91 @@ fn crashck_scripts_observe_a_prefix_of_committed_transactions() {
 }
 
 #[test]
+fn every_scheme_recovers_exactly_the_committed_prefix() {
+    // The Strict oracle invariant, swept across the whole protection
+    // scheme registry on identical workloads: after a random run of
+    // atomic transactions and a power cut, each scheme's own recovery
+    // hook must restore *exactly* the committed lines — every
+    // acknowledged write readable with its last committed value, and
+    // never a phantom line recovered that was not committed (no
+    // over-recovery). One seed drives all schemes, so a divergence pins
+    // both the workload shape and the scheme that mishandled it.
+    use soteria_suite::soteria::standard_schemes;
+    check(
+        "every_scheme_recovers_exactly_the_committed_prefix",
+        &cfg(4),
+        &any::<u64>(),
+        |&seed| {
+            for scheme in standard_schemes() {
+                let config = scheme
+                    .build_config(1 << 18, 8 * 1024, 4, 16)
+                    .map_err(|e| format!("{}: {e}", scheme.name()))?;
+                let mut memory = SecureMemoryController::new(config);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let txns = 1 + rng.bounded_u64(6);
+                let crash_after = rng.bounded_u64(txns + 1);
+                // Hot set of 64 lines so transactions collide on counter
+                // blocks and data-MAC lines; model = last committed fill.
+                let mut model = std::collections::BTreeMap::new();
+                for _ in 0..crash_after {
+                    let mut tx = memory.transaction();
+                    let mut staged = Vec::new();
+                    for _ in 0..1 + rng.bounded_u64(3) {
+                        let line = rng.bounded_u64(64);
+                        let fill = (rng.next_u64() & 0xfe) as u8 + 1; // never 0
+                        tx.write(DataAddr::new(line), &[fill; 64]);
+                        staged.push((line, fill));
+                    }
+                    let receipt = tx
+                        .commit()
+                        .map_err(|e| format!("{}: commit failed: {e}", scheme.name()))?;
+                    prop_assert!(receipt.accepted, "fault-free commit must be accepted");
+                    model.extend(staged);
+                }
+                let (mut memory, report) = scheme.recover(memory.crash());
+                prop_assert_eq!(
+                    report.unverifiable_lines(),
+                    0u64,
+                    "{}: fault-free crash recovery left unverifiable lines",
+                    scheme.name()
+                );
+                let mut recovered = 0u64;
+                for line in 0..80u64 {
+                    let got = memory
+                        .read(DataAddr::new(line))
+                        .map_err(|e| format!("{}: post-recovery read {line}: {e}", scheme.name()))?;
+                    match model.get(&line) {
+                        Some(&fill) => {
+                            prop_assert_eq!(
+                                got,
+                                [fill; 64],
+                                "{}: committed line {} lost or altered",
+                                scheme.name(),
+                                line
+                            );
+                            recovered += 1;
+                        }
+                        None => prop_assert_eq!(
+                            got,
+                            [0u8; 64],
+                            "{}: line {} was never committed but recovered non-zero",
+                            scheme.name(),
+                            line
+                        ),
+                    }
+                }
+                prop_assert!(
+                    recovered <= model.len() as u64,
+                    "{}: more lines recovered than committed",
+                    scheme.name()
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
 fn line_addr_sanity() {
     // Anchor for the property file: plain unit check that the shared
     // newtypes interoperate.
