@@ -25,7 +25,9 @@ use soteria_faultsim::{
 use soteria_faultsim::job::{parse_ecc, parse_tree};
 use soteria_rt::json::Json;
 use soteria_svc::http::ReadLimits;
-use soteria_svc::{client, submit_burst, Server, ServerConfig};
+use soteria_svc::{
+    client, fleet, submit_burst, Coordinator, FleetConfig, LoadReport, Server, ServerConfig,
+};
 use soteria_simcpu::{System, SystemConfig};
 use soteria_workloads::{standard_suite, SuiteConfig, Workload};
 
@@ -47,6 +49,8 @@ const COMMANDS: &[(&str, &str)] = &[
     ("submit", "send a campaign to a server and fetch its artifacts"),
     ("http", "one-shot HTTP request against a running server"),
     ("loadgen", "concurrent submission burst to exercise backpressure"),
+    ("coordinate", "shard a job across fleet workers, merge identical bytes"),
+    ("worker", "serve jobs and register with a fleet coordinator"),
     ("help", "show this command listing"),
 ];
 
@@ -140,6 +144,28 @@ OPTIONS (by command):
   loadgen                      (campaign options as for submit)
       --addr A                 server address (default 127.0.0.1:7787)
       --clients N              concurrent submitters (default 16)
+      --targets LIST           comma-separated host:port list; clients are
+                               fanned out round-robin across the targets
+                               (overrides --addr)
+  coordinate                   (job options per --kind: campaign flags as
+                                for submit; compare: --fit --iters --ops
+                                --seed --threads --capacity; crashck:
+                                --seed --scripts --txns --writes --threads)
+      --kind K                 campaign | compare | crashck (default campaign)
+      --addr A                 control-plane listen address (default
+                               127.0.0.1:7799; port 0 picks an ephemeral one)
+      --min-workers N          registrations to wait for before sharding
+                               (default 1)
+      --chunk N                accumulation blocks per lease (default 4)
+      --register-timeout-s N   how long to wait for the starting quorum
+                               (default 30)
+      --out PATH               write the merged result JSON (default: stdout)
+      --ndjson PATH            write the merged NDJSON artifact
+      --port-file PATH         write the bound control address for scripts
+  worker                       (server options as for serve)
+      --coordinator A          coordinator control-plane address (required)
+      --advertise A            address the coordinator should dial back
+                               (default: the bound listen address)
 ";
 
 fn usage() -> String {
@@ -658,6 +684,53 @@ fn campaign_body(args: &Args) -> Result<Json, String> {
     Ok(Json::Obj(fields))
 }
 
+/// Builds a `compare` config body from the flags the user passed, using
+/// the service's field names (`soteria_faultsim::compare_config_from_json`).
+fn compare_body(args: &Args) -> Result<Json, String> {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    let push_num = |key: &str, field: &str, fields: &mut Vec<(String, Json)>| {
+        if let Some(v) = args.get(key) {
+            let n: f64 = v
+                .parse()
+                .map_err(|_| format!("option --{key}: '{v}' is not a valid number"))?;
+            fields.push((field.into(), Json::Num(n)));
+        }
+        Ok::<(), String>(())
+    };
+    push_num("fit", "fit", &mut fields)?;
+    push_num("iters", "iterations", &mut fields)?;
+    push_num("ops", "trace_ops", &mut fields)?;
+    push_num("threads", "threads", &mut fields)?;
+    push_num("capacity", "capacity_bytes", &mut fields)?;
+    if let Some(s) = args.get("seed") {
+        fields.push(("seed".into(), Json::Num(parse_seed(s)? as f64)));
+    }
+    Ok(Json::Obj(fields))
+}
+
+/// Builds a `crashck` config body from the flags the user passed, using
+/// the service's field names (`soteria_faultsim::crashck_config_from_json`).
+fn crashck_body(args: &Args) -> Result<Json, String> {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    let push_num = |key: &str, field: &str, fields: &mut Vec<(String, Json)>| {
+        if let Some(v) = args.get(key) {
+            let n: f64 = v
+                .parse()
+                .map_err(|_| format!("option --{key}: '{v}' is not a valid number"))?;
+            fields.push((field.into(), Json::Num(n)));
+        }
+        Ok::<(), String>(())
+    };
+    push_num("scripts", "scripts_per_cell", &mut fields)?;
+    push_num("txns", "max_txns", &mut fields)?;
+    push_num("writes", "max_writes", &mut fields)?;
+    push_num("threads", "threads", &mut fields)?;
+    if let Some(s) = args.get("seed") {
+        fields.push(("seed".into(), Json::Num(parse_seed(s)? as f64)));
+    }
+    Ok(Json::Obj(fields))
+}
+
 /// Renders a non-2xx response as the server's one-line error message.
 fn http_failure(resp: &client::HttpResponse) -> String {
     let detail = resp
@@ -789,20 +862,76 @@ fn cmd_http(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves a `host:port` list (comma-separated) to socket addresses.
+fn parse_targets(spec: &str) -> Result<Vec<std::net::SocketAddr>, String> {
+    use std::net::ToSocketAddrs;
+    let targets: Vec<std::net::SocketAddr> = spec
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.to_socket_addrs()
+                .map_err(|e| format!("resolving '{s}': {e}"))?
+                .next()
+                .ok_or_else(|| format!("'{s}' resolves to no address"))
+        })
+        .collect::<Result<_, _>>()?;
+    if targets.is_empty() {
+        return Err("--targets needs at least one host:port".into());
+    }
+    Ok(targets)
+}
+
+/// Deals `clients` across `targets` round-robin: target `i` takes
+/// client `i`, `i + targets`, `i + 2*targets`, … so the shares differ
+/// by at most one.
+fn split_round_robin(clients: usize, targets: usize) -> Vec<usize> {
+    (0..targets)
+        .map(|i| clients / targets + usize::from(i < clients % targets))
+        .collect()
+}
+
 fn cmd_loadgen(args: &Args) -> Result<(), String> {
     use std::net::ToSocketAddrs;
-    let addr = args.get_or("addr", "127.0.0.1:7787");
     let clients = args.get_num("clients", 16usize).map_err(|e| e.to_string())?;
     let body = campaign_body(args)?;
-    let sockaddr = addr
-        .to_socket_addrs()
-        .map_err(|e| format!("resolving '{addr}': {e}"))?
-        .next()
-        .ok_or_else(|| format!("'{addr}' resolves to no address"))?;
-    let report = submit_burst(sockaddr, &body, clients);
-    println!("{}", report.summary());
+    let targets = match args.get("targets") {
+        Some(spec) => parse_targets(spec)?,
+        None => {
+            let addr = args.get_or("addr", "127.0.0.1:7787");
+            vec![addr
+                .to_socket_addrs()
+                .map_err(|e| format!("resolving '{addr}': {e}"))?
+                .next()
+                .ok_or_else(|| format!("'{addr}' resolves to no address"))?]
+        }
+    };
+    let shares = split_round_robin(clients, targets.len());
+    let reports: Vec<LoadReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = targets
+            .iter()
+            .zip(&shares)
+            .map(|(&target, &share)| {
+                let body = &body;
+                s.spawn(move || submit_burst(target, body, share))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen burst thread"))
+            .collect()
+    });
+    if targets.len() > 1 {
+        for (target, report) in targets.iter().zip(&reports) {
+            println!("{target}: {}", report.summary());
+        }
+    }
+    let total = LoadReport {
+        outcomes: reports.into_iter().flat_map(|r| r.outcomes).collect(),
+    };
+    println!("{}", total.summary());
     let mut counts: Vec<(u16, usize)> = Vec::new();
-    for outcome in &report.outcomes {
+    for outcome in &total.outcomes {
         match counts.iter_mut().find(|(s, _)| *s == outcome.status) {
             Some((_, n)) => *n += 1,
             None => counts.push((outcome.status, 1)),
@@ -812,6 +941,96 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
     for (status, n) in counts {
         println!("  HTTP {status}: {n}");
     }
+    Ok(())
+}
+
+fn cmd_coordinate(args: &Args) -> Result<(), String> {
+    let kind = args.get_or("kind", "campaign").to_string();
+    let body = match kind.as_str() {
+        "campaign" => campaign_body(args)?,
+        "compare" => compare_body(args)?,
+        "crashck" => crashck_body(args)?,
+        other => return Err(format!("unknown kind '{other}' (campaign|compare|crashck)")),
+    };
+    let addr = args.get_or("addr", "127.0.0.1:7799").to_string();
+    let mut config = FleetConfig {
+        min_workers: args
+            .get_num("min-workers", 1usize)
+            .map_err(|e| e.to_string())?,
+        chunk_blocks: args.get_num("chunk", 4u64).map_err(|e| e.to_string())?,
+        ..FleetConfig::default()
+    };
+    config.register_timeout = std::time::Duration::from_secs(
+        args.get_num("register-timeout-s", 30u64)
+            .map_err(|e| e.to_string())?,
+    );
+    let coordinator =
+        Coordinator::bind(&*addr, config).map_err(|e| format!("binding '{addr}': {e}"))?;
+    let local = coordinator.local_addr();
+    if let Some(path) = args.get("port-file") {
+        std::fs::write(path, format!("{local}\n"))
+            .map_err(|e| format!("writing port file '{path}': {e}"))?;
+    }
+    eprintln!(
+        "fleet coordinator on {local}: {kind} job, waiting for {} worker(s)",
+        args.get_or("min-workers", "1")
+    );
+    eprintln!("register workers with `soteria worker --coordinator {local}`");
+    let (result, ndjson) = coordinator.run(&kind, &body)?;
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &result)
+                .map_err(|e| format!("writing result '{path}': {e}"))?;
+            eprintln!("merged result to {path}");
+        }
+        None => print!("{result}"),
+    }
+    if let Some(path) = args.get("ndjson") {
+        std::fs::write(path, &ndjson)
+            .map_err(|e| format!("writing ndjson '{path}': {e}"))?;
+        eprintln!("merged ndjson to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_worker(args: &Args) -> Result<(), String> {
+    let coordinator = args
+        .get("coordinator")
+        .ok_or("worker needs --coordinator ADDR")?
+        .to_string();
+    let addr = args.get_or("addr", "127.0.0.1:0").to_string();
+    let workers = args.get_num("workers", 2usize).map_err(|e| e.to_string())?;
+    let queue = args.get_num("queue", 8usize).map_err(|e| e.to_string())?;
+    let config = ServerConfig {
+        workers,
+        queue_capacity: queue,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(&*addr, config).map_err(|e| format!("binding '{addr}': {e}"))?;
+    let local = server.local_addr();
+    if let Some(path) = args.get("port-file") {
+        std::fs::write(path, format!("{local}\n"))
+            .map_err(|e| format!("writing port file '{path}': {e}"))?;
+    }
+    let advertise = args.get_or("advertise", &local.to_string()).to_string();
+    println!("fleet worker on {local} ({workers} job threads), registering with {coordinator}");
+    // Register from a side thread with patient retries: the worker may
+    // boot before its coordinator, and serving must not wait on it.
+    std::thread::spawn(move || {
+        match fleet::register_worker(
+            &coordinator,
+            &advertise,
+            40,
+            std::time::Duration::from_millis(250),
+            &Default::default(),
+        ) {
+            Ok(id) => eprintln!("registered with {coordinator} as worker {id}"),
+            Err(e) => eprintln!("registration with {coordinator} failed: {e}"),
+        }
+    });
+    let handle = server.handle();
+    server.serve();
+    println!("drained: {} job(s) accepted over this run", handle.job_count());
     Ok(())
 }
 
@@ -859,6 +1078,8 @@ fn run() -> Result<(), String> {
         Some("submit") => cmd_submit(&args),
         Some("http") => cmd_http(&args),
         Some("loadgen") => cmd_loadgen(&args),
+        Some("coordinate") => cmd_coordinate(&args),
+        Some("worker") => cmd_worker(&args),
         Some(other) => Err(format!("unknown command '{other}'\n\n{}", command_listing())),
     }
 }
@@ -927,5 +1148,54 @@ mod tests {
         // And bad values fail locally with the option name.
         let bad = Args::parse(["submit".into(), "--ecc".into(), "raid".into()]).unwrap();
         assert!(campaign_body(&bad).unwrap_err().contains("unknown ecc 'raid'"));
+    }
+
+    #[test]
+    fn fleet_bodies_map_flags_to_service_fields() {
+        let args = Args::parse(
+            "coordinate --kind compare --fit 1500 --iters 128 --ops 512 --seed 0x9"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        let body = compare_body(&args).unwrap();
+        assert_eq!(body.get("fit").and_then(Json::as_f64), Some(1500.0));
+        assert_eq!(body.get("iterations").and_then(Json::as_f64), Some(128.0));
+        assert_eq!(body.get("trace_ops").and_then(Json::as_f64), Some(512.0));
+        assert_eq!(body.get("seed").and_then(Json::as_f64), Some(9.0));
+
+        let args = Args::parse(
+            "coordinate --kind crashck --scripts 2 --txns 4 --writes 3 --threads 2"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        let body = crashck_body(&args).unwrap();
+        assert_eq!(body.get("scripts_per_cell").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(body.get("max_txns").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(body.get("max_writes").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(body.get("threads").and_then(Json::as_f64), Some(2.0));
+        assert!(body.get("seed").is_none(), "unset flags stay unset");
+    }
+
+    #[test]
+    fn round_robin_split_covers_every_client() {
+        assert_eq!(split_round_robin(16, 3), vec![6, 5, 5]);
+        assert_eq!(split_round_robin(2, 4), vec![1, 1, 0, 0]);
+        for (clients, targets) in [(0, 1), (1, 1), (7, 3), (16, 5), (100, 7)] {
+            let shares = split_round_robin(clients, targets);
+            assert_eq!(shares.len(), targets);
+            assert_eq!(shares.iter().sum::<usize>(), clients);
+            let (min, max) = (shares.iter().min().unwrap(), shares.iter().max().unwrap());
+            assert!(max - min <= 1, "round-robin shares differ by at most one");
+        }
+    }
+
+    #[test]
+    fn target_lists_parse_and_reject_garbage() {
+        let targets = parse_targets("127.0.0.1:9001, 127.0.0.1:9002").unwrap();
+        assert_eq!(targets.len(), 2);
+        assert!(parse_targets("").unwrap_err().contains("at least one"));
+        assert!(parse_targets("nonsense").unwrap_err().contains("nonsense"));
     }
 }

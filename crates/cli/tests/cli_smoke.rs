@@ -21,6 +21,8 @@ const ALL_COMMANDS: &[&str] = &[
     "submit",
     "http",
     "loadgen",
+    "coordinate",
+    "worker",
     "help",
 ];
 
@@ -61,6 +63,8 @@ fn command_listing_is_pinned_exactly() {
         "  submit         send a campaign to a server and fetch its artifacts",
         "  http           one-shot HTTP request against a running server",
         "  loadgen        concurrent submission burst to exercise backpressure",
+        "  coordinate     shard a job across fleet workers, merge identical bytes",
+        "  worker         serve jobs and register with a fleet coordinator",
         "  help           show this command listing",
         "",
     ]
@@ -263,6 +267,83 @@ fn serve_submit_matches_campaign_bytes() {
     assert!(status.success(), "serve must exit cleanly after the drain");
 
     for name in ["addr", "http.json", "http.ndjson", "cli.json", "cli.ndjson"] {
+        std::fs::remove_file(path(name)).ok();
+    }
+}
+
+/// The fleet contract at the binary level: `soteria coordinate` with
+/// two `soteria worker` processes merges a campaign to bytes identical
+/// to `soteria campaign --json/--trace` at the same seed.
+#[test]
+fn coordinate_with_workers_matches_campaign_bytes() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let path = |name: &str| dir.join(format!("cli_fleet_{pid}_{name}"));
+    let read_addr = |file: &std::path::Path| -> String {
+        for _ in 0..400 {
+            if let Ok(text) = std::fs::read_to_string(file) {
+                if text.ends_with('\n') {
+                    return text.trim().to_string();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        panic!("no address appeared in {}", file.display());
+    };
+
+    let campaign_flags = [
+        "--fit", "1500", "--iters", "192", "--capacity", "67108864", "--seed", "0xabc",
+    ];
+    let coordinate = soteria()
+        .args(["coordinate", "--kind", "campaign", "--addr", "127.0.0.1:0"])
+        .args(campaign_flags)
+        .args(["--min-workers", "2", "--chunk", "1", "--port-file"])
+        .arg(path("control"))
+        .args(["--out"])
+        .arg(path("fleet.json"))
+        .arg("--ndjson")
+        .arg(path("fleet.ndjson"))
+        .spawn()
+        .expect("spawn coordinate");
+    let mut coordinate = KillOnDrop(coordinate);
+    let control = read_addr(&path("control"));
+
+    let workers: Vec<KillOnDrop> = (0..2)
+        .map(|i| {
+            let worker = soteria()
+                .args(["worker", "--addr", "127.0.0.1:0", "--coordinator", &control])
+                .args(["--workers", "1", "--port-file"])
+                .arg(path(&format!("worker{i}")))
+                .stdout(std::process::Stdio::null())
+                .spawn()
+                .expect("spawn worker");
+            KillOnDrop(worker)
+        })
+        .collect();
+
+    let status = coordinate.0.wait().expect("coordinate exits");
+    assert!(status.success(), "coordinate must merge and exit cleanly");
+    drop(workers);
+
+    let out = soteria()
+        .arg("campaign")
+        .args(campaign_flags)
+        .args(["--threads", "2", "--json"])
+        .arg(path("cli.json"))
+        .arg("--trace")
+        .arg(path("cli.ndjson"))
+        .output()
+        .expect("spawn campaign");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    for name in ["json", "ndjson"] {
+        let fleet = std::fs::read(path(&format!("fleet.{name}"))).expect("fleet artifact");
+        let cli = std::fs::read(path(&format!("cli.{name}"))).expect("cli artifact");
+        assert!(!fleet.is_empty());
+        assert_eq!(fleet, cli, "fleet and CLI {name} artifacts must match byte-for-byte");
+    }
+
+    for name in ["control", "worker0", "worker1", "fleet.json", "fleet.ndjson", "cli.json", "cli.ndjson"] {
         std::fs::remove_file(path(name)).ok();
     }
 }

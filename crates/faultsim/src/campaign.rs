@@ -369,16 +369,16 @@ pub fn sample_fault_set(
     faults
 }
 
-struct Accumulator {
-    iterations_with_faults: u64,
-    iterations_with_ue: u64,
-    per_policy_udr_sum: Vec<f64>,
-    per_policy_udr_hits: Vec<u64>,
-    error_ratio_sum: f64,
+pub(crate) struct Accumulator {
+    pub(crate) iterations_with_faults: u64,
+    pub(crate) iterations_with_ue: u64,
+    pub(crate) per_policy_udr_sum: Vec<f64>,
+    pub(crate) per_policy_udr_hits: Vec<u64>,
+    pub(crate) error_ratio_sum: f64,
 }
 
 impl Accumulator {
-    fn new(policies: usize) -> Self {
+    pub(crate) fn new(policies: usize) -> Self {
         Self {
             iterations_with_faults: 0,
             iterations_with_ue: 0,
@@ -582,16 +582,43 @@ pub fn run_campaign_traced(
     config: &CampaignConfig,
     policies: &[CloningPolicy],
 ) -> (Vec<PolicyResult>, TraceBuffer) {
+    let blocks = config.iterations.div_ceil(ITERATION_BLOCK);
+    let all: Vec<u64> = (0..blocks).collect();
+    let tagged = run_campaign_blocks(config, policies, &all);
+    merge_campaign_blocks(config, policies, tagged)
+}
+
+/// One block's partial sums and trace events — the unit of work
+/// distribution, both across local threads and across fleet workers.
+pub(crate) struct CampaignBlock {
+    /// Block index (`block * ITERATION_BLOCK` is its first iteration).
+    pub(crate) block: u64,
+    pub(crate) acc: Accumulator,
+    /// Trace events emitted by this block's iterations, in iteration
+    /// order (empty when `config.trace` is off).
+    pub(crate) events: Vec<TraceEvent>,
+}
+
+/// Computes the partial sums of the given accumulation blocks.
+///
+/// A block's partials depend only on `(config, policies, block)` — never
+/// on which worker or node computed it — so any partition of the block
+/// list over threads (here) or fleet workers (`svc::fleet`) yields
+/// bit-identical partials. Returned sorted by block index.
+pub(crate) fn run_campaign_blocks(
+    config: &CampaignConfig,
+    policies: &[CloningPolicy],
+    block_ids: &[u64],
+) -> Vec<CampaignBlock> {
     let layout = config.build_layout();
     let geometry = config.build_geometry(&layout);
     let rates = config.rates.scaled_to(config.fit_per_chip);
-    let blocks = config.iterations.div_ceil(ITERATION_BLOCK);
-    let workers = config.threads.max(1).min(blocks.max(1) as usize);
+    let workers = config.threads.max(1).min(block_ids.len().max(1));
 
-    // Each worker claims blocks workers-strided (worker t gets blocks
-    // t, t+workers, …), tags every accumulator with its block index, and
-    // the merge below folds them back in block order.
-    let per_worker: Vec<Vec<(u64, Accumulator, Vec<TraceEvent>)>> = fan_out(workers, |t| {
+    // Each worker claims blocks workers-strided (worker t gets list
+    // entries t, t+workers, …) and tags every accumulator with its
+    // block index; the merge folds them back in block order.
+    let per_worker: Vec<Vec<CampaignBlock>> = fan_out(workers, |t| {
         let model = ResilienceModel::new(&layout, &geometry)
             .with_correctable_chips(config.correctable_chips)
             .with_tree(config.tree);
@@ -606,8 +633,9 @@ pub fn run_campaign_traced(
         };
         let mut scratch = IterScratch::new(policies.len());
         let mut out = Vec::new();
-        let mut block = t as u64;
-        while block < blocks {
+        let mut i = t;
+        while i < block_ids.len() {
+            let block = block_ids[i];
             let lo = block * ITERATION_BLOCK;
             let hi = (lo + ITERATION_BLOCK).min(config.iterations);
             let mut acc = Accumulator::new(policies.len());
@@ -623,15 +651,26 @@ pub fn run_campaign_traced(
                     config.trace.then_some(&mut events),
                 );
             }
-            out.push((block, acc, events));
-            block += workers as u64;
+            out.push(CampaignBlock { block, acc, events });
+            i += workers;
         }
         out
     });
 
-    let mut tagged: Vec<(u64, Accumulator, Vec<TraceEvent>)> =
-        per_worker.into_iter().flatten().collect();
-    tagged.sort_by_key(|&(block, _, _)| block);
+    let mut tagged: Vec<CampaignBlock> = per_worker.into_iter().flatten().collect();
+    tagged.sort_by_key(|b| b.block);
+    tagged
+}
+
+/// Folds block partials (in block order) into the final results and
+/// trace — the single reduction behind both the local runner and the
+/// fleet coordinator's merge, so their bytes cannot diverge.
+pub(crate) fn merge_campaign_blocks(
+    config: &CampaignConfig,
+    policies: &[CloningPolicy],
+    mut tagged: Vec<CampaignBlock>,
+) -> (Vec<PolicyResult>, TraceBuffer) {
+    tagged.sort_by_key(|b| b.block);
 
     let mut trace = if config.trace {
         TraceBuffer::with_capacity(CAMPAIGN_TRACE_CAPACITY)
@@ -653,7 +692,7 @@ pub fn run_campaign_traced(
     let mut error_ratio_sum = 0.0;
     let mut udr_sum = vec![0.0; policies.len()];
     let mut udr_hits = vec![0u64; policies.len()];
-    for (_, acc, events) in tagged {
+    for CampaignBlock { acc, events, .. } in tagged {
         iterations_with_faults += acc.iterations_with_faults;
         iterations_with_ue += acc.iterations_with_ue;
         error_ratio_sum += acc.error_ratio_sum;

@@ -159,18 +159,18 @@ fn recovery_label(strategy: RecoveryStrategy) -> &'static str {
 
 /// Per-block accumulator of the resilience half (the compare analogue of
 /// the campaign's fixed-block f64 accumulation).
-struct BlockAcc {
-    iterations_with_faults: u64,
-    iterations_with_ue: u64,
-    error_ratio_sum: f64,
-    udr_sum: Vec<f64>,
-    udr_hits: Vec<u64>,
+pub(crate) struct BlockAcc {
+    pub(crate) iterations_with_faults: u64,
+    pub(crate) iterations_with_ue: u64,
+    pub(crate) error_ratio_sum: f64,
+    pub(crate) udr_sum: Vec<f64>,
+    pub(crate) udr_hits: Vec<u64>,
     /// NDJSON event lines drawn inside this block, in iteration order.
-    events: Vec<String>,
+    pub(crate) events: Vec<String>,
 }
 
 impl BlockAcc {
-    fn new(schemes: usize) -> Self {
+    pub(crate) fn new(schemes: usize) -> Self {
         Self {
             iterations_with_faults: 0,
             iterations_with_ue: 0,
@@ -242,6 +242,25 @@ fn run_trace(scheme: &dyn ProtectionPolicy, config: &CompareConfig) -> TraceCost
 /// For a fixed `config.seed` the artifacts are byte-identical at any
 /// `config.threads` value.
 pub fn run_compare(config: &CompareConfig) -> CompareOutput {
+    let blocks = config.iterations.div_ceil(ITERATION_BLOCK);
+    let all: Vec<u64> = (0..blocks).collect();
+    let tagged = run_compare_blocks(config, &all);
+    merge_compare_blocks(config, tagged)
+}
+
+/// One block's partial sums of the resilience half — the unit of work
+/// distribution, both across local threads and across fleet workers.
+pub(crate) struct CompareBlock {
+    /// Block index (`block * ITERATION_BLOCK` is its first iteration).
+    pub(crate) block: u64,
+    pub(crate) acc: BlockAcc,
+}
+
+/// Computes the resilience-half partials of the given accumulation
+/// blocks. A block's partials depend only on `(config, block)`, so any
+/// partition over threads or fleet workers yields bit-identical
+/// partials. Returned sorted by block index.
+pub(crate) fn run_compare_blocks(config: &CompareConfig, block_ids: &[u64]) -> Vec<CompareBlock> {
     let schemes = standard_schemes();
     let campaign = config.campaign();
     let layout = campaign.build_layout();
@@ -258,18 +277,17 @@ pub fn run_compare(config: &CompareConfig) -> CompareOutput {
         })
         .collect();
 
-    // Resilience half: block-strided fan-out, folded in block order.
-    let blocks = config.iterations.div_ceil(ITERATION_BLOCK);
-    let workers = config.threads.max(1).min(blocks.max(1) as usize);
+    let workers = config.threads.max(1).min(block_ids.len().max(1));
     let data_lines = layout.data_lines();
-    let per_worker: Vec<Vec<(u64, BlockAcc)>> = fan_out(workers, |t| {
+    let per_worker: Vec<Vec<CompareBlock>> = fan_out(workers, |t| {
         let model = ResilienceModel::new(&layout, &geometry);
         let mut history = Vec::new();
         let mut live = Vec::new();
         let mut chips: Vec<u32> = Vec::new();
         let mut out = Vec::new();
-        let mut block = t as u64;
-        while block < blocks {
+        let mut i = t;
+        while i < block_ids.len() {
+            let block = block_ids[i];
             let lo = block * ITERATION_BLOCK;
             let hi = (lo + ITERATION_BLOCK).min(config.iterations);
             let mut acc = BlockAcc::new(schemes.len());
@@ -328,21 +346,34 @@ pub fn run_compare(config: &CompareConfig) -> CompareOutput {
                     acc.iterations_with_ue += 1;
                 }
             }
-            out.push((block, acc));
-            block += workers as u64;
+            out.push(CompareBlock { block, acc });
+            i += workers;
         }
         out
     });
 
-    let mut tagged: Vec<(u64, BlockAcc)> = per_worker.into_iter().flatten().collect();
-    tagged.sort_by_key(|&(block, _)| block);
+    let mut tagged: Vec<CompareBlock> = per_worker.into_iter().flatten().collect();
+    tagged.sort_by_key(|b| b.block);
+    tagged
+}
+
+/// Folds block partials (in block order) into the full compare output:
+/// the deterministic slowdown half runs here, then both halves are
+/// serialized. The single reduction behind both the local runner and the
+/// fleet coordinator's merge, so their bytes cannot diverge.
+pub(crate) fn merge_compare_blocks(
+    config: &CompareConfig,
+    mut tagged: Vec<CompareBlock>,
+) -> CompareOutput {
+    let schemes = standard_schemes();
+    tagged.sort_by_key(|b| b.block);
     let mut iterations_with_faults = 0u64;
     let mut iterations_with_ue = 0u64;
     let mut error_ratio_sum = 0.0f64;
     let mut udr_sum = vec![0.0f64; schemes.len()];
     let mut udr_hits = vec![0u64; schemes.len()];
     let mut udr_events: Vec<String> = Vec::new();
-    for (_, acc) in tagged {
+    for CompareBlock { acc, .. } in tagged {
         iterations_with_faults += acc.iterations_with_faults;
         iterations_with_ue += acc.iterations_with_ue;
         error_ratio_sum += acc.error_ratio_sum;

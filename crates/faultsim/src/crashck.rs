@@ -235,18 +235,18 @@ fn crash_run(
 }
 
 /// The verdict of one (cell, script) sweep.
-struct UnitResult {
-    cell: String,
-    tree: &'static str,
-    policy: &'static str,
-    recovery: &'static str,
-    mode: OracleMode,
-    seed: u64,
-    script: String,
-    txns: usize,
-    points: u64,
-    committed_total: usize,
-    divergence: Option<Divergence>,
+pub(crate) struct UnitResult {
+    pub(crate) cell: String,
+    pub(crate) tree: &'static str,
+    pub(crate) policy: &'static str,
+    pub(crate) recovery: &'static str,
+    pub(crate) mode: OracleMode,
+    pub(crate) seed: u64,
+    pub(crate) script: String,
+    pub(crate) txns: usize,
+    pub(crate) points: u64,
+    pub(crate) committed_total: usize,
+    pub(crate) divergence: Option<Divergence>,
 }
 
 fn run_unit(
@@ -334,9 +334,48 @@ fn describe_script(script: &[Tx]) -> String {
     groups.join(";")
 }
 
-/// Runs the full crash-consistency campaign described by `config`.
-pub fn run_crashck(config: &CrashckConfig) -> CrashckOutput {
-    // Build the flat unit list: cells × scripts, in deterministic order.
+/// Re-interns unit names parsed off the fleet wire back into the fixed
+/// matrix vocabulary (`&'static str` labels plus the oracle mode implied
+/// by the recovery path).
+pub(crate) fn intern_unit_names(
+    tree: &str,
+    policy: &str,
+    recovery: &str,
+) -> Result<(&'static str, &'static str, &'static str, OracleMode), String> {
+    let tree = TREE_UPDATES
+        .iter()
+        .find(|(_, n)| *n == tree)
+        .map(|&(_, n)| n)
+        .ok_or_else(|| format!("unknown tree name '{tree}'"))?;
+    let policy = POLICIES
+        .iter()
+        .map(CloningPolicy::name)
+        .find(|n| *n == policy)
+        .ok_or_else(|| format!("unknown policy name '{policy}'"))?;
+    let (recovery, mode) = RECOVERIES
+        .iter()
+        .find(|(n, _)| *n == recovery)
+        .copied()
+        .ok_or_else(|| format!("unknown recovery name '{recovery}'"))?;
+    Ok((tree, policy, recovery, mode))
+}
+
+/// One matrix unit's inputs: `(update, tree name, policy, recovery,
+/// mode, script seed)` — the element type of [`unit_list`].
+type UnitSpec = (
+    TreeUpdate,
+    &'static str,
+    CloningPolicy,
+    &'static str,
+    OracleMode,
+    u64,
+);
+
+/// The flat unit list: cells × scripts, in deterministic order. Unit
+/// `i` always denotes the same `(cell, script seed)` pair for a given
+/// config, which is what makes units distributable across fleet
+/// workers.
+fn unit_list(config: &CrashckConfig) -> Vec<UnitSpec> {
     let mut units = Vec::new();
     let mut unit_no = 0u64;
     for (update, tree_name) in TREE_UPDATES {
@@ -356,11 +395,48 @@ pub fn run_crashck(config: &CrashckConfig) -> CrashckOutput {
             }
         }
     }
-    let cells = TREE_UPDATES.len() * POLICIES.len() * RECOVERIES.len();
-    let results = parallel_map(units, config.threads.max(1), |unit| {
+    units
+}
+
+/// How many units (distribution blocks) the campaign comprises.
+pub(crate) fn total_units(config: &CrashckConfig) -> u64 {
+    (TREE_UPDATES.len() * POLICIES.len() * RECOVERIES.len() * config.scripts_per_cell.max(1)) as u64
+}
+
+/// Sweeps the units whose indices appear in `unit_ids`, returning each
+/// verdict tagged with its unit index (sorted by index). A unit's
+/// verdict depends only on `(config, unit index)`, so any partition over
+/// threads or fleet workers yields identical verdicts.
+pub(crate) fn run_crashck_units(
+    config: &CrashckConfig,
+    unit_ids: &[u64],
+) -> Vec<(u64, UnitResult)> {
+    let all = unit_list(config);
+    let picked: Vec<(u64, UnitSpec)> = unit_ids
+        .iter()
+        .filter_map(|&i| all.get(i as usize).map(|u| (i, u.clone())))
+        .collect();
+    let mut results = parallel_map(picked, config.threads.max(1), |(i, unit)| {
         let (update, tree_name, policy, recovery, mode, seed) = unit;
-        run_unit(update, tree_name, &policy, recovery, mode, seed, config)
+        (
+            i,
+            run_unit(update, tree_name, &policy, recovery, mode, seed, config),
+        )
     });
+    results.sort_by_key(|&(i, _)| i);
+    results
+}
+
+/// Folds unit verdicts (in unit order) into the final artifacts — the
+/// single reduction behind both the local runner and the fleet
+/// coordinator's merge, so their bytes cannot diverge.
+pub(crate) fn merge_crashck_units(
+    config: &CrashckConfig,
+    mut tagged: Vec<(u64, UnitResult)>,
+) -> CrashckOutput {
+    tagged.sort_by_key(|&(i, _)| i);
+    let results: Vec<UnitResult> = tagged.into_iter().map(|(_, r)| r).collect();
+    let cells = TREE_UPDATES.len() * POLICIES.len() * RECOVERIES.len();
 
     // Artifacts, folded in unit order (deterministic at any -j).
     let mut ndjson = String::new();
@@ -456,6 +532,85 @@ pub fn run_crashck(config: &CrashckConfig) -> CrashckOutput {
         scripts: results.len(),
         points,
     }
+}
+
+/// Runs the full crash-consistency campaign described by `config`.
+pub fn run_crashck(config: &CrashckConfig) -> CrashckOutput {
+    let all: Vec<u64> = (0..total_units(config)).collect();
+    let tagged = run_crashck_units(config, &all);
+    merge_crashck_units(config, tagged)
+}
+
+/// Builds a [`CrashckConfig`] from a JSON request body — the single
+/// parser behind `soteria crashck` submissions over HTTP.
+///
+/// Recognized fields (all optional; anything else is rejected):
+/// `seed` (number or `"0x…"` string), `scripts_per_cell` (≤ 64),
+/// `max_txns` (≤ 16), `max_writes` (≤ 8), `threads`.
+///
+/// # Errors
+///
+/// Returns a one-line, field-naming message on any invalid input.
+pub fn crashck_config_from_json(body: &Json) -> Result<CrashckConfig, String> {
+    let entries = body
+        .entries()
+        .ok_or("crashck config must be a JSON object")?;
+    let positive_int = |v: &Json, field: &str| -> Result<u64, String> {
+        let n = v
+            .as_f64()
+            .ok_or_else(|| format!("field '{field}' must be a number"))?;
+        if n < 1.0 || n.fract() != 0.0 {
+            return Err(format!("field '{field}' must be a positive integer"));
+        }
+        Ok(n as u64)
+    };
+    let mut config = CrashckConfig::default();
+    for (key, value) in entries {
+        match key.as_str() {
+            "seed" => {
+                config.seed = match value {
+                    Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 => *n as u64,
+                    Json::Str(s) => {
+                        let hex = s.strip_prefix("0x").unwrap_or(s);
+                        u64::from_str_radix(hex, 16)
+                            .map_err(|_| format!("field 'seed' has invalid hex value '{s}'"))?
+                    }
+                    _ => return Err("field 'seed' must be an integer or hex string".into()),
+                };
+            }
+            "scripts_per_cell" => {
+                let n = positive_int(value, "scripts_per_cell")?;
+                if n > 64 {
+                    return Err("field 'scripts_per_cell' must be at most 64".into());
+                }
+                config.scripts_per_cell = n as usize;
+            }
+            "max_txns" => {
+                let n = positive_int(value, "max_txns")?;
+                if n > 16 {
+                    return Err("field 'max_txns' must be at most 16".into());
+                }
+                config.max_txns = n as usize;
+            }
+            "max_writes" => {
+                let n = positive_int(value, "max_writes")?;
+                if n > 8 {
+                    return Err("field 'max_writes' must be at most 8".into());
+                }
+                config.max_writes = n as usize;
+            }
+            "threads" => {
+                config.threads = positive_int(value, "threads")? as usize;
+            }
+            other => {
+                return Err(format!(
+                    "unknown field '{other}' (seed, scripts_per_cell, max_txns, max_writes, \
+                     threads)"
+                ))
+            }
+        }
+    }
+    Ok(config)
 }
 
 /// Sweeps one named cell with one script — the building block the test

@@ -254,16 +254,30 @@ pub fn run_job(config: &CampaignConfig) -> JobOutput {
     }
 }
 
-/// A validated job request: either the classic cloning-policy campaign
-/// (`POST /v1/campaigns`) or the cross-scheme compare matrix
-/// (`POST /v1/compare`). One enum so the service worker and the CLI can
-/// share a single runner.
+/// A validated job request: the classic cloning-policy campaign
+/// (`POST /v1/campaigns`), the cross-scheme compare matrix
+/// (`POST /v1/compare`), the crash-consistency sweep
+/// (`POST /v1/crashck`), or a block-range shard of any of them
+/// (`POST /v1/blocks`, submitted by a fleet coordinator). One enum so
+/// the service worker and the CLI share a single runner.
 #[derive(Clone, Debug)]
 pub enum JobSpec {
     /// A [`STANDARD_POLICIES`] campaign (`soteria-campaign/v1`).
     Campaign(CampaignConfig),
     /// A full-roster scheme shootout (`soteria-compare/v1`).
     Compare(crate::compare::CompareConfig),
+    /// A crash-consistency matrix sweep (`soteria-crashck/v1`).
+    Crashck(crate::crashck::CrashckConfig),
+    /// Blocks `lo..hi` of an inner job, producing a partial-sums
+    /// document (`soteria-blocks/v1`) instead of final artifacts.
+    Blocks {
+        /// The job being sharded (never itself `Blocks`).
+        spec: Box<JobSpec>,
+        /// First block index (inclusive).
+        lo: u64,
+        /// Last block index (exclusive).
+        hi: u64,
+    },
 }
 
 impl JobSpec {
@@ -272,6 +286,8 @@ impl JobSpec {
         match self {
             JobSpec::Campaign(c) => c.threads,
             JobSpec::Compare(c) => c.threads,
+            JobSpec::Crashck(c) => c.threads,
+            JobSpec::Blocks { spec, .. } => spec.threads(),
         }
     }
 
@@ -280,13 +296,16 @@ impl JobSpec {
         match self {
             JobSpec::Campaign(_) => "soteria-campaign/v1",
             JobSpec::Compare(_) => "soteria-compare/v1",
+            JobSpec::Crashck(_) => "soteria-crashck/v1",
+            JobSpec::Blocks { .. } => "soteria-blocks/v1",
         }
     }
 }
 
 /// Runs any [`JobSpec`] and returns `(result_json, ndjson)` — the two
 /// artifact byte-streams every job kind produces. Thread-invariant for
-/// both kinds.
+/// all kinds. A `Blocks` job returns its partial-sums document as the
+/// result and an empty trace (partials carry their events inline).
 pub fn run_spec(spec: &JobSpec) -> (String, String) {
     match spec {
         JobSpec::Campaign(config) => {
@@ -297,6 +316,14 @@ pub fn run_spec(spec: &JobSpec) -> (String, String) {
             let output = crate::compare::run_compare(config);
             (output.result_json, output.ndjson)
         }
+        JobSpec::Crashck(config) => {
+            let output = crate::crashck::run_crashck(config);
+            (output.result_json, output.ndjson)
+        }
+        JobSpec::Blocks { spec, lo, hi } => (
+            crate::shard::run_block_range(spec, *lo, *hi).to_pretty_string(),
+            String::new(),
+        ),
     }
 }
 

@@ -32,17 +32,22 @@ pub mod crashck;
 pub mod job;
 pub mod rare;
 pub mod rates;
+pub mod shard;
 
 pub use campaign::{
     run_campaign, run_campaign_traced, sample_fault_history, sample_fault_set, CampaignConfig,
     PolicyResult, TimedFault,
 };
 pub use compare::{compare_config_from_json, run_compare, CompareConfig, CompareOutput, SchemeRow};
-pub use crashck::{run_crashck, sweep_cell, CellDivergence, CrashckConfig, CrashckOutput};
+pub use crashck::{
+    crashck_config_from_json, run_crashck, sweep_cell, CellDivergence, CrashckConfig,
+    CrashckOutput,
+};
 pub use job::{
     config_from_json, report_json, run_job, run_spec, JobOutput, JobSpec, STANDARD_POLICIES,
 };
 pub use rare::{estimate_clone_udr, RareEventResult};
+pub use shard::{blocks_spec_from_json, merge_partials, run_block_range, total_blocks};
 pub use rates::{FaultMode, FitRates};
 
 /// Hours in the five-year simulated service life used by the paper.

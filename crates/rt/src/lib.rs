@@ -40,6 +40,7 @@ pub mod crashck;
 pub mod json;
 pub mod obs;
 pub mod prop;
+pub mod reactor;
 pub mod rng;
 pub mod thread;
 

@@ -9,6 +9,55 @@ use std::time::Duration;
 
 use soteria_rt::json::Json;
 
+/// Connection behaviour for [`request_with`]: how long to wait for a
+/// connect and for response bytes. The fleet coordinator tightens these
+/// so a dead worker is detected in seconds, not TCP-stack minutes.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Maximum time to establish the TCP connection.
+    pub connect_timeout: Duration,
+    /// Maximum time to wait on any single read or write.
+    pub read_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Runs `op` up to `attempts` times, sleeping `backoff` (doubled each
+/// retry, capped at two seconds) between failures. Returns the first
+/// success or the last error — the retry helper behind the fleet
+/// coordinator's worker RPCs.
+///
+/// # Errors
+///
+/// The last attempt's error, once every attempt has failed.
+pub fn retrying<T>(
+    attempts: u32,
+    backoff: Duration,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> io::Result<T> {
+    let attempts = attempts.max(1);
+    let mut delay = backoff;
+    let mut last: Option<io::Error> = None;
+    for attempt in 0..attempts {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => last = Some(e),
+        }
+        if attempt + 1 < attempts {
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(Duration::from_secs(2));
+        }
+    }
+    Err(last.unwrap_or_else(|| io::Error::other("no attempts made")))
+}
+
 /// A parsed response: status line, lower-cased headers, raw body.
 #[derive(Clone, Debug)]
 pub struct HttpResponse {
@@ -59,8 +108,41 @@ pub fn request<A: ToSocketAddrs>(
     path: &str,
     body: Option<(&str, &[u8])>,
 ) -> io::Result<HttpResponse> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    request_with(addr, method, path, body, &ClientConfig::default())
+}
+
+/// [`request`] with explicit connect/read timeouts.
+///
+/// # Errors
+///
+/// Any socket or framing failure surfaces as [`io::Error`]; a connect
+/// slower than `config.connect_timeout` or a read stalled longer than
+/// `config.read_timeout` fails instead of hanging.
+pub fn request_with<A: ToSocketAddrs>(
+    addr: A,
+    method: &str,
+    path: &str,
+    body: Option<(&str, &[u8])>,
+    config: &ClientConfig,
+) -> io::Result<HttpResponse> {
+    let mut last: Option<io::Error> = None;
+    let mut stream = None;
+    for candidate in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&candidate, config.connect_timeout) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    let mut stream = stream.ok_or_else(|| {
+        last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::AddrNotAvailable, "address resolved to nothing")
+        })
+    })?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_write_timeout(Some(config.read_timeout))?;
     let mut head = format!("{method} {path} HTTP/1.1\r\nHost: soteria\r\nConnection: close\r\n");
     if let Some((content_type, bytes)) = body {
         head.push_str(&format!(

@@ -1,10 +1,17 @@
-//! A minimal HTTP/1.1 wire layer over [`std::net::TcpStream`].
+//! A minimal HTTP/1.1 wire layer.
 //!
 //! Only the subset the campaign service needs: one request per
 //! connection (`Connection: close`), `Content-Length` bodies, hard
 //! limits on header-section and body size, and a read timeout mapped to
 //! [`SvcError::RequestTimeout`]. Anything outside that subset is a
 //! [`SvcError::BadRequest`].
+//!
+//! The parser itself is incremental and transport-free:
+//! [`parse_request`] consumes a byte buffer and either yields a complete
+//! request, asks for more bytes, or fails with the pinned error. Both
+//! the blocking [`read_request`] path (used by the fleet control plane)
+//! and the non-blocking reactor server are thin transports over it, so
+//! the two paths cannot drift apart.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -66,35 +73,14 @@ fn map_io(err: io::Error) -> SvcError {
     }
 }
 
-/// Reads and parses one request from `stream`, enforcing `limits`.
-///
-/// The caller sets the stream's read timeout; a timeout while bytes are
-/// still owed maps to [`SvcError::RequestTimeout`], an oversized head or
-/// body to [`SvcError::PayloadTooLarge`], and malformed framing to
-/// [`SvcError::BadRequest`].
-pub fn read_request(stream: &mut TcpStream, limits: &ReadLimits) -> Result<Request, SvcError> {
-    // Read byte-at-a-time until the blank line; request heads are tiny
-    // and this keeps the code free of buffer-stitching bugs.
-    let mut head = Vec::with_capacity(512);
-    let mut byte = [0u8; 1];
-    while !head.ends_with(b"\r\n\r\n") {
-        if head.len() >= limits.max_head_bytes {
-            return Err(SvcError::PayloadTooLarge {
-                what: "header section",
-                limit: limits.max_head_bytes,
-            });
-        }
-        match stream.read(&mut byte) {
-            Ok(0) => {
-                return Err(SvcError::BadRequest(
-                    "connection closed before the request was complete".into(),
-                ))
-            }
-            Ok(_) => head.push(byte[0]),
-            Err(e) => return Err(map_io(e)),
-        }
-    }
-    let head = String::from_utf8(head)
+/// Locates the end of the header section (`\r\n\r\n`) in `buf`.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// Parses the request line + headers (everything before the body).
+fn parse_head(head: &[u8]) -> Result<Request, SvcError> {
+    let head = std::str::from_utf8(head)
         .map_err(|_| SvcError::BadRequest("request head is not valid UTF-8".into()))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
@@ -117,62 +103,137 @@ pub fn read_request(stream: &mut TcpStream, limits: &ReadLimits) -> Result<Reque
         if line.is_empty() {
             continue;
         }
-        let (name, value) = line.split_once(':').ok_or_else(|| {
-            SvcError::BadRequest(format!("malformed header line '{line}'"))
-        })?;
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| SvcError::BadRequest(format!("malformed header line '{line}'")))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
-    let mut request = Request {
+    Ok(Request {
         method: method.to_string(),
         path: path.to_string(),
         headers,
         body: Vec::new(),
-    };
+    })
+}
+
+/// The declared `Content-Length` of a parsed head, after framing checks.
+fn body_length(request: &Request, limits: &ReadLimits) -> Result<usize, SvcError> {
     if request.header("transfer-encoding").is_some() {
         return Err(SvcError::BadRequest(
             "chunked bodies are not supported; send Content-Length".into(),
         ));
     }
-    if let Some(len) = request.header("content-length") {
-        let len: usize = len.parse().map_err(|_| {
-            SvcError::BadRequest(format!("invalid Content-Length '{len}'"))
-        })?;
-        if len > limits.max_body_bytes {
-            // Best-effort drain (bounded) so closing the socket after the
-            // 413 doesn't RST the connection before the client reads it.
-            let mut sink = [0u8; 4096];
-            let mut left = len.min(1 << 20);
-            while left > 0 {
-                let take = sink.len().min(left);
-                match stream.read(&mut sink[..take]) {
-                    Ok(0) | Err(_) => break,
-                    Ok(n) => left -= n,
-                }
-            }
-            return Err(SvcError::PayloadTooLarge {
-                what: "body",
-                limit: limits.max_body_bytes,
-            });
-        }
-        let mut body = vec![0u8; len];
-        stream.read_exact(&mut body).map_err(map_io)?;
-        request.body = body;
+    let Some(len) = request.header("content-length") else {
+        return Ok(0);
+    };
+    let len: usize = len
+        .parse()
+        .map_err(|_| SvcError::BadRequest(format!("invalid Content-Length '{len}'")))?;
+    if len > limits.max_body_bytes {
+        return Err(SvcError::PayloadTooLarge {
+            what: "body",
+            limit: limits.max_body_bytes,
+        });
     }
-    Ok(request)
+    Ok(len)
 }
 
-/// Writes one `Connection: close` response and flushes it.
+/// Incrementally parses one request from `buf`, enforcing `limits`.
+///
+/// Returns `Ok(Some((request, consumed)))` once a complete request is
+/// buffered (`consumed` bytes belong to it), `Ok(None)` when more bytes
+/// are needed, and the pinned [`SvcError`] on oversized or malformed
+/// input. Transport-free: both the blocking and reactor paths call this.
+pub fn parse_request(buf: &[u8], limits: &ReadLimits) -> Result<Option<(Request, usize)>, SvcError> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() >= limits.max_head_bytes {
+            return Err(SvcError::PayloadTooLarge {
+                what: "header section",
+                limit: limits.max_head_bytes,
+            });
+        }
+        return Ok(None);
+    };
+    if head_end > limits.max_head_bytes {
+        return Err(SvcError::PayloadTooLarge {
+            what: "header section",
+            limit: limits.max_head_bytes,
+        });
+    }
+    let mut request = parse_head(&buf[..head_end])?;
+    let len = body_length(&request, limits)?;
+    if buf.len() < head_end + len {
+        return Ok(None);
+    }
+    request.body = buf[head_end..head_end + len].to_vec();
+    Ok(Some((request, head_end + len)))
+}
+
+/// How many declared-but-unread body bytes are still owed by the peer —
+/// the bounded-drain budget after an oversized-body rejection.
+pub fn drain_budget(buf: &[u8]) -> usize {
+    find_head_end(buf)
+        .and_then(|head_end| {
+            let request = parse_head(&buf[..head_end]).ok()?;
+            let len: usize = request.header("content-length")?.parse().ok()?;
+            Some(len.saturating_sub(buf.len() - head_end))
+        })
+        .unwrap_or(0)
+}
+
+/// Reads and parses one request from `stream`, enforcing `limits`.
+///
+/// The caller sets the stream's read timeout; a timeout while bytes are
+/// still owed maps to [`SvcError::RequestTimeout`], an oversized head or
+/// body to [`SvcError::PayloadTooLarge`], and malformed framing to
+/// [`SvcError::BadRequest`].
+pub fn read_request(stream: &mut TcpStream, limits: &ReadLimits) -> Result<Request, SvcError> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 4096];
+    loop {
+        match parse_request(&buf, limits) {
+            Ok(Some((request, _consumed))) => return Ok(request),
+            Ok(None) => {}
+            Err(err @ SvcError::PayloadTooLarge { what: "body", .. }) => {
+                // Best-effort drain (bounded) so closing the socket after
+                // the 413 doesn't RST the connection before the client
+                // reads it. Budget: the declared body minus what is
+                // already buffered, capped at 1 MiB.
+                let mut left = drain_budget(&buf).min(1 << 20);
+                while left > 0 {
+                    let take = chunk.len().min(left);
+                    match stream.read(&mut chunk[..take]) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => left -= n,
+                    }
+                }
+                return Err(err);
+            }
+            Err(err) => return Err(err),
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(SvcError::BadRequest(
+                    "connection closed before the request was complete".into(),
+                ))
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(map_io(e)),
+        }
+    }
+}
+
+/// Renders one `Connection: close` response to wire bytes.
 ///
 /// `extra_headers` come after the standard set; `Content-Length` is
 /// always derived from `body`.
-pub fn write_response(
-    stream: &mut TcpStream,
+pub fn render_response(
     status: u16,
     reason: &str,
     content_type: &str,
     extra_headers: &[(&str, String)],
     body: &[u8],
-) -> io::Result<()> {
+) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
@@ -184,14 +245,14 @@ pub fn write_response(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
-    stream.flush()
+    let mut wire = head.into_bytes();
+    wire.extend_from_slice(body);
+    wire
 }
 
-/// Writes the error response for `err`: a JSON body with the pinned
+/// Renders the error response for `err`: a JSON body with the pinned
 /// one-line message, plus `Retry-After` for queue-full rejections.
-pub fn write_error(stream: &mut TcpStream, err: &SvcError) -> io::Result<()> {
+pub fn render_error(err: &SvcError) -> Vec<u8> {
     let (status, reason) = err.status();
     let body = soteria_rt::json::Json::Obj(vec![(
         "error".into(),
@@ -202,12 +263,30 @@ pub fn write_error(stream: &mut TcpStream, err: &SvcError) -> io::Result<()> {
     if let SvcError::QueueFull { retry_after_secs } = err {
         extra.push(("Retry-After", retry_after_secs.to_string()));
     }
-    write_response(
-        stream,
+    render_response(status, reason, "application/json", &extra, body.as_bytes())
+}
+
+/// Writes one `Connection: close` response and flushes it.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> io::Result<()> {
+    stream.write_all(&render_response(
         status,
         reason,
-        "application/json",
-        &extra,
-        body.as_bytes(),
-    )
+        content_type,
+        extra_headers,
+        body,
+    ))?;
+    stream.flush()
+}
+
+/// Writes the error response for `err` and flushes it.
+pub fn write_error(stream: &mut TcpStream, err: &SvcError) -> io::Result<()> {
+    stream.write_all(&render_error(err))?;
+    stream.flush()
 }

@@ -33,10 +33,13 @@
 
 pub mod client;
 pub mod error;
+pub mod fleet;
 pub mod http;
 pub mod loadgen;
+mod nio;
 pub mod server;
 
 pub use error::SvcError;
+pub use fleet::{register_worker, BlockScheduler, Coordinator, FleetConfig, Lease};
 pub use loadgen::{submit_burst, LoadReport, SubmitOutcome};
 pub use server::{JobState, Server, ServerConfig, ServerHandle};

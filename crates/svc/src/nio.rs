@@ -1,0 +1,382 @@
+//! The non-blocking connection engine: one reactor thread drives every
+//! connection through read → route → write, so idle sockets cost a
+//! buffer instead of a thread.
+//!
+//! Rehosts the exact same pieces the original thread-per-connection
+//! listener used — [`crate::http::parse_request`] for framing,
+//! [`crate::server`]'s `route` for semantics, the shared bounded queue
+//! and worker pool for execution — on [`soteria_rt::reactor::Poller`]
+//! (epoll on Linux, `poll(2)` elsewhere). Campaign execution stays on
+//! the worker pool; the reactor only parses, routes, and shuttles
+//! bytes, so a submit is accepted or shed in microseconds even while
+//! thousands of connections are parked.
+//!
+//! Per-connection lifecycle:
+//!
+//! ```text
+//! accept → Reading --parse ok--> route → Writing → close
+//!             |  \--body too large--> DrainingBody → Writing → close
+//!             \--deadline--> 408 → Writing → close
+//! ```
+//!
+//! Error semantics (pinned strings, 408/413 mapping, bounded drain
+//! before a 413, metrics increments) are identical to the blocking
+//! path the integration suite was written against.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
+
+use soteria_rt::obs::Timer;
+use soteria_rt::reactor::{Event, Interest, Poller};
+
+use crate::error::SvcError;
+use crate::http::{drain_budget, parse_request, render_error, render_response};
+use crate::server::{latency_metric, route, Response, ServerConfig, Shared};
+
+/// The poller key reserved for the listening socket.
+const LISTENER_KEY: u64 = u64::MAX;
+
+/// Upper bound on one poll wait, so drain progress is noticed promptly.
+const TICK: Duration = Duration::from_millis(25);
+
+const READ_CHUNK: usize = 16 * 1024;
+
+/// What to do with a connection after an I/O pass.
+#[derive(PartialEq, Eq)]
+enum Next {
+    Keep,
+    Close,
+}
+
+enum Phase {
+    /// Accumulating request bytes until `parse_request` completes.
+    Reading,
+    /// Oversized body rejected; discarding the declared remainder
+    /// (bounded) so the close does not RST the 413 away.
+    DrainingBody {
+        budget: usize,
+        err: SvcError,
+    },
+    /// Response rendered; flushing `out`.
+    Writing,
+}
+
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    out: Vec<u8>,
+    written: usize,
+    /// Reads must make progress before this instant or the request
+    /// times out (refreshed on every received chunk, mirroring the
+    /// per-read timeout of the blocking path).
+    deadline: Instant,
+    timer: Option<Timer>,
+    phase: Phase,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, read_timeout: Duration) -> Conn {
+        Conn {
+            stream,
+            buf: Vec::with_capacity(512),
+            out: Vec::new(),
+            written: 0,
+            deadline: Instant::now() + read_timeout,
+            timer: Some(Timer::start(true)),
+            phase: Phase::Reading,
+        }
+    }
+
+    /// Writes as much of `out` as the socket accepts right now.
+    fn flush(&mut self) -> Next {
+        loop {
+            if self.written == self.out.len() {
+                let _ = self.stream.flush();
+                return Next::Close;
+            }
+            match self.stream.write(&self.out[self.written..]) {
+                Ok(0) => return Next::Close,
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Next::Keep,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Next::Close,
+            }
+        }
+    }
+
+    /// Records metrics for the settled request, renders the response,
+    /// and starts writing it. `path` is the routed request path, or
+    /// `/` when the request never parsed (matching the blocking path).
+    fn respond(
+        &mut self,
+        shared: &Shared,
+        path: &str,
+        outcome: Result<Response, SvcError>,
+    ) -> Next {
+        let status = match &outcome {
+            Ok(resp) => resp.status,
+            Err(err) => err.status().0,
+        };
+        {
+            let mut st = shared.state.lock().unwrap();
+            st.metrics.inc("requests_total", 1);
+            if status == 429 {
+                st.metrics.inc("rejected{code=\"429\"}", 1);
+            }
+            if let Some(timer) = self.timer.take() {
+                st.metrics.observe_timer(latency_metric(path), timer);
+            }
+        }
+        self.out = match outcome {
+            Ok(resp) => render_response(
+                resp.status,
+                resp.reason,
+                resp.content_type,
+                &resp
+                    .extra
+                    .iter()
+                    .map(|(n, v)| (*n, v.clone()))
+                    .collect::<Vec<_>>(),
+                &resp.body,
+            ),
+            Err(err) => render_error(&err),
+        };
+        self.written = 0;
+        self.phase = Phase::Writing;
+        self.flush()
+    }
+
+    /// A readable event while accumulating the request.
+    fn on_reading(&mut self, shared: &Shared, config: &ServerConfig) -> Next {
+        let mut chunk = [0u8; READ_CHUNK];
+        let mut closed = false;
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    self.deadline = Instant::now() + config.read_timeout;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    closed = true;
+                    break;
+                }
+            }
+        }
+        match parse_request(&self.buf, &config.limits) {
+            Ok(Some((request, _consumed))) => {
+                let outcome = route(shared, config, &request);
+                self.respond(shared, &request.path, outcome)
+            }
+            Ok(None) if closed => self.respond(
+                shared,
+                "/",
+                Err(SvcError::BadRequest(
+                    "connection closed before the request was complete".into(),
+                )),
+            ),
+            Ok(None) => Next::Keep,
+            Err(err @ SvcError::PayloadTooLarge { what: "body", .. }) => {
+                let budget = drain_budget(&self.buf).min(1 << 20);
+                if budget == 0 || closed {
+                    self.respond(shared, "/", Err(err))
+                } else {
+                    self.buf.clear();
+                    self.phase = Phase::DrainingBody { budget, err };
+                    Next::Keep
+                }
+            }
+            Err(err) => self.respond(shared, "/", Err(err)),
+        }
+    }
+
+    /// A readable event while discarding an oversized body.
+    fn on_draining(&mut self, shared: &Shared, config: &ServerConfig) -> Next {
+        let mut chunk = [0u8; READ_CHUNK];
+        let mut settle = false;
+        loop {
+            let Phase::DrainingBody { budget, .. } = &mut self.phase else {
+                return Next::Keep;
+            };
+            if *budget == 0 || settle {
+                break;
+            }
+            let take = chunk.len().min(*budget);
+            match self.stream.read(&mut chunk[..take]) {
+                Ok(0) => settle = true,
+                Ok(n) => {
+                    *budget -= n;
+                    self.deadline = Instant::now() + config.read_timeout;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Next::Keep,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => settle = true,
+            }
+        }
+        let Phase::DrainingBody { err, .. } =
+            std::mem::replace(&mut self.phase, Phase::Writing)
+        else {
+            return Next::Keep;
+        };
+        self.respond(shared, "/", Err(err))
+    }
+
+    /// The deadline passed without a complete request.
+    fn on_deadline(&mut self, shared: &Shared) -> Next {
+        match std::mem::replace(&mut self.phase, Phase::Writing) {
+            Phase::Reading => self.respond(shared, "/", Err(SvcError::RequestTimeout)),
+            Phase::DrainingBody { err, .. } => self.respond(shared, "/", Err(err)),
+            Phase::Writing => Next::Keep,
+        }
+    }
+}
+
+/// Accepts every pending connection; returns `false` when the listener
+/// has failed fatally.
+fn accept_all(
+    listener: &TcpListener,
+    config: &ServerConfig,
+    poller: &mut Poller,
+    conns: &mut Vec<Option<Conn>>,
+) -> bool {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let conn = Conn::new(stream, config.read_timeout);
+                let fd = conn.stream.as_raw_fd();
+                let slot = match conns.iter().position(|c| c.is_none()) {
+                    Some(i) => i,
+                    None => {
+                        conns.push(None);
+                        conns.len() - 1
+                    }
+                };
+                conns[slot] = Some(conn);
+                if poller.register(fd, slot as u64, Interest::Read).is_err() {
+                    conns[slot] = None;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+}
+
+fn close(poller: &mut Poller, conns: &mut [Option<Conn>], slot: usize) {
+    if let Some(conn) = conns[slot].take() {
+        let _ = poller.deregister(conn.stream.as_raw_fd());
+    }
+}
+
+/// After an I/O pass left the connection alive, make sure the poller
+/// watches the direction it is waiting on.
+fn settle_interest(poller: &mut Poller, conns: &[Option<Conn>], slot: usize) {
+    if let Some(conn) = conns[slot].as_ref() {
+        let interest = match conn.phase {
+            Phase::Writing => Interest::Write,
+            _ => Interest::Read,
+        };
+        let _ = poller.modify(conn.stream.as_raw_fd(), slot as u64, interest);
+    }
+}
+
+/// Runs the reactor until a drain completes: accepts, parses, routes,
+/// and writes on one thread; job execution stays on the worker pool.
+pub(crate) fn event_loop(listener: &TcpListener, config: &ServerConfig, shared: &Shared) {
+    let mut poller = match Poller::new() {
+        Ok(p) => p,
+        Err(_) => {
+            shared.begin_drain();
+            return;
+        }
+    };
+    if poller
+        .register(listener.as_raw_fd(), LISTENER_KEY, Interest::Read)
+        .is_err()
+    {
+        shared.begin_drain();
+        return;
+    }
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut accepting = true;
+    loop {
+        if shared.drained() {
+            if accepting {
+                let _ = poller.deregister(listener.as_raw_fd());
+                accepting = false;
+            }
+            if conns.iter().all(|c| c.is_none()) {
+                break;
+            }
+        }
+        // Wait no longer than the soonest connection deadline (or one
+        // tick, so a drain initiated elsewhere is noticed).
+        let now = Instant::now();
+        let mut timeout = TICK;
+        for conn in conns.iter().flatten() {
+            if !matches!(conn.phase, Phase::Writing) {
+                timeout = timeout.min(conn.deadline.saturating_duration_since(now));
+            }
+        }
+        if poller.wait(&mut events, Some(timeout)).is_err() {
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+        for &ev in &events {
+            if ev.key == LISTENER_KEY {
+                if accepting && !accept_all(listener, config, &mut poller, &mut conns) {
+                    // Listener died: drain what was accepted and exit.
+                    shared.begin_drain();
+                    let _ = poller.deregister(listener.as_raw_fd());
+                    accepting = false;
+                }
+                continue;
+            }
+            let slot = ev.key as usize;
+            let Some(conn) = conns.get_mut(slot).and_then(|c| c.as_mut()) else {
+                continue;
+            };
+            let next = match conn.phase {
+                Phase::Writing => {
+                    if ev.writable || ev.hangup {
+                        conn.flush()
+                    } else {
+                        Next::Keep
+                    }
+                }
+                Phase::Reading => conn.on_reading(shared, config),
+                Phase::DrainingBody { .. } => conn.on_draining(shared, config),
+            };
+            match next {
+                Next::Close => close(&mut poller, &mut conns, slot),
+                Next::Keep => settle_interest(&mut poller, &conns, slot),
+            }
+        }
+        // Deadline sweep: time out requests that stopped making progress.
+        let now = Instant::now();
+        for slot in 0..conns.len() {
+            let Some(conn) = conns[slot].as_mut() else {
+                continue;
+            };
+            if matches!(conn.phase, Phase::Writing) || now < conn.deadline {
+                continue;
+            }
+            match conn.on_deadline(shared) {
+                Next::Close => close(&mut poller, &mut conns, slot),
+                Next::Keep => settle_interest(&mut poller, &conns, slot),
+            }
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! The campaign service: a bounded job queue feeding a fixed worker
-//! pool, fronted by a thread-per-connection HTTP/1.1 listener.
+//! pool, fronted by a single-threaded non-blocking HTTP/1.1 reactor
+//! (see the private `nio` module).
 //!
 //! # Endpoints
 //!
@@ -7,6 +8,8 @@
 //! |---|---|---|
 //! | `/v1/campaigns` | POST | submit a campaign config, get `202` + job id |
 //! | `/v1/compare` | POST | submit a cross-scheme compare config, get `202` + job id |
+//! | `/v1/crashck` | POST | submit a crash-consistency sweep config, get `202` + job id |
+//! | `/v1/blocks` | POST | submit a block-range shard of a job (fleet workers) |
 //! | `/v1/jobs/{id}` | GET | job status (`queued`/`running`/`done`/`failed`) |
 //! | `/v1/jobs/{id}/result` | GET | the result JSON, byte-identical to `soteria campaign --json` |
 //! | `/v1/jobs/{id}/trace` | GET | the NDJSON trace, byte-identical to `--trace` |
@@ -25,18 +28,21 @@
 
 use std::collections::VecDeque;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::Duration;
 
-use soteria_faultsim::{compare_config_from_json, config_from_json, run_spec, JobSpec};
+use soteria_faultsim::{
+    blocks_spec_from_json, compare_config_from_json, config_from_json, crashck_config_from_json,
+    run_spec, JobSpec,
+};
 use soteria_rt::json::Json;
 use soteria_rt::obs::Metrics;
 
 use crate::error::SvcError;
-use crate::http::{read_request, write_error, write_response, ReadLimits, Request};
+use crate::http::{ReadLimits, Request};
 
 /// Tunables for [`Server::bind`]. The defaults suit tests and small
 /// deployments; `soteria serve` exposes them as flags.
@@ -99,26 +105,26 @@ struct Job {
     error: Option<String>,
 }
 
-struct State {
+pub(crate) struct State {
     queue: VecDeque<usize>,
     jobs: Vec<Job>,
     in_flight: usize,
     draining: bool,
-    metrics: Metrics,
+    pub(crate) metrics: Metrics,
 }
 
-struct Shared {
-    state: Mutex<State>,
+pub(crate) struct Shared {
+    pub(crate) state: Mutex<State>,
     job_ready: Condvar,
 }
 
 impl Shared {
-    fn drained(&self) -> bool {
+    pub(crate) fn drained(&self) -> bool {
         let st = self.state.lock().unwrap();
         st.draining && st.queue.is_empty() && st.in_flight == 0
     }
 
-    fn begin_drain(&self) {
+    pub(crate) fn begin_drain(&self) {
         self.state.lock().unwrap().draining = true;
         self.job_ready.notify_all();
     }
@@ -211,9 +217,9 @@ impl Server {
         }
     }
 
-    /// Runs the accept loop and worker pool until a drain completes:
-    /// every accepted job reaches `done`/`failed`, then the listener
-    /// closes and this returns.
+    /// Runs the reactor and worker pool until a drain completes: every
+    /// accepted job reaches `done`/`failed`, every open connection
+    /// settles, then the listener closes and this returns.
     pub fn serve(self) {
         let shared = &*self.shared;
         let config = &self.config;
@@ -221,25 +227,7 @@ impl Server {
             for _ in 0..config.workers.max(1) {
                 s.spawn(move || worker_loop(shared));
             }
-            loop {
-                match self.listener.accept() {
-                    Ok((stream, _)) => {
-                        s.spawn(move || handle_connection(shared, config, stream));
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        if shared.drained() {
-                            break;
-                        }
-                        thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => {
-                        // Listener died; treat it as a drain request so
-                        // the workers finish what was accepted and exit.
-                        shared.begin_drain();
-                        break;
-                    }
-                }
-            }
+            crate::nio::event_loop(&self.listener, config, shared);
             // Release any worker parked on the condvar.
             shared.job_ready.notify_all();
         });
@@ -292,7 +280,7 @@ fn worker_loop(shared: &Shared) {
 /// The endpoint label used in per-endpoint latency metric names. The
 /// `Metrics` registry keys on `&'static str`, so the Prometheus label
 /// pair is baked into the name and split back out at render time.
-fn latency_metric(path: &str) -> &'static str {
+pub(crate) fn latency_metric(path: &str) -> &'static str {
     if path == "/healthz" {
         "latency_ns{endpoint=\"healthz\"}"
     } else if path == "/metrics" {
@@ -301,6 +289,10 @@ fn latency_metric(path: &str) -> &'static str {
         "latency_ns{endpoint=\"campaigns\"}"
     } else if path == "/v1/compare" {
         "latency_ns{endpoint=\"compare\"}"
+    } else if path == "/v1/crashck" {
+        "latency_ns{endpoint=\"crashck\"}"
+    } else if path == "/v1/blocks" {
+        "latency_ns{endpoint=\"blocks\"}"
     } else if path.starts_with("/v1/jobs/") {
         "latency_ns{endpoint=\"jobs\"}"
     } else if path == "/v1/shutdown" {
@@ -310,12 +302,12 @@ fn latency_metric(path: &str) -> &'static str {
     }
 }
 
-struct Response {
-    status: u16,
-    reason: &'static str,
-    content_type: &'static str,
-    extra: Vec<(&'static str, String)>,
-    body: Vec<u8>,
+pub(crate) struct Response {
+    pub(crate) status: u16,
+    pub(crate) reason: &'static str,
+    pub(crate) content_type: &'static str,
+    pub(crate) extra: Vec<(&'static str, String)>,
+    pub(crate) body: Vec<u8>,
 }
 
 impl Response {
@@ -330,50 +322,11 @@ impl Response {
     }
 }
 
-fn handle_connection(shared: &Shared, config: &ServerConfig, mut stream: TcpStream) {
-    // Accepted sockets may inherit the listener's nonblocking mode on
-    // some platforms; force blocking + timeout semantics.
-    if stream.set_nonblocking(false).is_err() {
-        return;
-    }
-    let _ = stream.set_read_timeout(Some(config.read_timeout));
-    let timer = soteria_rt::obs::Timer::start(true);
-    let parsed = read_request(&mut stream, &config.limits);
-    let path = parsed
-        .as_ref()
-        .map(|r| r.path.clone())
-        .unwrap_or_else(|_| String::from("/"));
-    let outcome = parsed.and_then(|req| route(shared, config, &req));
-    let status = match &outcome {
-        Ok(resp) => resp.status,
-        Err(err) => err.status().0,
-    };
-    {
-        let mut st = shared.state.lock().unwrap();
-        st.metrics.inc("requests_total", 1);
-        if status == 429 {
-            st.metrics.inc("rejected{code=\"429\"}", 1);
-        }
-        st.metrics.observe_timer(latency_metric(&path), timer);
-    }
-    let _ = match outcome {
-        Ok(resp) => write_response(
-            &mut stream,
-            resp.status,
-            resp.reason,
-            resp.content_type,
-            &resp
-                .extra
-                .iter()
-                .map(|(n, v)| (*n, v.clone()))
-                .collect::<Vec<_>>(),
-            &resp.body,
-        ),
-        Err(err) => write_error(&mut stream, &err),
-    };
-}
-
-fn route(shared: &Shared, config: &ServerConfig, req: &Request) -> Result<Response, SvcError> {
+pub(crate) fn route(
+    shared: &Shared,
+    config: &ServerConfig,
+    req: &Request,
+) -> Result<Response, SvcError> {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Ok(Response {
             status: 200,
@@ -389,6 +342,10 @@ fn route(shared: &Shared, config: &ServerConfig, req: &Request) -> Result<Respon
         (_, "/v1/campaigns") => Err(method_not_allowed(req, "POST")),
         ("POST", "/v1/compare") => submit_job(shared, config, req),
         (_, "/v1/compare") => Err(method_not_allowed(req, "POST")),
+        ("POST", "/v1/crashck") => submit_job(shared, config, req),
+        (_, "/v1/crashck") => Err(method_not_allowed(req, "POST")),
+        ("POST", "/v1/blocks") => submit_job(shared, config, req),
+        (_, "/v1/blocks") => Err(method_not_allowed(req, "POST")),
         ("POST", "/v1/shutdown") => {
             shared.begin_drain();
             Ok(Response::json(
@@ -416,10 +373,11 @@ fn submit_job(
     config: &ServerConfig,
     req: &Request,
 ) -> Result<Response, SvcError> {
-    let kind = if req.path == "/v1/compare" {
-        "compare"
-    } else {
-        "campaign"
+    let kind = match req.path.as_str() {
+        "/v1/compare" => "compare",
+        "/v1/crashck" => "crashck",
+        "/v1/blocks" => "blocks",
+        _ => "campaign",
     };
     let text = std::str::from_utf8(&req.body)
         .map_err(|_| SvcError::BadRequest(format!("{kind} config must be UTF-8 JSON")))?;
@@ -430,10 +388,11 @@ fn submit_job(
     }
     let body = Json::parse(text)
         .map_err(|e| SvcError::BadRequest(format!("config is not valid JSON: {e}")))?;
-    let spec = if kind == "compare" {
-        JobSpec::Compare(compare_config_from_json(&body).map_err(SvcError::BadRequest)?)
-    } else {
-        JobSpec::Campaign(config_from_json(&body).map_err(SvcError::BadRequest)?)
+    let spec = match kind {
+        "compare" => JobSpec::Compare(compare_config_from_json(&body).map_err(SvcError::BadRequest)?),
+        "crashck" => JobSpec::Crashck(crashck_config_from_json(&body).map_err(SvcError::BadRequest)?),
+        "blocks" => blocks_spec_from_json(&body).map_err(SvcError::BadRequest)?,
+        _ => JobSpec::Campaign(config_from_json(&body).map_err(SvcError::BadRequest)?),
     };
     let mut st = shared.state.lock().unwrap();
     if st.draining {

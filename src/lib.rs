@@ -24,4 +24,5 @@ pub use soteria_faultsim;
 pub use soteria_nvm;
 pub use soteria_rt;
 pub use soteria_simcpu;
+pub use soteria_svc;
 pub use soteria_workloads;

@@ -898,3 +898,116 @@ fn line_addr_sanity() {
     assert_eq!(LineAddr::from_byte_addr(128).index(), 2);
     assert_eq!(DataAddr::from_byte_addr(128).index(), 2);
 }
+
+/// Drives one randomized fleet schedule over a small campaign and
+/// returns `(merged, single_node, died, stole)`: random worker count,
+/// random lease sizes, workers holding leases across steps so steals
+/// genuinely hedge a slow peer, random deaths both while idle and while
+/// holding a lease (their blocks re-pend), and every partial carried
+/// through the pretty-printed JSON wire exactly as the coordinator
+/// receives it.
+type Artifacts = (String, String);
+
+fn simulate_fleet_schedule(draw: u64) -> Result<(Artifacts, Artifacts, bool, bool), String> {
+    use soteria_suite::soteria_faultsim::{
+        merge_partials, run_block_range, run_spec, total_blocks, CampaignConfig, JobSpec,
+    };
+    use soteria_suite::soteria_svc::BlockScheduler;
+    let mut rng = StdRng::seed_from_u64(draw);
+    let blocks = 2 + rng.bounded_u64(4);
+    let mut config = CampaignConfig::table4(1500.0);
+    config.iterations = blocks * 64;
+    config.capacity_bytes = 64 << 20;
+    config.threads = 1;
+    config.trace = true;
+    config.seed = rng.next_u64();
+    let spec = JobSpec::Campaign(config);
+    let total = total_blocks(&spec);
+    let expected = run_spec(&spec);
+
+    let workers = 2 + rng.bounded_u64(3) as usize;
+    let mut sched = BlockScheduler::new(total);
+    let mut alive = vec![true; workers];
+    let mut held: Vec<Option<(u64, u64)>> = vec![None; workers];
+    let mut partials = Vec::new();
+    let (mut died, mut stole) = (false, false);
+    let mut guard = 0u32;
+    while !sched.is_complete() {
+        guard += 1;
+        if guard > 10_000 {
+            return Err("fleet schedule failed to converge".into());
+        }
+        let w = rng.bounded_u64(workers as u64) as usize;
+        if !alive[w] {
+            continue;
+        }
+        let survivors = alive.iter().filter(|&&a| a).count();
+        let roll = rng.bounded_u64(100);
+        match held[w] {
+            Some((lo, hi)) => {
+                if roll < 15 && survivors > 1 {
+                    // Dies holding the lease: its blocks re-pend unless
+                    // a thief's duplicate still covers them.
+                    alive[w] = false;
+                    held[w] = None;
+                    sched.fail_worker(w);
+                    died = true;
+                } else {
+                    let doc = run_block_range(&spec, lo, hi);
+                    let partial = Json::parse(&doc.to_pretty_string())
+                        .map_err(|e| format!("wire parse: {e}"))?;
+                    partials.push(partial);
+                    sched.complete(w, lo, hi);
+                    held[w] = None;
+                }
+            }
+            None => {
+                if roll < 8 && survivors > 1 {
+                    alive[w] = false;
+                    sched.fail_worker(w);
+                    died = true;
+                    continue;
+                }
+                let chunk = 1 + rng.bounded_u64(3);
+                held[w] = sched.lease(w, chunk).or_else(|| {
+                    let stolen = sched.steal(w);
+                    stole |= stolen.is_some();
+                    stolen
+                });
+            }
+        }
+    }
+    let merged = merge_partials(&spec, &partials)?;
+    Ok((merged, expected, died, stole))
+}
+
+#[test]
+fn any_fleet_schedule_merges_to_single_node_bytes() {
+    // The fleet determinism contract: however a campaign's accumulation
+    // blocks are split over however many workers — including workers
+    // dying mid-run and slow leases being duplicated by steals — the
+    // coordinator's merge must reproduce the single-node artifact pair
+    // byte-for-byte. The pinned corpus entries replay schedules that
+    // exercise both failure paths (a death re-pending blocks and a
+    // steal duplicating a lease) before any novel case.
+    check(
+        "any_fleet_schedule_merges_to_single_node_bytes",
+        &cfg(4),
+        &any::<u64>(),
+        |&draw| {
+            let (merged, expected, _died, _stole) = simulate_fleet_schedule(draw)?;
+            prop_assert_eq!(
+                &merged.0,
+                &expected.0,
+                "merged result JSON diverged from the single-node run"
+            );
+            prop_assert_eq!(
+                &merged.1,
+                &expected.1,
+                "merged NDJSON trace diverged from the single-node run"
+            );
+            Ok(())
+        },
+    );
+}
+
