@@ -77,6 +77,15 @@ pub fn lex(source: &str) -> Vec<SourceLine> {
                     line.code.push('"');
                     mode = Mode::Str;
                     i += 1;
+                } else if let Some(len) = raw_ident(&chars, i) {
+                    // A raw identifier (`r#type`, `r#match`): consume it
+                    // whole so the `r#` prefix is never confused with a
+                    // raw-string opener and the identifier never matches
+                    // a keyword/token search (`#` glues it together).
+                    for k in 0..len {
+                        line.code.push(chars[i + k]);
+                    }
+                    i += len;
                 } else if let Some(skip) = raw_string_prefix(&chars, i) {
                     // r"...", r#"..."#, br"...", br#"..."# — skip is the
                     // prefix length up to and including the opening quote;
@@ -142,6 +151,31 @@ pub fn lex(source: &str) -> Vec<SourceLine> {
         }
     }
     lines
+}
+
+/// If position `i` starts a raw identifier (`r#type`, `r#match`),
+/// returns its total length (`r#` plus the identifier). Raw identifiers
+/// are *not* raw-string openers: `r#` must be followed by an identifier
+/// start, and the `r` must not continue a preceding identifier.
+fn raw_ident(chars: &[char], i: usize) -> Option<usize> {
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return None;
+        }
+    }
+    if chars.get(i) != Some(&'r') || chars.get(i + 1) != Some(&'#') {
+        return None;
+    }
+    let first = *chars.get(i + 2)?;
+    if !(first.is_alphabetic() || first == '_') {
+        return None;
+    }
+    let mut j = i + 3;
+    while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+        j += 1;
+    }
+    Some(j - i)
 }
 
 /// If position `i` starts a raw (byte) string prefix (`r"`, `r#"`,
@@ -273,9 +307,15 @@ pub fn find_token(code: &str, token: &str) -> Option<usize> {
         let end = start + token.len();
         // Boundaries only matter where the token's own edge is an
         // identifier character (`rand::` legitimately continues into an
-        // identifier on the right).
+        // identifier on the right). An `r#` immediately before the match
+        // makes it a raw identifier (`r#match` is not the keyword
+        // `match`), which never counts as the token.
+        let raw_prefixed = start >= 2
+            && bytes[start - 1] == b'#'
+            && bytes[start - 2] == b'r'
+            && (start == 2 || !ident(bytes[start - 3]));
         let before_ok =
-            !ident(tok[0]) || start == 0 || !ident(bytes[start - 1]);
+            !ident(tok[0]) || start == 0 || (!ident(bytes[start - 1]) && !raw_prefixed);
         let after_ok =
             !ident(tok[tok.len() - 1]) || end >= bytes.len() || !ident(bytes[end]);
         if before_ok && after_ok {
@@ -362,5 +402,56 @@ mod tests {
         assert!(!has_token("struct MyHashMapLike;", "HashMap"));
         assert!(has_token("thread::sleep(d)", "thread::sleep"));
         assert!(!has_token("operand::sleep(d)", "rand::"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        // `r#type` must lex as an identifier, not open a raw string that
+        // swallows the rest of the line.
+        let c = code_of("let r#type = 1; after();");
+        assert_eq!(c, vec!["let r#type = 1; after();"]);
+        // A raw identifier and a raw string can share a line.
+        let c = code_of(r##"let r#match = r#"HashMap"#; tail();"##);
+        assert_eq!(c, vec![r#"let r#match = ""; tail();"#]);
+    }
+
+    #[test]
+    fn raw_identifiers_never_match_their_keyword_token() {
+        assert!(!has_token("let r#match = 1;", "match"));
+        assert!(!has_token("fn r#unsafe() {}", "unsafe"));
+        assert!(!has_token("type r#HashMap = u8;", "HashMap"));
+        assert!(has_token("match x { _ => r#match }", "match"));
+    }
+
+    #[test]
+    fn nested_generics_closing_shift_is_not_special() {
+        let c = code_of("let v: Vec<Vec<u8>> = x >> 2;");
+        assert_eq!(c, vec!["let v: Vec<Vec<u8>> = x >> 2;"]);
+        assert!(has_token(&c[0], "Vec"));
+    }
+
+    #[test]
+    fn raw_strings_with_multiple_hashes() {
+        let c = code_of(r####"let s = r##"one "# two"##; f();"####);
+        assert_eq!(c, vec![r#"let s = ""; f();"#]);
+        // An inner quote+hash shorter than the opener must not close it.
+        let c = code_of("let s = r##\"a\"# b\"##;\nnext();");
+        assert_eq!(c, vec!["let s = \"\";", "next();"]);
+    }
+
+    #[test]
+    fn lifetimes_inside_turbofish_survive() {
+        let c = code_of("f::<'a, T>(x); let y: &'static str = s;");
+        assert_eq!(c, vec!["f::<'a, T>(x); let y: &'static str = s;"]);
+    }
+
+    #[test]
+    fn mod_tests_opened_mid_file_is_tracked() {
+        let src = "fn a() {\n    body();\n}\n#[cfg(test)]\nmod tests {\n    use super::*;\n    #[test]\n    fn t() { a(); }\n}\nfn tail() {}";
+        let t = test_regions(&lex(src));
+        assert_eq!(
+            t,
+            vec![false, false, false, false, true, true, true, true, true, false]
+        );
     }
 }

@@ -10,9 +10,14 @@
 //! `unsafe` documented, no panicking shortcuts in library code. This
 //! crate turns those project rules into machine-checked ones.
 //!
-//! * [`rules`] — the rule catalog (D1, D2, D3, H1, U1, P1, A1) and the
-//!   per-file scanners, built on the literal-aware [`lexer`] so rules
-//!   never fire inside strings or comments.
+//! * [`rules`] — the rule catalog (D1, D2, D3, H1, U1, P1, A1 in the
+//!   per-file **lex** pass; C1, C2, C3, U2 in the workspace **conc**
+//!   pass) and the per-file scanners, built on the literal-aware
+//!   [`lexer`] so rules never fire inside strings or comments.
+//! * [`ast`] / [`callgraph`] / [`conc`] — the function-level analyzer:
+//!   token trees, the intra-workspace call graph, per-function lock
+//!   summaries, and the interprocedural lock-order (C1), blocking-call
+//!   (C2), condvar-loop (C3), and raw-syscall-containment (U2) rules.
 //! * [`baseline`] — the checked-in grandfather list; CI fails only on
 //!   violations not in the baseline.
 //! * Suppression: end the offending line (or the comment line above it)
@@ -23,7 +28,10 @@
 //! Run it locally with `cargo run -p soteria-lint -- --workspace`.
 //! Exit codes are pinned: 0 clean, 1 new violations, 2 usage/IO error.
 
+pub mod ast;
 pub mod baseline;
+pub mod callgraph;
+pub mod conc;
 pub mod lexer;
 pub mod rules;
 
@@ -91,12 +99,15 @@ pub struct LintReport {
 }
 
 impl LintReport {
-    /// Machine-readable report (schema `soteria-lint/v1`).
+    /// Machine-readable report (schema `soteria-lint/v2`; v2 added the
+    /// per-violation `pass` field distinguishing the per-file lex rules
+    /// from the workspace concurrency rules).
     pub fn to_json(&self) -> soteria_rt::json::Json {
         use soteria_rt::json::Json;
         let violation = |v: &Violation, baselined: bool| {
             Json::Obj(vec![
                 ("rule".to_string(), Json::Str(v.rule.name().to_string())),
+                ("pass".to_string(), Json::Str(v.rule.pass().to_string())),
                 ("path".to_string(), Json::Str(v.path.clone())),
                 ("line".to_string(), Json::Num(v.line as f64)),
                 ("snippet".to_string(), Json::Str(v.snippet.clone())),
@@ -108,7 +119,7 @@ impl LintReport {
             self.new_violations.iter().map(|v| violation(v, false)).collect();
         violations.extend(self.baselined.iter().map(|v| violation(v, true)));
         Json::Obj(vec![
-            ("tool".to_string(), Json::Str("soteria-lint/v1".to_string())),
+            ("tool".to_string(), Json::Str("soteria-lint/v2".to_string())),
             (
                 "checked_files".to_string(),
                 Json::Num(self.checked_files.len() as f64),
@@ -178,23 +189,81 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), LintError>
 pub fn lint_workspace(root: &Path, baseline: &Baseline) -> Result<LintReport, LintError> {
     let files = collect_files(root)?;
     let mut violations = Vec::new();
+    let mut rust_sources: Vec<(String, String)> = Vec::new();
     for rel in &files {
-        let full: PathBuf = root.join(rel);
-        let text = std::fs::read_to_string(&full).map_err(|e| LintError::Io {
-            path: full.display().to_string(),
-            message: e.to_string(),
-        })?;
+        let text = read_rel(root, rel)?;
         if rel.ends_with("Cargo.toml") {
             violations.extend(lint_cargo_toml(rel, &text));
         } else {
             violations.extend(lint_rust_source(rel, &text));
+            rust_sources.push((rel.clone(), text));
         }
     }
+    // The conc pass needs the whole workspace at once: lock summaries
+    // propagate across files through the call graph.
+    violations.extend(conc::lint_concurrency(&rust_sources));
     let (new_violations, baselined) = baseline.partition(violations);
     Ok(LintReport {
         checked_files: files,
         new_violations,
         baselined,
+    })
+}
+
+/// Lints just `paths` (workspace-relative or absolute) with the lex
+/// pass — the sub-second `--changed` mode for pre-commit hooks. Paths
+/// that no longer exist (deleted in the change) or are not lintable
+/// (`*.rs` / `Cargo.toml`) are skipped. The conc pass is workspace-wide
+/// by nature and does not run here.
+///
+/// # Errors
+///
+/// Returns [`LintError::Io`] if an existing file cannot be read.
+pub fn lint_files(
+    root: &Path,
+    paths: &[String],
+    baseline: &Baseline,
+) -> Result<LintReport, LintError> {
+    let mut checked = Vec::new();
+    let mut violations = Vec::new();
+    for given in paths {
+        let rel = given.replace('\\', "/");
+        if !(rel.ends_with(".rs") || rel.ends_with("Cargo.toml")) {
+            continue;
+        }
+        let full: PathBuf = if Path::new(given).is_absolute() {
+            PathBuf::from(given)
+        } else {
+            root.join(given)
+        };
+        if !full.exists() {
+            continue;
+        }
+        let text = std::fs::read_to_string(&full).map_err(|e| LintError::Io {
+            path: full.display().to_string(),
+            message: e.to_string(),
+        })?;
+        if rel.ends_with("Cargo.toml") {
+            violations.extend(lint_cargo_toml(&rel, &text));
+        } else {
+            violations.extend(lint_rust_source(&rel, &text));
+        }
+        checked.push(rel);
+    }
+    checked.sort();
+    let (new_violations, baselined) = baseline.partition(violations);
+    Ok(LintReport {
+        checked_files: checked,
+        new_violations,
+        baselined,
+    })
+}
+
+fn read_rel(root: &Path, rel: &str) -> Result<String, LintError> {
+    let full: PathBuf = root.join(rel);
+    std::fs::read_to_string(&full).map_err(|e| LintError::Io {
+        path: full.display().to_string(),
+        message: e.to_string(),
     })
 }
 

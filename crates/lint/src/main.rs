@@ -4,6 +4,7 @@
 //! ```text
 //! soteria-lint --workspace [--root DIR] [--baseline FILE] [--json]
 //!              [--write-baseline] [--list-rules]
+//! soteria-lint --changed FILE... [--root DIR] [--baseline FILE] [--json]
 //! ```
 //!
 //! Exit codes (pinned, tested): 0 = clean, 1 = new violations,
@@ -12,29 +13,60 @@
 use std::path::PathBuf;
 
 use soteria_lint::{
-    lint_workspace, Baseline, LintError, Rule, EXIT_CLEAN, EXIT_ERROR, EXIT_VIOLATIONS,
+    lint_files, lint_workspace, Baseline, LintError, LintReport, Rule, EXIT_CLEAN,
+    EXIT_ERROR, EXIT_VIOLATIONS,
 };
 
 const USAGE: &str = "usage: soteria-lint --workspace [--root DIR] [--baseline FILE] \
-[--json] [--write-baseline] [--list-rules]";
+[--json] [--write-baseline] [--list-rules]\n\
+       soteria-lint --changed FILE... [--root DIR] [--baseline FILE] [--json]";
+
+/// Exact `--help` text (pinned by test).
+const HELP: &str = "\
+soteria-lint: determinism, hermeticity & concurrency linter
+
+usage: soteria-lint --workspace [--root DIR] [--baseline FILE] \
+[--json] [--write-baseline] [--list-rules]
+       soteria-lint --changed FILE... [--root DIR] [--baseline FILE] [--json]
+
+modes:
+  --workspace        lint every *.rs and Cargo.toml under the root
+                     (lex pass + whole-workspace conc pass)
+  --changed FILE...  lint only the listed files with the lex pass
+                     (fast pre-commit mode; missing files are skipped)
+  --list-rules       print the rule catalog, one name per line
+
+options:
+  --root DIR         workspace root (default: .)
+  --baseline FILE    baseline path (default: ROOT/lint-baseline.json)
+  --json             print the machine-readable soteria-lint/v2 report
+  --write-baseline   grandfather all current findings into the baseline
+  --help             show this help
+
+exit codes: 0 clean, 1 new violations, 2 usage/IO/baseline error
+";
 
 struct Args {
     workspace: bool,
+    changed: Option<Vec<String>>,
     root: PathBuf,
     baseline: Option<PathBuf>,
     json: bool,
     write_baseline: bool,
     list_rules: bool,
+    help: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, LintError> {
     let mut args = Args {
         workspace: false,
+        changed: None,
         root: PathBuf::from("."),
         baseline: None,
         json: false,
         write_baseline: false,
         list_rules: false,
+        help: false,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -43,6 +75,10 @@ fn parse_args(argv: &[String]) -> Result<Args, LintError> {
             "--json" => args.json = true,
             "--write-baseline" => args.write_baseline = true,
             "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => args.help = true,
+            "--changed" => {
+                args.changed.get_or_insert_with(Vec::new);
+            }
             "--root" => {
                 let v = it
                     .next()
@@ -55,18 +91,39 @@ fn parse_args(argv: &[String]) -> Result<Args, LintError> {
                     .ok_or_else(|| LintError::Usage("--baseline needs a file".to_string()))?;
                 args.baseline = Some(PathBuf::from(v));
             }
+            other if !other.starts_with('-') && args.changed.is_some() => {
+                if let Some(files) = args.changed.as_mut() {
+                    files.push(other.to_string());
+                }
+            }
             other => {
                 return Err(LintError::Usage(format!("unknown flag '{other}'")));
             }
         }
     }
-    if !args.workspace && !args.list_rules {
-        return Err(LintError::Usage("pass --workspace (or --list-rules)".to_string()));
+    if args.workspace && args.changed.is_some() {
+        return Err(LintError::Usage(
+            "--workspace and --changed are mutually exclusive".to_string(),
+        ));
+    }
+    if args.write_baseline && args.changed.is_some() {
+        return Err(LintError::Usage(
+            "--write-baseline needs --workspace (a partial baseline would lie)".to_string(),
+        ));
+    }
+    if !args.workspace && !args.list_rules && !args.help && args.changed.is_none() {
+        return Err(LintError::Usage(
+            "pass --workspace (or --list-rules)".to_string(),
+        ));
     }
     Ok(args)
 }
 
 fn run(args: &Args) -> Result<i32, LintError> {
+    if args.help {
+        print!("{HELP}");
+        return Ok(EXIT_CLEAN);
+    }
     if args.list_rules {
         for rule in Rule::ALL {
             println!("{rule}");
@@ -92,7 +149,10 @@ fn run(args: &Args) -> Result<i32, LintError> {
         }
     };
 
-    let report = lint_workspace(&args.root, &baseline)?;
+    let report: LintReport = match &args.changed {
+        Some(files) => lint_files(&args.root, files, &baseline)?,
+        None => lint_workspace(&args.root, &baseline)?,
+    };
 
     if args.write_baseline {
         let doc = Baseline::from_violations(&report.new_violations)

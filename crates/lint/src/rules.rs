@@ -15,6 +15,13 @@
 //! | U1   | every `unsafe` carries a `// SAFETY:` comment |
 //! | P1   | no `unwrap()` / `expect()` in library code of `core`/`nvm`/`crypto`/`ecc` |
 //! | A1   | every `lint:allow` names a known rule and gives a reason |
+//! | C1   | lock-acquisition order is cycle-free across the workspace |
+//! | C2   | no lock guard held across a blocking operation |
+//! | C3   | `Condvar::wait` sits inside a predicate loop |
+//! | U2   | raw syscalls reachable only through the audited `Poller` API |
+//!
+//! The D/H/U1/P1/A1 rules run in the per-file **lex** pass; the C rules
+//! and U2 run in the whole-workspace **conc** pass (see [`crate::conc`]).
 
 use crate::lexer::{self, SourceLine};
 
@@ -35,11 +42,19 @@ pub enum Rule {
     P1,
     /// Malformed `lint:allow` suppression.
     A1,
+    /// Cycle in the workspace lock-acquisition order graph.
+    C1,
+    /// Lock guard held across a blocking operation.
+    C2,
+    /// `Condvar::wait` outside a predicate loop.
+    C3,
+    /// Raw syscall reachable outside the audited `Poller` API.
+    U2,
 }
 
 impl Rule {
     /// All rules, in catalog order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 11] = [
         Rule::D1,
         Rule::D2,
         Rule::D3,
@@ -47,6 +62,10 @@ impl Rule {
         Rule::U1,
         Rule::P1,
         Rule::A1,
+        Rule::C1,
+        Rule::C2,
+        Rule::C3,
+        Rule::U2,
     ];
 
     /// The rule's catalog name.
@@ -59,6 +78,20 @@ impl Rule {
             Rule::U1 => "U1",
             Rule::P1 => "P1",
             Rule::A1 => "A1",
+            Rule::C1 => "C1",
+            Rule::C2 => "C2",
+            Rule::C3 => "C3",
+            Rule::U2 => "U2",
+        }
+    }
+
+    /// Which analysis pass produces the rule's findings: `"lex"` for the
+    /// per-file token rules, `"conc"` for the whole-workspace
+    /// concurrency/call-graph rules.
+    pub fn pass(self) -> &'static str {
+        match self {
+            Rule::C1 | Rule::C2 | Rule::C3 | Rule::U2 => "conc",
+            _ => "lex",
         }
     }
 
@@ -198,17 +231,23 @@ fn parse_allows(comment: &str) -> (Vec<Allow>, bool) {
     (allows, malformed)
 }
 
-struct FileScan<'a> {
+/// Per-file scan state shared by the lex rules and (for suppression and
+/// test-region bookkeeping) the conc pass.
+pub(crate) struct FileScan<'a> {
     rel: &'a str,
-    lines: Vec<SourceLine>,
-    in_test: Vec<bool>,
+    /// Lexed code/comment channels, one per source line.
+    pub(crate) lines: Vec<SourceLine>,
+    /// `in_test[k]` marks 0-based line `k` as test code.
+    pub(crate) in_test: Vec<bool>,
     raw_lines: Vec<&'a str>,
     /// allows[k] = rules suppressed for line k (0-based).
     allows: Vec<Vec<Rule>>,
 }
 
 impl<'a> FileScan<'a> {
-    fn new(rel: &'a str, source: &'a str) -> (Self, Vec<Violation>) {
+    /// Lexes `source` and collects suppressions; the second return is
+    /// the A1 findings (malformed `lint:allow`) seen along the way.
+    pub(crate) fn new(rel: &'a str, source: &'a str) -> (Self, Vec<Violation>) {
         let lines = lexer::lex(source);
         let in_test = if is_test_path(rel) {
             vec![true; lines.len()]
@@ -267,7 +306,8 @@ impl<'a> FileScan<'a> {
         false
     }
 
-    fn push(&self, out: &mut Vec<Violation>, rule: Rule, k: usize, message: String) {
+    /// Appends a violation at 0-based line `k` unless suppressed there.
+    pub(crate) fn push(&self, out: &mut Vec<Violation>, rule: Rule, k: usize, message: String) {
         if self.allowed(k, rule) {
             return;
         }

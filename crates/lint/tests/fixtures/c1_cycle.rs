@@ -1,0 +1,23 @@
+//! Fixture: two mutexes acquired in opposite orders — a lock-order
+//! cycle (C1) between `Pair.a` and `Pair.b`.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+pub fn forward(p: &Pair) {
+    let ga = p.a.lock().unwrap();
+    let gb = p.b.lock().unwrap();
+    drop(gb);
+    drop(ga);
+}
+
+pub fn backward(p: &Pair) {
+    let gb = p.b.lock().unwrap();
+    let ga = p.a.lock().unwrap();
+    drop(ga);
+    drop(gb);
+}

@@ -1,0 +1,23 @@
+//! Fixture: the same opposite-order acquisitions as `c1_cycle.rs`, with
+//! both cycle edges explicitly suppressed.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+pub fn forward(p: &Pair) {
+    let ga = p.a.lock().unwrap();
+    let gb = p.b.lock().unwrap(); // lint:allow(C1, fixture: documented order exception)
+    drop(gb);
+    drop(ga);
+}
+
+pub fn backward(p: &Pair) {
+    let gb = p.b.lock().unwrap();
+    let ga = p.a.lock().unwrap(); // lint:allow(C1, fixture: documented order exception)
+    drop(ga);
+    drop(gb);
+}

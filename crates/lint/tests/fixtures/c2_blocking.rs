@@ -1,0 +1,23 @@
+//! Fixture: a lock guard held across a blocking socket write (C2).
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub state: Mutex<u32>,
+}
+
+pub fn bad(shared: &Shared, stream: &mut TcpStream) {
+    let g = shared.state.lock().unwrap();
+    stream.write_all(b"x").ok();
+    drop(g);
+}
+
+pub fn good(shared: &Shared, stream: &mut TcpStream) {
+    {
+        let g = shared.state.lock().unwrap();
+        let _ = *g;
+    }
+    stream.write_all(b"x").ok();
+}

@@ -1,0 +1,17 @@
+//! Fixture: the blocking write from `c2_blocking.rs`, suppressed with a
+//! reasoned allow.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub state: Mutex<u32>,
+}
+
+pub fn bad(shared: &Shared, stream: &mut TcpStream) {
+    let g = shared.state.lock().unwrap();
+    // lint:allow(C2, fixture: socket has a 1ms write timeout, bounded stall)
+    stream.write_all(b"x").ok();
+    drop(g);
+}

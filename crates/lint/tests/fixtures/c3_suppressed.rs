@@ -1,0 +1,17 @@
+//! Fixture: the `if`-guarded wait from `c3_wait.rs`, suppressed.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Shared {
+    pub state: Mutex<bool>,
+    pub ready: Condvar,
+}
+
+pub fn bad(shared: &Shared) -> bool {
+    let mut st = shared.state.lock().unwrap();
+    if !*st {
+        // lint:allow(C3, fixture: single waiter and the flag never resets)
+        st = shared.ready.wait(st).unwrap();
+    }
+    *st
+}

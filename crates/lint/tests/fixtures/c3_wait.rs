@@ -1,0 +1,25 @@
+//! Fixture: a `Condvar::wait` guarded by `if` instead of a predicate
+//! loop (C3) — a spurious wakeup slips straight through.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Shared {
+    pub state: Mutex<bool>,
+    pub ready: Condvar,
+}
+
+pub fn bad(shared: &Shared) -> bool {
+    let mut st = shared.state.lock().unwrap();
+    if !*st {
+        st = shared.ready.wait(st).unwrap();
+    }
+    *st
+}
+
+pub fn good(shared: &Shared) -> bool {
+    let mut st = shared.state.lock().unwrap();
+    while !*st {
+        st = shared.ready.wait(st).unwrap();
+    }
+    *st
+}

@@ -1,0 +1,15 @@
+//! Fixture: raw identifiers that previously mislexed. `fn r#unsafe`
+//! used to fire U1 (the `unsafe` token matched through the `r#`), and
+//! `type r#HashMap` fired D2 in deterministic crates; `r#match` next to
+//! a real raw string checks the two `r#` forms stay distinct.
+
+pub fn r#unsafe(x: u8) -> u8 {
+    x
+}
+
+pub type r#HashMap = u8;
+
+pub fn mixed() -> &'static str {
+    let r#match = r#"contents"#;
+    r#match
+}

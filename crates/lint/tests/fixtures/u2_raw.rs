@@ -1,0 +1,13 @@
+//! Fixture: a raw syscall declared and called outside `rt::reactor`
+//! (two U2 findings — the declaration and the call).
+
+pub mod sys {
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+    }
+}
+
+pub fn open_epoll() -> i32 {
+    // SAFETY: fixture only; never executed.
+    unsafe { sys::epoll_create1(0) }
+}

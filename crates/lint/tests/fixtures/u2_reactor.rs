@@ -1,0 +1,30 @@
+//! Fixture lexed *as* `crates/rt/src/reactor.rs`: a raw syscall behind
+//! the audited `Poller` API (fine) and behind a stray bare-`pub` free
+//! function (U2).
+
+pub struct Poller {
+    fd: i32,
+}
+
+mod sys {
+    extern "C" {
+        pub fn epoll_wait(epfd: i32) -> i32;
+    }
+}
+
+impl Poller {
+    pub fn wait(&self) -> i32 {
+        // SAFETY: fixture only; never executed.
+        unsafe { sys::epoll_wait(self.fd) }
+    }
+}
+
+pub fn sneaky_wait(fd: i32) -> i32 {
+    // SAFETY: fixture only; never executed.
+    unsafe { sys::epoll_wait(fd) }
+}
+
+pub(crate) fn audited_helper(fd: i32) -> i32 {
+    // SAFETY: fixture only; never executed.
+    unsafe { sys::epoll_wait(fd) }
+}

@@ -1,0 +1,15 @@
+//! Fixture: the out-of-reactor syscall from `u2_raw.rs`, suppressed at
+//! both the declaration and the call.
+
+pub mod sys {
+    extern "C" {
+        // lint:allow(U2, fixture: vetted one-off syscall for a probe tool)
+        pub fn epoll_create1(flags: i32) -> i32;
+    }
+}
+
+pub fn open_epoll() -> i32 {
+    // SAFETY: fixture only; never executed.
+    // lint:allow(U2, fixture: vetted one-off syscall for a probe tool)
+    unsafe { sys::epoll_create1(0) }
+}

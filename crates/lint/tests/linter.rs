@@ -7,9 +7,11 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
+use soteria_lint::conc::lint_concurrency;
 use soteria_lint::{
-    lint_cargo_toml, lint_rust_source, lint_workspace, Baseline, Rule, Violation,
+    lint_cargo_toml, lint_rust_source, lint_workspace, Baseline, LintReport, Rule, Violation,
 };
+use soteria_rt::json::Json;
 
 fn rules_of(violations: &[Violation]) -> Vec<Rule> {
     violations.iter().map(|v| v.rule).collect()
@@ -309,7 +311,7 @@ fn binary_exit_codes_and_usage_are_pinned() {
     assert_eq!(out.status.code(), Some(0));
     assert_eq!(
         String::from_utf8_lossy(&out.stdout),
-        "D1\nD2\nD3\nH1\nU1\nP1\nA1\n"
+        "D1\nD2\nD3\nH1\nU1\nP1\nA1\nC1\nC2\nC3\nU2\n"
     );
 }
 
@@ -354,9 +356,23 @@ fn binary_flags_seeded_violations_by_rule_name() {
         .expect("valid JSON report");
     assert_eq!(
         doc.get("tool").and_then(|t| t.as_str()),
-        Some("soteria-lint/v1")
+        Some("soteria-lint/v2")
     );
     assert!(doc.get("new_violations").and_then(|n| n.as_f64()).unwrap_or(0.0) >= 4.0);
+    // v2 tags every violation with the pass that produced it.
+    match doc.get("violations") {
+        Some(Json::Arr(items)) => {
+            assert!(!items.is_empty());
+            for item in items {
+                let pass = item.get("pass").and_then(|p| p.as_str());
+                assert!(
+                    matches!(pass, Some("lex") | Some("conc")),
+                    "bad pass field: {pass:?}"
+                );
+            }
+        }
+        other => panic!("violations array missing: {other:?}"),
+    }
 
     // A written baseline grandfathers everything: exit turns 0.
     let out = run_lint(&[
@@ -370,4 +386,314 @@ fn binary_flags_seeded_violations_by_rule_name() {
     assert_eq!(out.status.code(), Some(0), "baselined scratch must be clean");
 
     std::fs::remove_dir_all(&scratch).ok();
+}
+
+// ----- the conc pass: C1/C2/C3/U2 fixtures -----------------------------
+
+fn conc(rel: &str, src: &str) -> Vec<Violation> {
+    lint_concurrency(&[(rel.to_string(), src.to_string())])
+}
+
+#[test]
+fn c1_flags_lock_order_cycles() {
+    let vs = conc(
+        "crates/svc/src/fixture.rs",
+        include_str!("fixtures/c1_cycle.rs"),
+    );
+    assert_eq!(rules_of(&vs), vec![Rule::C1, Rule::C1], "{vs:?}");
+    assert!(vs.iter().all(|v| v.message.contains("lock-order cycle")));
+    assert!(
+        vs.iter()
+            .any(|v| v.message.contains("`Pair.b`") && v.message.contains("`Pair.a`")),
+        "{vs:?}"
+    );
+}
+
+#[test]
+fn c1_suppression_with_reason_is_honored() {
+    let vs = conc(
+        "crates/svc/src/fixture.rs",
+        include_str!("fixtures/c1_suppressed.rs"),
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn c2_flags_lock_held_across_blocking_op() {
+    let vs = conc(
+        "crates/svc/src/fixture.rs",
+        include_str!("fixtures/c2_blocking.rs"),
+    );
+    assert_eq!(rules_of(&vs), vec![Rule::C2], "{vs:?}");
+    assert!(
+        vs[0].message.contains("held across blocking `write_all`"),
+        "{vs:?}"
+    );
+}
+
+#[test]
+fn c2_suppression_with_reason_is_honored() {
+    let vs = conc(
+        "crates/svc/src/fixture.rs",
+        include_str!("fixtures/c2_suppressed.rs"),
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn c3_flags_condvar_wait_outside_predicate_loop() {
+    let vs = conc(
+        "crates/svc/src/fixture.rs",
+        include_str!("fixtures/c3_wait.rs"),
+    );
+    assert_eq!(rules_of(&vs), vec![Rule::C3], "{vs:?}");
+    assert!(
+        vs[0].message.contains("outside a predicate loop"),
+        "{vs:?}"
+    );
+}
+
+#[test]
+fn c3_suppression_with_reason_is_honored() {
+    let vs = conc(
+        "crates/svc/src/fixture.rs",
+        include_str!("fixtures/c3_suppressed.rs"),
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn u2_flags_raw_syscalls_outside_reactor() {
+    let vs = conc(
+        "crates/svc/src/fixture.rs",
+        include_str!("fixtures/u2_raw.rs"),
+    );
+    assert_eq!(rules_of(&vs), vec![Rule::U2, Rule::U2], "{vs:?}");
+    assert!(
+        vs.iter()
+            .any(|v| v.message.contains("raw syscall declaration `epoll_create1`")),
+        "{vs:?}"
+    );
+    assert!(
+        vs.iter()
+            .any(|v| v.message.contains("raw syscall `epoll_create1` called outside")),
+        "{vs:?}"
+    );
+}
+
+#[test]
+fn u2_suppression_with_reason_is_honored() {
+    let vs = conc(
+        "crates/svc/src/fixture.rs",
+        include_str!("fixtures/u2_suppressed.rs"),
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn u2_inside_reactor_only_the_audited_poller_api_may_leak() {
+    let vs = conc(
+        "crates/rt/src/reactor.rs",
+        include_str!("fixtures/u2_reactor.rs"),
+    );
+    assert_eq!(rules_of(&vs), vec![Rule::U2], "{vs:?}");
+    assert!(vs[0].snippet.contains("sneaky_wait"), "{vs:?}");
+    assert!(
+        vs[0]
+            .message
+            .contains("reachable outside the audited Poller API"),
+        "{vs:?}"
+    );
+}
+
+#[test]
+fn conc_blocking_propagates_across_files_through_the_call_graph() {
+    let helper = "pub fn push_all(stream: &mut std::net::TcpStream) {\n\
+                  \x20   use std::io::Write;\n\
+                  \x20   stream.write_all(b\"x\").ok();\n\
+                  }\n";
+    let caller = "use std::sync::Mutex;\n\
+                  pub struct S {\n\
+                  \x20   pub state: Mutex<u32>,\n\
+                  }\n\
+                  pub fn relay(s: &S, stream: &mut std::net::TcpStream) {\n\
+                  \x20   let g = s.state.lock().unwrap();\n\
+                  \x20   push_all(stream);\n\
+                  \x20   drop(g);\n\
+                  }\n";
+    let vs = lint_concurrency(&[
+        ("crates/svc/src/helper.rs".to_string(), helper.to_string()),
+        ("crates/svc/src/caller.rs".to_string(), caller.to_string()),
+    ]);
+    assert_eq!(rules_of(&vs), vec![Rule::C2], "{vs:?}");
+    assert!(vs[0].path.ends_with("caller.rs"), "{vs:?}");
+    assert!(
+        vs[0].message.contains("call to blocking `push_all`"),
+        "{vs:?}"
+    );
+}
+
+#[test]
+fn conc_lock_order_cycle_spans_the_call_graph() {
+    let file_a = "use std::sync::Mutex;\n\
+                  pub struct S {\n\
+                  \x20   pub a: Mutex<u32>,\n\
+                  \x20   pub b: Mutex<u32>,\n\
+                  }\n\
+                  pub fn take_b(s: &S) {\n\
+                  \x20   let g = s.b.lock().unwrap();\n\
+                  \x20   drop(g);\n\
+                  }\n\
+                  pub fn forward(s: &S) {\n\
+                  \x20   let g = s.a.lock().unwrap();\n\
+                  \x20   take_b(s);\n\
+                  \x20   drop(g);\n\
+                  }\n";
+    let file_b = "pub fn backward(s: &crate::a::S) {\n\
+                  \x20   let gb = s.b.lock().unwrap();\n\
+                  \x20   let ga = s.a.lock().unwrap();\n\
+                  \x20   drop(ga);\n\
+                  \x20   drop(gb);\n\
+                  }\n";
+    let vs = lint_concurrency(&[
+        ("crates/svc/src/a.rs".to_string(), file_a.to_string()),
+        ("crates/svc/src/b.rs".to_string(), file_b.to_string()),
+    ]);
+    assert_eq!(count(&vs, Rule::C1), 2, "{vs:?}");
+    assert_eq!(vs.len(), 2, "only C1 should fire: {vs:?}");
+}
+
+#[test]
+fn conc_rules_skip_test_code() {
+    let src = include_str!("fixtures/c1_cycle.rs");
+    for rel in ["crates/svc/tests/fixture.rs", "tests/fixture.rs"] {
+        let vs = conc(rel, src);
+        assert!(vs.is_empty(), "{rel} should be exempt, got {vs:?}");
+    }
+}
+
+// ----- raw identifiers (previously mislexed) ---------------------------
+
+#[test]
+fn raw_identifiers_do_not_mislex_as_keywords() {
+    // `fn r#unsafe` used to fire U1 and `type r#HashMap` fired D2: the
+    // token scanner matched the keyword straight through the `r#`.
+    let vs = lint_rust_source(
+        "crates/nvm/src/fixture.rs",
+        include_str!("fixtures/raw_ident.rs"),
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+// ----- v2 JSON report round-trips through rt::json ---------------------
+
+#[test]
+fn json_report_roundtrips_with_pass_field() {
+    let vs = conc(
+        "crates/svc/src/fixture.rs",
+        include_str!("fixtures/c2_blocking.rs"),
+    );
+    assert!(!vs.is_empty());
+    let report = LintReport {
+        checked_files: vec!["crates/svc/src/fixture.rs".to_string()],
+        new_violations: vs,
+        baselined: Vec::new(),
+    };
+    let doc = Json::parse(&report.to_json().to_pretty_string()).expect("report parses back");
+    assert_eq!(
+        doc.get("tool").and_then(|t| t.as_str()),
+        Some("soteria-lint/v2")
+    );
+    match doc.get("violations") {
+        Some(Json::Arr(items)) => {
+            assert!(!items.is_empty());
+            for item in items {
+                assert_eq!(item.get("pass").and_then(|p| p.as_str()), Some("conc"));
+                assert_eq!(item.get("rule").and_then(|r| r.as_str()), Some("C2"));
+            }
+        }
+        other => panic!("violations array missing: {other:?}"),
+    }
+}
+
+// ----- --changed mode and --help ---------------------------------------
+
+#[test]
+fn binary_changed_mode_lints_only_listed_files() {
+    let scratch =
+        std::env::temp_dir().join(format!("soteria-lint-changed-{}", std::process::id()));
+    let nvm_src = scratch.join("crates").join("nvm").join("src");
+    std::fs::create_dir_all(&nvm_src).expect("mkdir scratch");
+    std::fs::write(
+        nvm_src.join("dirty.rs"),
+        "use std::collections::HashMap;\npub type T = HashMap<u8, u8>;\n",
+    )
+    .expect("write dirty");
+    std::fs::write(nvm_src.join("clean.rs"), "pub fn ok() {}\n").expect("write clean");
+    let root = scratch.display().to_string();
+
+    // Only the listed dirty file is linted and flagged.
+    let out = run_lint(&["--changed", "crates/nvm/src/dirty.rs", "--root", &root]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains(": D2: "), "{stdout}");
+
+    // A clean listed file exits 0; the dirty one is not scanned.
+    let out = run_lint(&["--changed", "crates/nvm/src/clean.rs", "--root", &root]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("(1 files checked"));
+
+    // Deleted/unknown and non-lintable paths are skipped, not errors.
+    let out = run_lint(&[
+        "--changed",
+        "crates/nvm/src/gone.rs",
+        "README.md",
+        "--root",
+        &root,
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("(0 files checked"));
+
+    // Mode conflicts are usage errors (exit 2).
+    let out = run_lint(&["--workspace", "--changed", "x.rs", "--root", &root]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr)
+        .contains("--workspace and --changed are mutually exclusive"));
+    let out = run_lint(&["--changed", "x.rs", "--write-baseline", "--root", &root]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr)
+        .contains("--write-baseline needs --workspace"));
+
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+#[test]
+fn binary_help_output_is_pinned_exactly() {
+    let out = run_lint(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let expected = concat!(
+        "soteria-lint: determinism, hermeticity & concurrency linter\n",
+        "\n",
+        "usage: soteria-lint --workspace [--root DIR] [--baseline FILE] ",
+        "[--json] [--write-baseline] [--list-rules]\n",
+        "       soteria-lint --changed FILE... [--root DIR] [--baseline FILE] [--json]\n",
+        "\n",
+        "modes:\n",
+        "  --workspace        lint every *.rs and Cargo.toml under the root\n",
+        "                     (lex pass + whole-workspace conc pass)\n",
+        "  --changed FILE...  lint only the listed files with the lex pass\n",
+        "                     (fast pre-commit mode; missing files are skipped)\n",
+        "  --list-rules       print the rule catalog, one name per line\n",
+        "\n",
+        "options:\n",
+        "  --root DIR         workspace root (default: .)\n",
+        "  --baseline FILE    baseline path (default: ROOT/lint-baseline.json)\n",
+        "  --json             print the machine-readable soteria-lint/v2 report\n",
+        "  --write-baseline   grandfather all current findings into the baseline\n",
+        "  --help             show this help\n",
+        "\n",
+        "exit codes: 0 clean, 1 new violations, 2 usage/IO/baseline error\n",
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout), expected);
+    assert_eq!(out.stderr.len(), 0);
 }
